@@ -1,0 +1,65 @@
+//! Per-element cost of the sequential algorithms (the Cormode &
+//! Hadjieleftheriou-style comparison the paper's related work cites):
+//! counter-based Space Saving / Lossy Counting / Misra-Gries versus the
+//! sketch-based Count-Min / Count Sketch, at low and high skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cots_core::{FrequencyCounter, SummaryConfig};
+use cots_datagen::StreamSpec;
+use cots_sequential::{CountMinSketch, CountSketch, LossyCounting, MisraGries, SpaceSaving};
+
+const N: usize = 200_000;
+
+fn bench_seq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_algorithms");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for alpha in [1.5f64, 3.0] {
+        let stream = StreamSpec::zipf(N, 10_000, alpha, 42).generate();
+        let cfg = SummaryConfig::with_capacity(1000).unwrap();
+        g.bench_with_input(BenchmarkId::new("space_saving", alpha), &stream, |b, s| {
+            b.iter(|| {
+                let mut e = SpaceSaving::<u64>::new(cfg);
+                e.process_slice(s);
+                e.processed()
+            });
+        });
+        g.bench_with_input(
+            BenchmarkId::new("lossy_counting", alpha),
+            &stream,
+            |b, s| {
+                b.iter(|| {
+                    let mut e = LossyCounting::<u64>::new(cfg);
+                    e.process_slice(s);
+                    e.processed()
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("misra_gries", alpha), &stream, |b, s| {
+            b.iter(|| {
+                let mut e = MisraGries::<u64>::new(cfg);
+                e.process_slice(s);
+                e.processed()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("count_min", alpha), &stream, |b, s| {
+            b.iter(|| {
+                let mut e = CountMinSketch::<u64>::new(0.001, 0.01, cfg).unwrap();
+                e.process_slice(s);
+                e.processed()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("count_sketch", alpha), &stream, |b, s| {
+            b.iter(|| {
+                let mut e = CountSketch::<u64>::new(2048, 5, cfg).unwrap();
+                e.process_slice(s);
+                e.processed()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seq);
+criterion_main!(benches);

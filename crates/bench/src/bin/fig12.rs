@@ -1,0 +1,46 @@
+//! Figure 12: execution-time surface of **CoTS** over input size (1M–16M)
+//! × threads, for α ∈ {2.0, 2.5, 3.0}.
+//!
+//! Paper shape: time grows linearly with the input length, and the
+//! thread-scaling profile is the same at every size — scalability is
+//! independent of stream length.
+
+use cots_bench::engines::run_cots;
+use cots_bench::harness::{median_run, paper_stream, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = [1, 2, 4, 8, 16]
+        .into_iter()
+        .map(|m| scale.n(m * 1_000_000))
+        .collect();
+    let threads = [4usize, 8, 16, 32, 64];
+    let alphas = [2.0f64, 2.5, 3.0];
+    println!("Figure 12: CoTS, time vs input size x threads");
+    println!("sizes = {sizes:?}\n");
+    let mut rows = Vec::new();
+    for alpha in alphas {
+        println!("alpha = {alpha}");
+        print!("{:>12}", "n \\ threads");
+        for &t in &threads {
+            print!("{t:>10}");
+        }
+        println!();
+        for &n in &sizes {
+            let stream = paper_stream(n, alpha, 42);
+            print!("{n:>12}");
+            for &t in &threads {
+                let stats = median_run(scale.repeats, || run_cots(&stream, t));
+                print!("{:>10.3}", stats.elapsed.as_secs_f64());
+                rows.push(format!(
+                    "{alpha},{n},{t},{:.6},{:.3}",
+                    stats.elapsed.as_secs_f64(),
+                    stats.work.combining_factor()
+                ));
+            }
+            println!();
+        }
+        println!();
+    }
+    write_csv("fig12", "alpha,n,threads,seconds,combining_factor", &rows);
+}

@@ -1,0 +1,60 @@
+//! Figure 3(a): speedup of the naive **Independent Structures** design
+//! versus thread count, with a query (and therefore a merge) every 50 000
+//! elements, for zipfian α ∈ {1.5, 2.0, 2.5, 3.0}; stream of 5M elements.
+//!
+//! Paper shape: the design does not scale — speedup stays near (or below) 1
+//! as threads grow, because the merge cost grows with the thread count.
+
+use cots_bench::engines::run_independent;
+use cots_bench::harness::{median_run, paper_stream, write_csv, write_json, Scale, MERGE_EVERY};
+use cots_core::RunStats;
+use cots_naive::MergeStrategy;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.n(5_000_000);
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let alphas = [1.5f64, 2.0, 2.5, 3.0];
+    println!("Figure 3(a): Independent Structures, serial merge, query every {MERGE_EVERY}");
+    println!("stream = {n} elements\n");
+    println!(
+        "{:>8} {:>8} {:>12} {:>10} {:>14}",
+        "alpha", "threads", "time (s)", "speedup", "merged ctrs"
+    );
+
+    let mut rows = Vec::new();
+    let mut all: Vec<RunStats> = Vec::new();
+    for alpha in alphas {
+        let stream = paper_stream(n, alpha, 42);
+        let mut baseline = None;
+        for &t in &threads {
+            let stats = median_run(scale.repeats, || {
+                run_independent(&stream, t, MergeStrategy::Serial, Some(MERGE_EVERY), false).0
+            });
+            let base = baseline.get_or_insert_with(|| stats.clone());
+            let speedup = stats.speedup_vs(base);
+            println!(
+                "{:>8.1} {:>8} {:>12.4} {:>10.2} {:>14}",
+                alpha,
+                t,
+                stats.elapsed.as_secs_f64(),
+                speedup,
+                stats.work.merged_counters
+            );
+            rows.push(format!(
+                "{alpha},{t},{:.6},{speedup:.4},{},{}",
+                stats.elapsed.as_secs_f64(),
+                stats.work.merges,
+                stats.work.merged_counters
+            ));
+            all.push(stats);
+        }
+        println!();
+    }
+    write_csv(
+        "fig3a",
+        "alpha,threads,seconds,speedup_vs_1,merges,merged_counters",
+        &rows,
+    );
+    write_json("fig3a_runs", &all);
+}

@@ -1,0 +1,43 @@
+//! Figure 4: time breakdown of the **Independent Structures** design —
+//! percentage of time in *Counting* versus *Merge* — for threads 1–32 and
+//! zipfian α ∈ {2.0, 2.5, 3.0}, query/merge every 50 000 elements.
+//!
+//! Paper shape: counting scales down with threads while the merge share
+//! grows steeply, dominating at high thread counts.
+
+use cots_bench::engines::run_independent;
+use cots_bench::harness::{paper_stream, write_csv, write_json, Scale, MERGE_EVERY};
+use cots_naive::MergeStrategy;
+use cots_profiling::{render_breakdown_table, Breakdown};
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.n(5_000_000);
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let alphas = [2.0f64, 2.5, 3.0];
+    println!("Figure 4: Independent Structures breakdown (Counting vs Merge)");
+    println!("stream = {n} elements, query every {MERGE_EVERY}\n");
+
+    let mut rows = Vec::new();
+    let mut reports: Vec<(f64, Vec<Breakdown>)> = Vec::new();
+    for alpha in alphas {
+        let stream = paper_stream(n, alpha, 42);
+        let mut breakdowns = Vec::new();
+        for &t in &threads {
+            let (_, phase_times) =
+                run_independent(&stream, t, MergeStrategy::Serial, Some(MERGE_EVERY), true);
+            let b = Breakdown::aggregate(t, &phase_times);
+            rows.push(format!("{alpha},{}", b.csv_row()));
+            breakdowns.push(b);
+        }
+        println!("alpha = {alpha}");
+        println!("{}", render_breakdown_table(&breakdowns));
+        reports.push((alpha, breakdowns));
+    }
+    write_csv(
+        "fig4",
+        &format!("alpha,{}", cots_profiling::Breakdown::csv_header()),
+        &rows,
+    );
+    write_json("fig4_breakdowns", &reports);
+}

@@ -1,0 +1,39 @@
+//! Figure 5: time breakdown of the **Shared Structure** design — Hash Opns
+//! / Structure Opns / Min-Max Locks / Bucket Locks / Rest — for threads
+//! 1–32 and zipfian α ∈ {2.0, 2.5, 3.0}.
+//!
+//! Paper shape: with more threads and more skew, the Hash Opns share grows
+//! (threads blocked on the element-level lock of the hot element); for
+//! lower skew the Structure Opns share dominates instead.
+
+use cots_bench::engines::run_shared;
+use cots_bench::harness::{paper_stream, write_csv, write_json, Scale};
+use cots_naive::LockKind;
+use cots_profiling::{render_breakdown_table, Breakdown};
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.n(5_000_000);
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let alphas = [2.0f64, 2.5, 3.0];
+    println!("Figure 5: Shared Structure breakdown");
+    println!("stream = {n} elements\n");
+
+    let mut rows = Vec::new();
+    let mut reports: Vec<(f64, Vec<Breakdown>)> = Vec::new();
+    for alpha in alphas {
+        let stream = paper_stream(n, alpha, 42);
+        let mut breakdowns = Vec::new();
+        for &t in &threads {
+            let (_, phase_times) = run_shared(&stream, t, LockKind::Mutex, true);
+            let b = Breakdown::aggregate(t, &phase_times);
+            rows.push(format!("{alpha},{}", b.csv_row()));
+            breakdowns.push(b);
+        }
+        println!("alpha = {alpha}");
+        println!("{}", render_breakdown_table(&breakdowns));
+        reports.push((alpha, breakdowns));
+    }
+    write_csv("fig5", &format!("alpha,{}", Breakdown::csv_header()), &rows);
+    write_json("fig5_breakdowns", &reports);
+}

@@ -1,0 +1,49 @@
+//! Figure 6: execution-time surface of the **Independent Structures**
+//! design over input size (1M–16M) × threads (1–32), queries every 50 000
+//! elements, for α ∈ {2.0, 2.5, 3.0}.
+//!
+//! Paper shape: time grows with input size; adding threads makes things
+//! *worse*, and more so for larger inputs (more merges).
+
+use cots_bench::engines::run_independent;
+use cots_bench::harness::{median_run, paper_stream, write_csv, Scale, MERGE_EVERY};
+use cots_naive::MergeStrategy;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = [1, 2, 4, 8, 16]
+        .into_iter()
+        .map(|m| scale.n(m * 1_000_000))
+        .collect();
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let alphas = [2.0f64, 2.5, 3.0];
+    println!("Figure 6: Independent Structures, time vs input size x threads");
+    println!("sizes = {sizes:?}\n");
+    let mut rows = Vec::new();
+    for alpha in alphas {
+        println!("alpha = {alpha}");
+        print!("{:>12}", "n \\ threads");
+        for &t in &threads {
+            print!("{t:>10}");
+        }
+        println!();
+        for &n in &sizes {
+            let stream = paper_stream(n, alpha, 42);
+            print!("{n:>12}");
+            for &t in &threads {
+                let stats = median_run(scale.repeats, || {
+                    run_independent(&stream, t, MergeStrategy::Serial, Some(MERGE_EVERY), false).0
+                });
+                print!("{:>10.3}", stats.elapsed.as_secs_f64());
+                rows.push(format!(
+                    "{alpha},{n},{t},{:.6},{}",
+                    stats.elapsed.as_secs_f64(),
+                    stats.work.merged_counters
+                ));
+            }
+            println!();
+        }
+        println!();
+    }
+    write_csv("fig6", "alpha,n,threads,seconds,merged_counters", &rows);
+}

@@ -1,0 +1,48 @@
+//! Figure 7: execution-time surface of the **Shared Structure** design
+//! over input size (1M–16M) × threads (1–32), α ∈ {2.0, 2.5, 3.0}.
+//!
+//! Paper shape: time grows linearly with input length; no improvement from
+//! threads at any size.
+
+use cots_bench::engines::run_shared;
+use cots_bench::harness::{median_run, paper_stream, write_csv, Scale};
+use cots_naive::LockKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = [1, 2, 4, 8, 16]
+        .into_iter()
+        .map(|m| scale.n(m * 1_000_000))
+        .collect();
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let alphas = [2.0f64, 2.5, 3.0];
+    println!("Figure 7: Shared Structure, time vs input size x threads");
+    println!("sizes = {sizes:?}\n");
+    let mut rows = Vec::new();
+    for alpha in alphas {
+        println!("alpha = {alpha}");
+        print!("{:>12}", "n \\ threads");
+        for &t in &threads {
+            print!("{t:>10}");
+        }
+        println!();
+        for &n in &sizes {
+            let stream = paper_stream(n, alpha, 42);
+            print!("{n:>12}");
+            for &t in &threads {
+                let stats = median_run(scale.repeats, || {
+                    run_shared(&stream, t, LockKind::Mutex, false).0
+                });
+                print!("{:>10.3}", stats.elapsed.as_secs_f64());
+                rows.push(format!(
+                    "{alpha},{n},{t},{:.6},{}",
+                    stats.elapsed.as_secs_f64(),
+                    stats.work.lock_contentions
+                ));
+            }
+            println!();
+        }
+        println!();
+    }
+    write_csv("fig7", "alpha,n,threads,seconds,lock_contentions", &rows);
+}

@@ -1,0 +1,37 @@
+//! Master runner: executes every figure/table binary's experiment in
+//! sequence (in-process), honouring `REPRO_SCALE` / `REPRO_REPEATS`.
+//!
+//! ```text
+//! REPRO_SCALE=0.1 REPRO_REPEATS=3 cargo run --release -p cots-bench --bin repro
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "fig3a",
+        "fig3b",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig11",
+        "fig12",
+        "table2",
+        "throughput",
+        "hybrid",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for fig in figures {
+        println!("\n================ {fig} ================\n");
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        if !status.success() {
+            eprintln!("{fig} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments complete; artifacts under target/repro/.");
+}

@@ -1,0 +1,71 @@
+//! Quick sanity harness: sequential vs shared vs CoTS on skewed streams
+//! at several thread counts, with the work counters that explain the
+//! differences. Fast enough to run after any engine change; the full
+//! figure binaries (fig3a…table2) are the real experiments.
+use std::sync::Arc;
+use std::time::Instant;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::{ConcurrentCounter, CotsConfig, FrequencyCounter, QueryableSummary, SummaryConfig};
+use cots_datagen::StreamSpec;
+use cots_naive::{LockKind, SharedSpaceSaving};
+use cots_sequential::SpaceSaving;
+
+fn main() {
+    let n = 2_000_000;
+    let alphabet = 100_000;
+    let cap = 1000;
+    for alpha in [1.5, 2.0, 2.5, 3.0] {
+        let stream = StreamSpec::zipf(n, alphabet, alpha, 42).generate();
+        // sequential
+        let mut seq = SpaceSaving::<u64>::new(SummaryConfig::with_capacity(cap).unwrap());
+        let t = Instant::now();
+        seq.process_slice(&stream);
+        let seq_t = t.elapsed();
+        // shared mutex, 4 threads
+        let sh = SharedSpaceSaving::<u64>::new(
+            SummaryConfig::with_capacity(cap).unwrap(),
+            LockKind::Mutex,
+        )
+        .unwrap();
+        let t = Instant::now();
+        cots_naive::runner::run_concurrent(&sh, &stream, 4, false).unwrap();
+        let sh_t = t.elapsed();
+        // cots 4, 16, 64 threads
+        let mut cots_t = vec![];
+        for threads in [4usize, 16, 64] {
+            let e =
+                Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(cap).unwrap()).unwrap());
+            let t = Instant::now();
+            cots::run(
+                &e,
+                &stream,
+                RuntimeOptions {
+                    threads,
+                    batch: 2048,
+                    adaptive: false,
+                },
+            )
+            .unwrap();
+            let el = t.elapsed();
+            let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
+            assert_eq!(sum, n as u64);
+            assert_eq!(e.processed(), n as u64);
+            let w = e.work();
+            cots_t.push((
+                threads,
+                el,
+                w.combining_factor(),
+                w.overwrite_deferrals,
+                w.summary_ops,
+                w.read_restarts,
+            ));
+        }
+        println!("alpha={alpha}: seq={seq_t:?} shared4={sh_t:?}");
+        for (th, el, cf, defer, ops, restarts) in cots_t {
+            println!(
+                "  cots{th}={el:?} combining={cf:.1} defer={defer} ops={ops} restarts={restarts}"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Soak test: repeatedly runs the highest-churn workload (two alternating
+//! keys at capacity 2 — constant minimum-bucket turnover) under a watchdog
+//! that dumps the engine state and exits non-zero on any stall. This is
+//! the harness that caught the minimum-advancement use-after-retire race
+//! during development; it stays in the tree as a regression soak.
+//!
+//! `SOAK_ITERS` controls the iteration count (default 500).
+use cots::CotsEngine;
+use cots_core::CotsConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let iters: u64 = std::env::var("SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    for iter in 0..iters {
+        let e = Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(2).unwrap()).unwrap());
+        let progress = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+        // watchdog
+        {
+            let e = e.clone();
+            let progress = progress.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last = 0;
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(5));
+                    if done.load(Ordering::Acquire) == 1 {
+                        return;
+                    }
+                    let now = progress.load(Ordering::Acquire);
+                    if now == last {
+                        eprintln!("STALL at iter {iter}, progress {now}");
+                        eprintln!("{}", e.debug_dump());
+                        std::process::exit(2);
+                    }
+                    last = now;
+                }
+            });
+        }
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let e = e.clone();
+                let progress = progress.clone();
+                s.spawn(move || {
+                    for i in 0..8_000u64 {
+                        e.delegate((t + i) % 2);
+                        if i % 512 == 0 {
+                            progress.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        e.finalize();
+        e.check_quiescent_invariants();
+        done.store(1, Ordering::Release);
+        if iter % 50 == 0 {
+            println!("iter {iter} ok");
+        }
+    }
+    println!("no stall in {iters} iterations");
+}

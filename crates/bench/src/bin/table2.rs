@@ -1,0 +1,71 @@
+//! Table 2: best-case absolute execution times (seconds) of the engines
+//! that share a Stream Summary — the naive Shared design and CoTS — versus
+//! a lock-free sequential implementation. Stream of 16M elements,
+//! α ∈ {2.0, 2.5, 3.0}.
+//!
+//! Paper numbers (quad-core): Sequential ≈ 0.44–0.52 s; Shared ≈ 12–13 s;
+//! CoTS ≈ 0.66 (α=2.0), 0.23 (α=2.5), 0.11 (α=3.0) — i.e. CoTS beats
+//! Shared by two orders of magnitude everywhere and beats Sequential by
+//! 2–4× at α ≥ 2.5. The "best case" is taken over thread counts, as in the
+//! paper.
+
+use cots_bench::engines::{run_cots, run_sequential, run_shared};
+use cots_bench::harness::{median_run, paper_stream, write_csv, Scale};
+use cots_naive::LockKind;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.n(16_000_000);
+    let alphas = [2.0f64, 2.5, 3.0];
+    let shared_threads = [1usize, 2, 4, 8];
+    let cots_threads = [4usize, 8, 16, 32, 64];
+    println!("Table 2: best-case execution time (seconds), {n} elements\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>18} {:>14}",
+        "alpha", "Sequential", "Shared", "CoTS", "CoTS vs Shared", "CoTS vs Seq"
+    );
+
+    let mut rows = Vec::new();
+    for alpha in alphas {
+        let stream = paper_stream(n, alpha, 42);
+        let seq = median_run(scale.repeats, || run_sequential(&stream));
+        let best_shared: Duration = shared_threads
+            .iter()
+            .map(|&t| {
+                median_run(scale.repeats, || {
+                    run_shared(&stream, t, LockKind::Mutex, false).0
+                })
+                .elapsed
+            })
+            .min()
+            .unwrap();
+        let best_cots: Duration = cots_threads
+            .iter()
+            .map(|&t| median_run(scale.repeats, || run_cots(&stream, t)).elapsed)
+            .min()
+            .unwrap();
+        let vs_shared = best_shared.as_secs_f64() / best_cots.as_secs_f64();
+        let vs_seq = seq.elapsed.as_secs_f64() / best_cots.as_secs_f64();
+        println!(
+            "{:>8.1} {:>12.4} {:>12.4} {:>12.4} {:>17.1}x {:>13.2}x",
+            alpha,
+            seq.elapsed.as_secs_f64(),
+            best_shared.as_secs_f64(),
+            best_cots.as_secs_f64(),
+            vs_shared,
+            vs_seq
+        );
+        rows.push(format!(
+            "{alpha},{:.6},{:.6},{:.6},{vs_shared:.3},{vs_seq:.3}",
+            seq.elapsed.as_secs_f64(),
+            best_shared.as_secs_f64(),
+            best_cots.as_secs_f64()
+        ));
+    }
+    write_csv(
+        "table2",
+        "alpha,sequential_s,best_shared_s,best_cots_s,cots_vs_shared,cots_vs_sequential",
+        &rows,
+    );
+}

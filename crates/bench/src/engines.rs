@@ -1,0 +1,105 @@
+//! Uniform engine runners used by every figure binary.
+
+use std::sync::Arc;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::{CotsConfig, FrequencyCounter, QueryableSummary, RunStats, SummaryConfig};
+use cots_naive::independent::{IndependentSpaceSaving, MergeStrategy};
+use cots_naive::runner::run_concurrent;
+use cots_naive::{LockKind, SharedSpaceSaving};
+use cots_profiling::PhaseTimes;
+use cots_sequential::SpaceSaving;
+
+use crate::harness::CAPACITY;
+
+/// Sequential Space Saving over the stream; the baseline of Table 2 and
+/// the 1-thread reference elsewhere.
+pub fn run_sequential(stream: &[u64]) -> RunStats {
+    let mut engine = SpaceSaving::<u64>::new(SummaryConfig::with_capacity(CAPACITY).unwrap());
+    let start = std::time::Instant::now();
+    engine.process_slice(stream);
+    let elapsed = start.elapsed();
+    // Consume the snapshot so the work cannot be optimized away and the
+    // result is sanity-checked.
+    let sum: u64 = engine.snapshot().entries().iter().map(|e| e.count).sum();
+    assert_eq!(sum, stream.len() as u64);
+    RunStats {
+        engine: "sequential".into(),
+        threads: 1,
+        elements: stream.len() as u64,
+        elapsed,
+        work: Default::default(),
+    }
+}
+
+/// The shared locked design (§4.2) with the chosen lock flavour.
+pub fn run_shared(
+    stream: &[u64],
+    threads: usize,
+    kind: LockKind,
+    profile: bool,
+) -> (RunStats, Vec<PhaseTimes>) {
+    let engine =
+        SharedSpaceSaving::<u64>::new(SummaryConfig::with_capacity(CAPACITY).unwrap(), kind)
+            .unwrap();
+    let out = run_concurrent(&engine, stream, threads, profile).unwrap();
+    let sum: u64 = engine.snapshot().entries().iter().map(|e| e.count).sum();
+    assert_eq!(sum, stream.len() as u64, "shared engine lost counts");
+    (out.stats, out.phase_times)
+}
+
+/// The independent shared-nothing design (§4.1).
+pub fn run_independent(
+    stream: &[u64],
+    threads: usize,
+    strategy: MergeStrategy,
+    merge_every: Option<u64>,
+    profile: bool,
+) -> (RunStats, Vec<PhaseTimes>) {
+    let engine = IndependentSpaceSaving {
+        config: SummaryConfig::with_capacity(CAPACITY).unwrap(),
+        strategy,
+        merge_every,
+    };
+    let out = engine.run(stream, threads, profile).unwrap();
+    assert_eq!(out.snapshot.total(), stream.len() as u64);
+    (out.stats, out.phase_times)
+}
+
+/// The CoTS framework (§5).
+pub fn run_cots(stream: &[u64], threads: usize) -> RunStats {
+    let engine =
+        Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(CAPACITY).unwrap()).unwrap());
+    let stats = cots::run(
+        &engine,
+        stream,
+        RuntimeOptions {
+            threads,
+            batch: 2048,
+            adaptive: false,
+        },
+    )
+    .unwrap();
+    let sum: u64 = engine.snapshot().entries().iter().map(|e| e.count).sum();
+    assert_eq!(sum, stream.len() as u64, "cots engine lost counts");
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::paper_stream;
+
+    #[test]
+    fn all_engines_agree_on_totals() {
+        let stream = paper_stream(20_000, 2.0, 3);
+        let seq = run_sequential(&stream);
+        assert_eq!(seq.elements, 20_000);
+        let (sh, _) = run_shared(&stream, 2, LockKind::Mutex, false);
+        assert_eq!(sh.elements, 20_000);
+        let (ind, _) = run_independent(&stream, 2, MergeStrategy::Serial, Some(5_000), false);
+        assert_eq!(ind.elements, 20_000);
+        let cots = run_cots(&stream, 2);
+        assert_eq!(cots.elements, 20_000);
+    }
+}

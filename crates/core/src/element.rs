@@ -1,0 +1,37 @@
+//! The element abstraction satisfied by stream items.
+//!
+//! The paper counts opaque identifiers (advertisement ids, packet source
+//! addresses, …). Engines are generic over any cheap, hashable, thread-safe
+//! value; benchmarks instantiate everything with `u64`.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A stream element that can be monitored by a frequency counter.
+///
+/// This is a blanket-implemented marker: any `Copy + Eq + Hash` type that can
+/// cross thread boundaries qualifies. `Copy` is required because counters
+/// store elements inline in their summaries and the concurrent engines move
+/// them through lock-free request queues.
+pub trait Element: Copy + Eq + Hash + Debug + Send + Sync + 'static {}
+
+impl<T> Element for T where T: Copy + Eq + Hash + Debug + Send + Sync + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_element<T: Element>() {}
+
+    #[test]
+    fn primitives_are_elements() {
+        assert_element::<u8>();
+        assert_element::<u32>();
+        assert_element::<u64>();
+        assert_element::<i64>();
+        assert_element::<usize>();
+        assert_element::<(u32, u32)>();
+        assert_element::<[u8; 8]>();
+        assert_element::<char>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the suite.
+
+use std::fmt;
+
+/// Errors produced by engine construction and the benchmark harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CotsError {
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+    /// A run was asked for an unsupported combination (e.g. zero threads).
+    InvalidRun(String),
+    /// Report serialization / IO failure (message only; the harness maps
+    /// `std::io::Error` into this).
+    Report(String),
+}
+
+impl fmt::Display for CotsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CotsError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            CotsError::InvalidRun(m) => write!(f, "invalid run request: {m}"),
+            CotsError::Report(m) => write!(f, "report error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CotsError {}
+
+impl From<std::io::Error> for CotsError {
+    fn from(e: std::io::Error) -> Self {
+        CotsError::Report(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CotsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(CotsError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CotsError::InvalidRun("y".into()).to_string().contains("y"));
+        assert!(CotsError::Report("z".into()).to_string().contains("z"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk gone");
+        let e: CotsError = io.into();
+        assert!(matches!(e, CotsError::Report(_)));
+    }
+}

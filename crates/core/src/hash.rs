@@ -1,0 +1,202 @@
+//! Multiplicative hashing (Knuth, TAOCP vol. 3 §6.4).
+//!
+//! The paper's search structure uses "a moderately robust hash function (such
+//! as *Multiplicative Hashing*)" so that two writers rarely collide on the
+//! same hash bucket. We implement the classic Fibonacci variant: multiply by
+//! the odd constant closest to 2⁶⁴/φ and keep the high bits, which spreads
+//! consecutive integer keys maximally far apart.
+//!
+//! For non-integer elements we first fold the value through the standard
+//! `Hasher` machinery (`FoldHasher`, itself a multiplicative accumulator) and
+//! then apply the same finalizer, so the whole family stays allocation-free
+//! and deterministic across runs.
+
+use std::hash::{Hash, Hasher};
+
+/// 2⁶⁴ / φ rounded to the nearest odd integer — Knuth's recommended
+/// multiplier for 64-bit multiplicative hashing.
+pub const KNUTH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A second odd constant (from SplitMix64) used to de-correlate the sketch
+/// hash family from the table hash.
+pub const SECONDARY_MUL: u64 = 0xBF58_476D_1CE4_E5B9;
+
+/// Stateless multiplicative hasher.
+///
+/// `MulHash::index(h, log2_buckets)` extracts a bucket index from the *high*
+/// bits of `h * KNUTH_MUL`, which is the part of the product with the best
+/// avalanche behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MulHash;
+
+impl MulHash {
+    /// Hash an arbitrary element to 64 bits.
+    #[inline]
+    pub fn hash<T: Hash>(value: &T) -> u64 {
+        let mut f = FoldHasher::default();
+        value.hash(&mut f);
+        Self::finalize(f.finish())
+    }
+
+    /// Finalizer: multiplicative avalanche (the SplitMix64 finalizer, two
+    /// odd multiplies interleaved with xor-shifts). A single extra Knuth
+    /// multiply here would compose with [`FoldHasher`]'s multiply into the
+    /// poorly-structured constant K², measurably clustering bucket indices,
+    /// so the avalanche form is used instead.
+    #[inline]
+    pub fn finalize(h: u64) -> u64 {
+        let mut x = h;
+        x = (x ^ (x >> 30)).wrapping_mul(SECONDARY_MUL);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Map a 64-bit hash to a table of `1 << log2_buckets` buckets using the
+    /// high bits of the multiplicative product.
+    #[inline]
+    pub fn index(hash: u64, log2_buckets: u32) -> usize {
+        debug_assert!(log2_buckets <= 63);
+        if log2_buckets == 0 {
+            return 0;
+        }
+        (hash >> (64 - log2_buckets)) as usize
+    }
+
+    /// An independent hash for row `row` of a sketch, derived by re-mixing
+    /// with a per-row odd multiplier. Rows behave as a pairwise-independent
+    /// family for the purposes of Count-Min / Count-Sketch error bounds.
+    #[inline]
+    pub fn row_hash<T: Hash>(value: &T, row: u64) -> u64 {
+        let base = Self::hash(value);
+        let mixed = base
+            .wrapping_add(row.wrapping_mul(SECONDARY_MUL))
+            .wrapping_mul(KNUTH_MUL | 1);
+        mixed ^ (mixed >> 31)
+    }
+}
+
+/// A minimal 64-bit folding hasher: multiplicative accumulation over the
+/// written bytes. Deterministic (no random seed) so experiment runs are
+/// reproducible, which matters more here than HashDoS resistance.
+#[derive(Debug)]
+pub struct FoldHasher {
+    state: u64,
+}
+
+impl Default for FoldHasher {
+    fn default() -> Self {
+        // Non-zero seed so that hashing the all-zero input does not collapse
+        // to the multiplicative fixed point at 0.
+        Self {
+            state: SECONDARY_MUL,
+        }
+    }
+}
+
+impl Hasher for FoldHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(KNUTH_MUL);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(MulHash::hash(&42u64), MulHash::hash(&42u64));
+        assert_ne!(MulHash::hash(&42u64), MulHash::hash(&43u64));
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        for log2 in 0..16u32 {
+            for key in 0..1000u64 {
+                let idx = MulHash::index(MulHash::hash(&key), log2);
+                assert!(idx < (1usize << log2));
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_keys_spread_over_buckets() {
+        // The motivating property from the paper: writers on different
+        // elements should almost never collide in the table. With 2^12
+        // buckets and 4096 consecutive keys we expect high occupancy.
+        let log2 = 12;
+        let distinct: HashSet<usize> = (0..4096u64)
+            .map(|k| MulHash::index(MulHash::hash(&k), log2))
+            .collect();
+        assert!(
+            distinct.len() > 2500,
+            "only {} distinct buckets out of 4096",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn row_hashes_differ_between_rows() {
+        let a = MulHash::row_hash(&7u64, 0);
+        let b = MulHash::row_hash(&7u64, 1);
+        let c = MulHash::row_hash(&7u64, 2);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_64bit_output_no_trivial_fixed_points() {
+        assert_ne!(MulHash::hash(&0u64), 0);
+        assert_ne!(MulHash::finalize(1), 1);
+    }
+
+    #[test]
+    fn fold_hasher_handles_unaligned_bytes() {
+        let mut h = FoldHasher::default();
+        h.write(&[1, 2, 3]);
+        let a = h.finish();
+        let mut h = FoldHasher::default();
+        h.write(&[1, 2, 3, 0]);
+        let b = h.finish();
+        // Not required to differ in principle, but with this construction
+        // trailing zero-padding affects chunk count for len > 8 only; here
+        // both are a single chunk and zero-padded equal. Document that:
+        assert_eq!(a, b);
+        // ...while genuinely different content must differ.
+        let mut h = FoldHasher::default();
+        h.write(&[3, 2, 1]);
+        assert_ne!(a, h.finish());
+    }
+}

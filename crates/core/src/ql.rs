@@ -1,0 +1,539 @@
+//! A small query language for the paper's query examples (§3.2).
+//!
+//! The paper writes its queries "in a language similar to SQL":
+//!
+//! ```sql
+//! Select S.element From Stream S Where IsElementFrequent(S.element)
+//! Select S.element From Stream S Where IsElementFrequent(S.element) Every 0.001s
+//! ```
+//!
+//! This module parses that dialect into the typed query model:
+//!
+//! * `IsElementFrequent(S.element)` / `IsElementFrequent(S.element, 0.001)`
+//!   — frequent-elements set queries (default threshold, or an explicit
+//!   fraction / absolute count);
+//! * `IsElementInTopk(S.element, 25)` — top-k set queries;
+//! * `IsElementFrequent(42)` / `IsElementInTopk(42, 5)` — *point* queries
+//!   when the argument is a literal element instead of `S.element`;
+//! * an optional `Every <n>` / `Every <x>s` suffix — interval queries
+//!   (Query 3), by update count or (for the engines driven by update
+//!   counts, as in the paper's evaluation) seconds mapped to updates by
+//!   the caller.
+//!
+//! Parsing is case-insensitive and whitespace-tolerant. The parser is a
+//! plain recursive-descent over a hand-rolled tokenizer — no dependencies.
+
+use crate::query::{IntervalQuery, PointQuery, QueryKind, QueryPeriod, SetQuery, Threshold};
+
+/// A parsed statement: what to evaluate and how often.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The query (point or set).
+    pub query: QueryKind<u64>,
+    /// `Every …` clause, if present.
+    pub every: Option<Every>,
+}
+
+/// The `Every` clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Every {
+    /// `Every 50000` — every n updates.
+    Updates(u64),
+    /// `Every 0.001s` — every Δt seconds; callers translate to updates
+    /// using their expected stream rate.
+    Seconds(f64),
+}
+
+impl Statement {
+    /// Convert into an [`IntervalQuery`], translating a seconds period with
+    /// `updates_per_second`. Statements without `Every` become one-shot
+    /// interval queries with period 0 (evaluate once, now).
+    pub fn to_interval(&self, updates_per_second: f64) -> IntervalQuery<u64> {
+        let period = match self.every {
+            None => QueryPeriod::Updates(0),
+            Some(Every::Updates(n)) => QueryPeriod::Updates(n),
+            Some(Every::Seconds(s)) => {
+                QueryPeriod::Updates((s * updates_per_second).round().max(1.0) as u64)
+            }
+        };
+        IntervalQuery {
+            query: self.query,
+            period,
+        }
+    }
+}
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0 }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut out = Vec::new();
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.pos += 1;
+                }
+                '(' => {
+                    out.push((Token::LParen, start));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((Token::RParen, start));
+                    self.pos += 1;
+                }
+                ',' => {
+                    out.push((Token::Comma, start));
+                    self.pos += 1;
+                }
+                '.' => {
+                    out.push((Token::Dot, start));
+                    self.pos += 1;
+                }
+                c if c.is_ascii_digit() => {
+                    let mut end = self.pos;
+                    let mut seen_dot = false;
+                    while end < bytes.len() {
+                        let d = bytes[end] as char;
+                        if d.is_ascii_digit() {
+                            end += 1;
+                        } else if d == '.'
+                            && !seen_dot
+                            && end + 1 < bytes.len()
+                            && (bytes[end + 1] as char).is_ascii_digit()
+                        {
+                            seen_dot = true;
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((Token::Number(self.src[start..end].to_string()), start));
+                    self.pos = end;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' || c == '%' => {
+                    let mut end = self.pos;
+                    while end < bytes.len() {
+                        let d = bytes[end] as char;
+                        if d.is_ascii_alphanumeric() || d == '_' || d == '%' {
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((Token::Word(self.src[start..end].to_string()), start));
+                    self.pos = end;
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("unexpected character {other:?}"),
+                        offset: start,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self
+                .tokens
+                .get(self.pos)
+                .map(|&(_, o)| o)
+                .unwrap_or(self.len),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(word) => Ok(()),
+            _ => {
+                self.pos -= 1;
+                Err(self.error(format!("expected `{word}`")))
+            }
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            _ => {
+                self.pos -= 1;
+                Err(self.error(format!("expected {t:?}")))
+            }
+        }
+    }
+
+    /// `S.element` (set form) or a literal element id (point form).
+    fn parse_subject(&mut self) -> Result<Option<u64>, ParseError> {
+        match self.next() {
+            Some(Token::Word(w)) => {
+                // Stream alias: `S . element`
+                let _ = w;
+                self.expect(Token::Dot)?;
+                match self.next() {
+                    Some(Token::Word(f)) if f.eq_ignore_ascii_case("element") => Ok(None),
+                    _ => {
+                        self.pos -= 1;
+                        Err(self.error("expected `element` after `.`"))
+                    }
+                }
+            }
+            Some(Token::Number(n)) => {
+                let v = n
+                    .parse::<u64>()
+                    .map_err(|_| self.error("element id must be an integer"))?;
+                Ok(Some(v))
+            }
+            _ => {
+                self.pos -= 1;
+                Err(self.error("expected `S.element` or an element id"))
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => n.parse::<f64>().map_err(|_| self.error("invalid number")),
+            _ => {
+                self.pos -= 1;
+                Err(self.error("expected a number"))
+            }
+        }
+    }
+
+    fn parse_threshold(&mut self) -> Result<Threshold, ParseError> {
+        let offset = self.pos;
+        let v = self.parse_number()?;
+        // Trailing `%` makes a fraction explicit.
+        if matches!(self.peek(), Some(Token::Word(w)) if w == "%") {
+            self.next();
+            return Ok(Threshold::Fraction(v / 100.0));
+        }
+        if v > 0.0 && v < 1.0 {
+            Ok(Threshold::Fraction(v))
+        } else if v.fract() == 0.0 && v >= 1.0 {
+            Ok(Threshold::Count(v as u64))
+        } else {
+            self.pos = offset;
+            Err(self.error("threshold must be a fraction in (0,1) or a positive integer"))
+        }
+    }
+
+    /// `IsElementFrequent(subject [, threshold])` or
+    /// `IsElementInTopk(subject, k)`.
+    fn parse_predicate(&mut self) -> Result<QueryKind<u64>, ParseError> {
+        let name = match self.next() {
+            Some(Token::Word(w)) => w,
+            _ => {
+                self.pos -= 1;
+                return Err(self.error("expected a predicate"));
+            }
+        };
+        self.expect(Token::LParen)?;
+        let subject = self.parse_subject()?;
+        if name.eq_ignore_ascii_case("IsElementFrequent") {
+            let threshold = if matches!(self.peek(), Some(Token::Comma)) {
+                self.next();
+                self.parse_threshold()?
+            } else {
+                // The paper's bare form; ε (1/m) is the natural default —
+                // resolved by the engine, encoded here as fraction 0 which
+                // `Snapshot::frequent` treats as "everything monitored".
+                Threshold::Fraction(0.0)
+            };
+            self.expect(Token::RParen)?;
+            Ok(match subject {
+                None => QueryKind::Set(SetQuery::Frequent { threshold }),
+                Some(item) => QueryKind::Point(PointQuery::IsFrequent { item, threshold }),
+            })
+        } else if name.eq_ignore_ascii_case("IsElementInTopk") {
+            self.expect(Token::Comma)
+                .map_err(|_| self.error("IsElementInTopk requires k"))?;
+            let k = self.parse_number()?;
+            if k < 1.0 || k.fract() != 0.0 {
+                return Err(self.error("k must be a positive integer"));
+            }
+            self.expect(Token::RParen)?;
+            Ok(match subject {
+                None => QueryKind::Set(SetQuery::TopK { k: k as usize }),
+                Some(item) => QueryKind::Point(PointQuery::IsInTopK {
+                    item,
+                    k: k as usize,
+                }),
+            })
+        } else {
+            Err(self.error(format!("unknown predicate `{name}`")))
+        }
+    }
+
+    fn parse_every(&mut self) -> Result<Option<Every>, ParseError> {
+        if !matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case("every")) {
+            return Ok(None);
+        }
+        self.next();
+        let v = self.parse_number()?;
+        // `s` suffix ⇒ seconds.
+        if matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case("s")) {
+            self.next();
+            if v <= 0.0 {
+                return Err(self.error("period must be positive"));
+            }
+            return Ok(Some(Every::Seconds(v)));
+        }
+        if v < 1.0 || v.fract() != 0.0 {
+            return Err(self.error("update period must be a positive integer"));
+        }
+        Ok(Some(Every::Updates(v as u64)))
+    }
+}
+
+/// Parse a statement of the paper's query dialect.
+///
+/// # Example
+///
+/// ```
+/// use cots_core::ql;
+/// use cots_core::query::{QueryKind, SetQuery};
+///
+/// let stmt = ql::parse(
+///     "Select S.element From Stream S Where IsElementInTopk(S.element, 25) Every 50000",
+/// ).unwrap();
+/// assert_eq!(stmt.query, QueryKind::Set(SetQuery::TopK { k: 25 }));
+/// assert_eq!(stmt.every, Some(ql::Every::Updates(50_000)));
+/// ```
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let tokens = Lexer::new(input).tokens()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        len: input.len(),
+    };
+    p.expect_word("select")?;
+    // Projection: `S.element` (we only support the paper's projection).
+    p.parse_subject()?;
+    p.expect_word("from")?;
+    p.expect_word("stream")?;
+    // Stream alias.
+    match p.next() {
+        Some(Token::Word(_)) => {}
+        _ => {
+            p.pos -= 1;
+            return Err(p.error("expected a stream alias"));
+        }
+    }
+    p.expect_word("where")?;
+    let query = p.parse_predicate()?;
+    let every = p.parse_every()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(Statement { query, every })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_frequent_set() {
+        let s = parse("Select S.element From Stream S Where IsElementFrequent(S.element)").unwrap();
+        assert_eq!(
+            s.query,
+            QueryKind::Set(SetQuery::Frequent {
+                threshold: Threshold::Fraction(0.0)
+            })
+        );
+        assert_eq!(s.every, None);
+    }
+
+    #[test]
+    fn paper_example_interval_seconds() {
+        let s =
+            parse("Select S.element From Stream S Where IsElementFrequent(S.element) Every 0.001s")
+                .unwrap();
+        assert_eq!(s.every, Some(Every::Seconds(0.001)));
+        let iq = s.to_interval(50_000_000.0);
+        assert_eq!(iq.period, QueryPeriod::Updates(50_000));
+    }
+
+    #[test]
+    fn interval_updates() {
+        let s = parse(
+            "select s.element from stream s where IsElementFrequent(s.element, 0.001) every 50000",
+        )
+        .unwrap();
+        assert_eq!(s.every, Some(Every::Updates(50_000)));
+        assert_eq!(
+            s.query,
+            QueryKind::Set(SetQuery::Frequent {
+                threshold: Threshold::Fraction(0.001)
+            })
+        );
+    }
+
+    #[test]
+    fn threshold_forms() {
+        let pct =
+            parse("Select S.element From Stream S Where IsElementFrequent(S.element, 5%)").unwrap();
+        assert_eq!(
+            pct.query,
+            QueryKind::Set(SetQuery::Frequent {
+                threshold: Threshold::Fraction(0.05)
+            })
+        );
+        let abs = parse("Select S.element From Stream S Where IsElementFrequent(S.element, 500)")
+            .unwrap();
+        assert_eq!(
+            abs.query,
+            QueryKind::Set(SetQuery::Frequent {
+                threshold: Threshold::Count(500)
+            })
+        );
+    }
+
+    #[test]
+    fn top_k_set_and_point() {
+        let set =
+            parse("Select S.element From Stream S Where IsElementInTopk(S.element, 25)").unwrap();
+        assert_eq!(set.query, QueryKind::Set(SetQuery::TopK { k: 25 }));
+        let point = parse("Select S.element From Stream S Where IsElementInTopk(42, 5)").unwrap();
+        assert_eq!(
+            point.query,
+            QueryKind::Point(PointQuery::IsInTopK { item: 42, k: 5 })
+        );
+    }
+
+    #[test]
+    fn point_frequent_with_literal() {
+        let s = parse("Select S.element From Stream S Where IsElementFrequent(7, 0.01)").unwrap();
+        assert_eq!(
+            s.query,
+            QueryKind::Point(PointQuery::IsFrequent {
+                item: 7,
+                threshold: Threshold::Fraction(0.01)
+            })
+        );
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive() {
+        let s = parse("  SELECT  s.ELEMENT  FROM  STREAM  x  WHERE  iselementfrequent(s.element)  EVERY  100  ")
+            .unwrap();
+        assert_eq!(s.every, Some(Every::Updates(100)));
+    }
+
+    #[test]
+    fn one_shot_to_interval() {
+        let s =
+            parse("Select S.element From Stream S Where IsElementInTopk(S.element, 3)").unwrap();
+        let iq = s.to_interval(1000.0);
+        assert_eq!(iq.period, QueryPeriod::Updates(0));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        for (input, expect) in [
+            ("", "expected `select`"),
+            ("Select S.element", "expected `from`"),
+            ("Select S.element From Stream S", "expected `where`"),
+            (
+                "Select S.element From Stream S Where NotAPredicate(S.element)",
+                "unknown predicate",
+            ),
+            (
+                "Select S.element From Stream S Where IsElementInTopk(S.element)",
+                "requires k",
+            ),
+            (
+                "Select S.element From Stream S Where IsElementFrequent(S.element) Every 0",
+                "update period",
+            ),
+            (
+                "Select S.element From Stream S Where IsElementFrequent(S.element) garbage",
+                "trailing tokens",
+            ),
+            (
+                "Select S.element From Stream S Where IsElementFrequent(S.element, 2.5)",
+                "threshold",
+            ),
+        ] {
+            let err = parse(input).unwrap_err();
+            assert!(
+                err.message.contains(expect),
+                "{input:?}: got {:?}, want substring {expect:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = parse("Select * From Stream S").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn display_error() {
+        let err = parse("nope").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("parse error"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Run statistics and hardware-independent work counters.
+//!
+//! The paper reports wall-clock execution times on a quad-core machine. This
+//! reproduction runs on whatever hardware it is given (a single-core
+//! container in the reference environment), so alongside wall-clock numbers
+//! every engine also accumulates *work counters* — counts of the logical
+//! operations whose frequency the paper's arguments are actually about
+//! (summary operations saved by bulk increments, lock hand-offs, merge
+//! volume). These reproduce the qualitative claims deterministically,
+//! independent of the core count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Plain, serializable work-counter totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkCounters {
+    /// Stream elements processed.
+    pub elements: u64,
+    /// Operations applied to a stream-summary structure (add / increment /
+    /// overwrite executions, bulk or not).
+    pub summary_ops: u64,
+    /// Times a thread crossed the search-structure → summary boundary with
+    /// exclusive rights on an element (CoTS) or entered the summary under
+    /// locks (naive shared).
+    pub boundary_crossings: u64,
+    /// Increments absorbed into someone else's boundary crossing via
+    /// element-level delegation (CoTS) — the "bulk increment" mass.
+    pub delegated_increments: u64,
+    /// Requests delegated at bucket level (enqueued for another owner).
+    pub delegated_requests: u64,
+    /// Lock acquisitions (naive shared design; hash-bucket insert locks in
+    /// CoTS).
+    pub lock_acquisitions: u64,
+    /// Lock acquisitions that observed contention (had to wait/spin).
+    pub lock_contentions: u64,
+    /// Merge operations executed (independent design).
+    pub merges: u64,
+    /// Counters examined across all merges.
+    pub merged_counters: u64,
+    /// Lock-free read traversals that had to abort and restart.
+    pub read_restarts: u64,
+    /// Frequency buckets garbage-collected.
+    pub gc_buckets: u64,
+    /// Overwrite operations executed (Space Saving eviction).
+    pub overwrites: u64,
+    /// Overwrite requests deferred because every candidate was busy.
+    pub overwrite_deferrals: u64,
+}
+
+impl WorkCounters {
+    /// Average number of stream increments covered by one boundary
+    /// crossing: `elements / boundary_crossings`. A combining factor of 1
+    /// means no cooperation happened; large factors are the mechanism behind
+    /// the paper's super-linear scaling for skewed data (§6).
+    pub fn combining_factor(&self) -> f64 {
+        if self.boundary_crossings == 0 {
+            return 1.0;
+        }
+        self.elements as f64 / self.boundary_crossings as f64
+    }
+
+    /// Summary operations per processed element — the work the summary
+    /// structure actually absorbed.
+    pub fn summary_ops_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            return 0.0;
+        }
+        self.summary_ops as f64 / self.elements as f64
+    }
+
+    /// Merge two totals (e.g. across threads).
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.elements += other.elements;
+        self.summary_ops += other.summary_ops;
+        self.boundary_crossings += other.boundary_crossings;
+        self.delegated_increments += other.delegated_increments;
+        self.delegated_requests += other.delegated_requests;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.lock_contentions += other.lock_contentions;
+        self.merges += other.merges;
+        self.merged_counters += other.merged_counters;
+        self.read_restarts += other.read_restarts;
+        self.gc_buckets += other.gc_buckets;
+        self.overwrites += other.overwrites;
+        self.overwrite_deferrals += other.overwrite_deferrals;
+    }
+}
+
+/// Shared, thread-safe tally of work counters.
+///
+/// Engines hold one `WorkTally` and bump it from any thread with relaxed
+/// atomics (the counts are statistics, not synchronization); `snapshot`
+/// freezes the totals.
+#[derive(Debug, Default)]
+pub struct WorkTally {
+    elements: AtomicU64,
+    summary_ops: AtomicU64,
+    boundary_crossings: AtomicU64,
+    delegated_increments: AtomicU64,
+    delegated_requests: AtomicU64,
+    lock_acquisitions: AtomicU64,
+    lock_contentions: AtomicU64,
+    merges: AtomicU64,
+    merged_counters: AtomicU64,
+    read_restarts: AtomicU64,
+    gc_buckets: AtomicU64,
+    overwrites: AtomicU64,
+    overwrite_deferrals: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($name:ident),* $(,)?) => {
+        $(
+            /// Add `n` to the corresponding counter.
+            #[inline]
+            pub fn $name(&self, n: u64) {
+                self.$name.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl WorkTally {
+    /// Fresh tally with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    bump!(
+        elements,
+        summary_ops,
+        boundary_crossings,
+        delegated_increments,
+        delegated_requests,
+        lock_acquisitions,
+        lock_contentions,
+        merges,
+        merged_counters,
+        read_restarts,
+        gc_buckets,
+        overwrites,
+        overwrite_deferrals,
+    );
+
+    /// Freeze the totals.
+    pub fn snapshot(&self) -> WorkCounters {
+        WorkCounters {
+            elements: self.elements.load(Ordering::Relaxed),
+            summary_ops: self.summary_ops.load(Ordering::Relaxed),
+            boundary_crossings: self.boundary_crossings.load(Ordering::Relaxed),
+            delegated_increments: self.delegated_increments.load(Ordering::Relaxed),
+            delegated_requests: self.delegated_requests.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            lock_contentions: self.lock_contentions.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            merged_counters: self.merged_counters.load(Ordering::Relaxed),
+            read_restarts: self.read_restarts.load(Ordering::Relaxed),
+            gc_buckets: self.gc_buckets.load(Ordering::Relaxed),
+            overwrites: self.overwrites.load(Ordering::Relaxed),
+            overwrite_deferrals: self.overwrite_deferrals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Outcome of one measured engine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Engine label ("sequential", "shared-mutex", "independent-serial",
+    /// "cots", …).
+    pub engine: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Stream length processed.
+    pub elements: u64,
+    /// Wall-clock duration of the counting phase.
+    #[serde(with = "duration_secs")]
+    pub elapsed: Duration,
+    /// Logical work performed.
+    pub work: WorkCounters,
+}
+
+impl RunStats {
+    /// Elements per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.elements as f64 / secs
+    }
+
+    /// Speed-up of this run relative to a baseline run.
+    pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
+        let own = self.elapsed.as_secs_f64();
+        if own == 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.elapsed.as_secs_f64() / own
+    }
+}
+
+mod duration_secs {
+    //! Serialize `Duration` as fractional seconds, matching the paper's
+    //! tables.
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = <f64 as serde::Deserialize>::deserialize(d)?;
+        Ok(Duration::from_secs_f64(secs.max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates_and_snapshots() {
+        let t = WorkTally::new();
+        t.elements(10);
+        t.elements(5);
+        t.summary_ops(3);
+        t.boundary_crossings(5);
+        t.delegated_increments(10);
+        let s = t.snapshot();
+        assert_eq!(s.elements, 15);
+        assert_eq!(s.summary_ops, 3);
+        assert_eq!(s.combining_factor(), 3.0);
+    }
+
+    #[test]
+    fn combining_factor_degenerate() {
+        let s = WorkCounters::default();
+        assert_eq!(s.combining_factor(), 1.0);
+        assert_eq!(s.summary_ops_per_element(), 0.0);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = WorkCounters {
+            elements: 1,
+            merges: 2,
+            ..Default::default()
+        };
+        let b = WorkCounters {
+            elements: 3,
+            merged_counters: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.elements, 4);
+        assert_eq!(a.merges, 2);
+        assert_eq!(a.merged_counters, 7);
+    }
+
+    #[test]
+    fn tally_is_thread_safe() {
+        let t = std::sync::Arc::new(WorkTally::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.elements(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.snapshot().elements, 4000);
+    }
+
+    #[test]
+    fn run_stats_throughput_and_speedup() {
+        let base = RunStats {
+            engine: "sequential".into(),
+            threads: 1,
+            elements: 1_000_000,
+            elapsed: Duration::from_secs(2),
+            work: WorkCounters::default(),
+        };
+        let fast = RunStats {
+            engine: "cots".into(),
+            threads: 8,
+            elements: 1_000_000,
+            elapsed: Duration::from_secs(1),
+            work: WorkCounters::default(),
+        };
+        assert_eq!(fast.throughput(), 1_000_000.0);
+        assert_eq!(fast.speedup_vs(&base), 2.0);
+    }
+
+    #[test]
+    fn run_stats_serde_round_trip() {
+        let r = RunStats {
+            engine: "cots".into(),
+            threads: 4,
+            elements: 42,
+            elapsed: Duration::from_millis(1500),
+            work: WorkCounters::default(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.engine, "cots");
+        assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,210 @@
+//! Engine traits.
+//!
+//! Three capabilities are separated:
+//!
+//! * [`FrequencyCounter`] — sequential, `&mut self` per-element processing
+//!   (the sequential algorithms, and each thread-local structure of the
+//!   independent design).
+//! * [`ConcurrentCounter`] — shared-state, `&self` processing callable from
+//!   many threads (the shared naive design and the CoTS framework).
+//! * [`QueryableSummary`] — anything that can export a [`Snapshot`] and
+//!   answer the paper's queries. Blanket-implemented query helpers evaluate
+//!   [`PointQuery`]/[`SetQuery`] against a snapshot.
+
+use crate::counter::Snapshot;
+use crate::element::Element;
+use crate::query::{PointQuery, QueryAnswer, QueryKind, SetQuery};
+
+/// A sequential frequency-counting algorithm.
+pub trait FrequencyCounter<K: Element> {
+    /// Process one stream element.
+    fn process(&mut self, item: K);
+
+    /// Process a batch; engines may override with a faster loop.
+    fn process_slice(&mut self, items: &[K]) {
+        for &item in items {
+            self.process(item);
+        }
+    }
+
+    /// Number of elements processed so far.
+    fn processed(&self) -> u64;
+}
+
+/// A thread-safe frequency counter processed through a shared reference.
+pub trait ConcurrentCounter<K: Element>: Send + Sync {
+    /// Process one stream element; callable concurrently from many threads.
+    fn process(&self, item: K);
+
+    /// Process a batch.
+    fn process_slice(&self, items: &[K]) {
+        for &item in items {
+            self.process(item);
+        }
+    }
+
+    /// Total elements processed across all threads.
+    ///
+    /// Only required to be exact at quiescence (no in-flight `process`).
+    fn processed(&self) -> u64;
+}
+
+/// A summary that can be queried.
+pub trait QueryableSummary<K: Element> {
+    /// Export a sorted snapshot of the monitored set.
+    ///
+    /// For concurrent engines this may be taken while updates are in flight;
+    /// the result is then a best-effort consistent view (the paper's queries
+    /// run lock-free against the live structure).
+    fn snapshot(&self) -> Snapshot<K>;
+
+    /// Estimated `(count, error)` for a single element, if monitored.
+    ///
+    /// Point frequent-element queries are answered "directly from the search
+    /// structure" (§5.2.4); engines override this with an O(1) lookup.
+    fn estimate(&self, item: &K) -> Option<(u64, u64)> {
+        self.snapshot().get(item).map(|e| (e.count, e.error))
+    }
+
+    /// Evaluate a point query.
+    fn point_query(&self, q: PointQuery<K>) -> bool {
+        match q {
+            PointQuery::IsFrequent { item, threshold } => {
+                // Fast path through `estimate`; threshold resolution needs
+                // the processed total, so fall back to the snapshot only for
+                // fractional thresholds when `estimate` is insufficient.
+                let snap = self.snapshot();
+                snap.is_frequent(&item, threshold)
+            }
+            PointQuery::IsInTopK { item, k } => self.snapshot().is_in_top_k(&item, k),
+        }
+    }
+
+    /// Evaluate a set query.
+    fn set_query(&self, q: SetQuery) -> Snapshot<K>
+    where
+        Self: Sized,
+    {
+        let snap = self.snapshot();
+        let total = snap.total();
+        match q {
+            SetQuery::Frequent { threshold } => {
+                Snapshot::from_sorted(snap.frequent(threshold), total)
+            }
+            SetQuery::TopK { k } => Snapshot::from_sorted(snap.top_k(k), total),
+        }
+    }
+
+    /// Evaluate either query shape, boxing the answer.
+    fn query(&self, q: QueryKind<K>) -> QueryAnswer<K>
+    where
+        Self: Sized,
+    {
+        match q {
+            QueryKind::Point(p) => QueryAnswer::Bool(self.point_query(p)),
+            QueryKind::Set(s) => QueryAnswer::Set(self.set_query(s).into_entries()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterEntry;
+    use crate::query::Threshold;
+
+    /// Minimal exact counter used to exercise the blanket query impls.
+    struct Exact {
+        counts: Vec<(u64, u64)>,
+        total: u64,
+    }
+
+    impl FrequencyCounter<u64> for Exact {
+        fn process(&mut self, item: u64) {
+            self.total += 1;
+            match self.counts.iter_mut().find(|(k, _)| *k == item) {
+                Some((_, c)) => *c += 1,
+                None => self.counts.push((item, 1)),
+            }
+        }
+        fn processed(&self) -> u64 {
+            self.total
+        }
+    }
+
+    impl QueryableSummary<u64> for Exact {
+        fn snapshot(&self) -> Snapshot<u64> {
+            Snapshot::new(
+                self.counts
+                    .iter()
+                    .map(|&(k, c)| CounterEntry::new(k, c, 0))
+                    .collect(),
+                self.total,
+            )
+        }
+    }
+
+    fn engine() -> Exact {
+        let mut e = Exact {
+            counts: vec![],
+            total: 0,
+        };
+        for item in [1u64, 3, 3, 2, 2, 3] {
+            e.process(item);
+        }
+        e
+    }
+
+    #[test]
+    fn process_slice_default() {
+        let mut e = Exact {
+            counts: vec![],
+            total: 0,
+        };
+        e.process_slice(&[5, 5, 6]);
+        assert_eq!(e.processed(), 3);
+        assert_eq!(e.snapshot().get(&5).unwrap().count, 2);
+    }
+
+    #[test]
+    fn blanket_point_query() {
+        let e = engine();
+        assert!(e.point_query(PointQuery::IsFrequent {
+            item: 3,
+            threshold: Threshold::Count(3)
+        }));
+        assert!(!e.point_query(PointQuery::IsFrequent {
+            item: 1,
+            threshold: Threshold::Count(2)
+        }));
+        assert!(e.point_query(PointQuery::IsInTopK { item: 2, k: 2 }));
+        assert!(!e.point_query(PointQuery::IsInTopK { item: 1, k: 2 }));
+    }
+
+    #[test]
+    fn blanket_set_query() {
+        let e = engine();
+        let top = e.set_query(SetQuery::TopK { k: 1 });
+        assert_eq!(top.entries()[0].item, 3);
+        let freq = e.set_query(SetQuery::Frequent {
+            threshold: Threshold::Fraction(0.5),
+        });
+        assert_eq!(freq.len(), 1); // only item 3 (count 3 of 6).
+    }
+
+    #[test]
+    fn blanket_query_kind() {
+        let e = engine();
+        let ans = e.query(QueryKind::Set(SetQuery::TopK { k: 2 }));
+        assert_eq!(ans.as_set().unwrap().len(), 2);
+        let ans = e.query(QueryKind::Point(PointQuery::IsInTopK { item: 3, k: 1 }));
+        assert_eq!(ans.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn default_estimate_via_snapshot() {
+        let e = engine();
+        assert_eq!(e.estimate(&3), Some((3, 0)));
+        assert_eq!(e.estimate(&42), None);
+    }
+}

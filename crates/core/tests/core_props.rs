@@ -1,0 +1,160 @@
+//! Property tests for the core vocabulary: hashing, thresholds, snapshots,
+//! the merge algebra, and the query-language round trip.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cots_core::merge::{absent_bound, merge_snapshots};
+use cots_core::ql;
+use cots_core::query::{PointQuery, QueryKind, SetQuery};
+use cots_core::{CounterEntry, MulHash, Snapshot, Threshold};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hash_is_deterministic_and_indexable(key in any::<u64>(), log2 in 0u32..24) {
+        let h1 = MulHash::hash(&key);
+        let h2 = MulHash::hash(&key);
+        prop_assert_eq!(h1, h2);
+        let idx = MulHash::index(h1, log2);
+        prop_assert!(idx < (1usize << log2));
+    }
+
+    #[test]
+    fn threshold_fraction_monotone_in_total(
+        f in 0.0f64..1.0,
+        total_a in 0u64..1_000_000,
+        total_b in 0u64..1_000_000,
+    ) {
+        let t = Threshold::Fraction(f);
+        let (lo, hi) = if total_a <= total_b { (total_a, total_b) } else { (total_b, total_a) };
+        prop_assert!(t.resolve(lo) <= t.resolve(hi));
+        prop_assert!(t.resolve(hi) <= hi.max(1));
+    }
+
+    #[test]
+    fn snapshot_queries_respect_order(
+        entries in vec((any::<u64>(), 1u64..10_000), 0..60),
+        k in 0usize..70,
+    ) {
+        // Dedupe items, keep first occurrence.
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<CounterEntry<u64>> = entries
+            .into_iter()
+            .filter(|(i, _)| seen.insert(*i))
+            .map(|(i, c)| CounterEntry::new(i, c, 0))
+            .collect();
+        let total: u64 = entries.iter().map(|e| e.count).sum();
+        let snap = Snapshot::new(entries, total);
+        // Sorted descending.
+        prop_assert!(snap.entries().windows(2).all(|w| w[0].count >= w[1].count));
+        // top_k is a prefix.
+        let top = snap.top_k(k);
+        prop_assert_eq!(&top[..], &snap.entries()[..top.len()]);
+        // Everything in top_k is in_top_k; the element after the cut is not
+        // (unless tied with the k-th).
+        for e in &top {
+            prop_assert!(snap.is_in_top_k(&e.item, k));
+        }
+        if k > 0 && snap.len() > k {
+            let kth = snap.entries()[k - 1].count;
+            let after = snap.entries()[k];
+            prop_assert_eq!(snap.is_in_top_k(&after.item, k), after.count >= kth);
+        }
+    }
+
+    #[test]
+    fn merge_conserves_totals_and_capacity(
+        groups in vec(vec((0u64..64, 1u64..500), 0..20), 1..5),
+        capacity in 1usize..32,
+    ) {
+        let snapshots: Vec<Snapshot<u64>> = groups
+            .iter()
+            .map(|g| {
+                let mut seen = std::collections::HashSet::new();
+                let entries: Vec<CounterEntry<u64>> = g
+                    .iter()
+                    .filter(|(i, _)| seen.insert(*i))
+                    .map(|&(i, c)| CounterEntry::new(i, c, 0))
+                    .collect();
+                let total = entries.iter().map(|e| e.count).sum();
+                Snapshot::new(entries, total)
+            })
+            .collect();
+        let want_total: u64 = snapshots.iter().map(|s| s.total()).sum();
+        let merged = merge_snapshots(&snapshots, capacity);
+        prop_assert_eq!(merged.total(), want_total);
+        prop_assert!(merged.len() <= capacity);
+        // Merged counts never shrink below any single snapshot's estimate.
+        for s in &snapshots {
+            for e in s.entries() {
+                if let Some(m) = merged.get(&e.item) {
+                    prop_assert!(m.count >= e.count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absent_bound_is_min_count_when_full(
+        counts in vec(1u64..1_000, 1..20),
+    ) {
+        let entries: Vec<CounterEntry<u64>> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| CounterEntry::new(i as u64, c, 0))
+            .collect();
+        let total = counts.iter().sum();
+        let snap = Snapshot::new(entries, total);
+        let min = *counts.iter().min().unwrap();
+        prop_assert_eq!(absent_bound(&snap, counts.len()), min);
+        prop_assert_eq!(absent_bound(&snap, counts.len() + 1), 0);
+    }
+
+    /// Format a random statement in the SQL-ish dialect, parse it back, and
+    /// compare: a full round trip through `cots_core::ql`.
+    #[test]
+    fn ql_round_trips(
+        kind in 0u8..4,
+        item in 1u64..1_000_000,
+        k in 1usize..100,
+        every in proptest::option::of(1u64..1_000_000),
+    ) {
+        let (predicate, want) = match kind {
+            0 => (
+                "IsElementFrequent(S.element)".to_string(),
+                QueryKind::Set(SetQuery::Frequent { threshold: Threshold::Fraction(0.0) }),
+            ),
+            1 => (
+                format!("IsElementFrequent({item}, 0.25)"),
+                QueryKind::Point(PointQuery::IsFrequent {
+                    item,
+                    threshold: Threshold::Fraction(0.25),
+                }),
+            ),
+            2 => (
+                format!("IsElementInTopk(S.element, {k})"),
+                QueryKind::Set(SetQuery::TopK { k }),
+            ),
+            _ => (
+                format!("IsElementInTopk({item}, {k})"),
+                QueryKind::Point(PointQuery::IsInTopK { item, k }),
+            ),
+        };
+        let every_clause = every.map(|n| format!(" Every {n}")).unwrap_or_default();
+        let text = format!("Select S.element From Stream S Where {predicate}{every_clause}");
+        let stmt = ql::parse(&text).unwrap();
+        prop_assert_eq!(stmt.query, want);
+        match every {
+            None => prop_assert_eq!(stmt.every, None),
+            Some(n) => prop_assert_eq!(stmt.every, Some(ql::Every::Updates(n))),
+        }
+    }
+}
+
+#[test]
+fn merge_of_nothing_is_empty() {
+    let m: Snapshot<u64> = merge_snapshots(&[], 8);
+    assert!(m.is_empty());
+}

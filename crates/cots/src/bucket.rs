@@ -1,0 +1,185 @@
+//! Frequency buckets and the bucket-level request queue — the *Concurrent
+//! Stream Summary* building blocks (paper §5.2.2, Fig. 10).
+//!
+//! A bucket's frequency never changes; buckets are created in sorted
+//! position in a singly linked, ascending-frequency list and are marked
+//! *garbage collected* when they fall empty (removal from the list happens
+//! later, by the owner of the predecessor). Each bucket carries:
+//!
+//! * a lock-free FIFO **request queue** (`crossbeam::queue::SegQueue`) — the
+//!   "log" of delegated operations;
+//! * an **owner flag** — the thread that wins the CAS drains the queue;
+//!   everyone else has, by pushing, already delegated;
+//! * the intrusive **element list head** — mutated only by the owner.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+
+use crossbeam::epoch::Atomic;
+use crossbeam::queue::SegQueue;
+
+use crate::node::NodePtr;
+
+/// A delegated operation, queued on a bucket (Table 1 of the paper, plus
+/// the Lossy-Counting round maintenance of §5.3).
+#[derive(Debug)]
+pub enum Request<K> {
+    /// Link `node` into (or route it beyond) this bucket; `node.freq` is
+    /// already set to its target frequency. Covers both
+    /// `AddElementToBucket` (new elements, delegated to the minimum bucket)
+    /// and the hand-off leg of a bulk increment (`FindDestBucket`
+    /// delegating to a downstream bucket).
+    Add(NodePtr<K>),
+    /// `IncrementCounter`: raise the frequency of `node` — currently in
+    /// this bucket — by `by` (bulk when `by > 1`).
+    Increment(NodePtr<K>, u64),
+    /// `OverwriteElement`: evict a minimum-frequency element and install
+    /// `node` (a new element) with count `min + by`, error `min`.
+    Overwrite(NodePtr<K>, u64),
+    /// Lossy-Counting round boundary (§5.3): evict every idle element of
+    /// the minimum bucket whose count is at most `threshold`.
+    PruneMin {
+        /// The round id: elements with `freq + error <= threshold` go.
+        threshold: u64,
+    },
+}
+
+/// Bucket lifecycle state.
+pub const STATE_ACTIVE: u8 = 0;
+/// Bucket has been emptied and logically removed; requests must re-route.
+pub const STATE_GC: u8 = 1;
+
+/// A frequency bucket.
+#[derive(Debug)]
+pub struct Bucket<K> {
+    /// The frequency every element in this bucket has. Immutable.
+    pub freq: u64,
+    /// `STATE_ACTIVE` or `STATE_GC`.
+    pub state: AtomicU8,
+    /// Drain-rights flag: CAS `false → true` to become the (sole) owner.
+    pub owner: AtomicBool,
+    /// The delegated-request log.
+    pub queue: SegQueue<Request<K>>,
+    /// Next bucket (strictly higher frequency); singly linked per the
+    /// paper's *Minimal Existence* argument.
+    pub next: Atomic<Bucket<K>>,
+    /// Head of the intrusive element list (owner-mutated).
+    pub elems: Atomic<crate::node::Node<K>>,
+    /// Element count (owner-maintained; read by queries and the scheduler).
+    pub len: AtomicUsize,
+}
+
+impl<K> Bucket<K> {
+    /// A fresh, active, unowned bucket for `freq`.
+    pub fn new(freq: u64) -> Self {
+        Self {
+            freq,
+            state: AtomicU8::new(STATE_ACTIVE),
+            owner: AtomicBool::new(false),
+            queue: SegQueue::new(),
+            next: Atomic::null(),
+            elems: Atomic::null(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether the bucket has been logically removed.
+    #[inline]
+    pub fn is_gc(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_GC
+    }
+
+    /// Atomically mark the bucket garbage-collected. Returns whether this
+    /// call performed the transition.
+    #[inline]
+    pub fn mark_gc(&self) -> bool {
+        self.state
+            .compare_exchange(STATE_ACTIVE, STATE_GC, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Try to become the owner (drain rights).
+    #[inline]
+    pub fn try_own(&self) -> bool {
+        !self.owner.load(Ordering::Relaxed)
+            && self
+                .owner
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Release drain rights.
+    #[inline]
+    pub fn release(&self) {
+        self.owner.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+
+    #[test]
+    fn ownership_is_exclusive() {
+        let b: Bucket<u64> = Bucket::new(3);
+        assert!(b.try_own());
+        assert!(!b.try_own());
+        b.release();
+        assert!(b.try_own());
+    }
+
+    #[test]
+    fn gc_marking_is_once() {
+        let b: Bucket<u64> = Bucket::new(1);
+        assert!(!b.is_gc());
+        assert!(b.mark_gc());
+        assert!(!b.mark_gc());
+        assert!(b.is_gc());
+    }
+
+    #[test]
+    fn queue_is_fifo_across_threads() {
+        let b: std::sync::Arc<Bucket<u64>> = std::sync::Arc::new(Bucket::new(1));
+        let node = Box::leak(Box::new(Node::new(9u64)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = b.clone();
+                let ptr = NodePtr::new(node);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        b.queue.push(Request::Increment(ptr.clone(), i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut n = 0;
+        while b.queue.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 400);
+    }
+
+    #[test]
+    fn concurrent_ownership_single_winner() {
+        let b: std::sync::Arc<Bucket<u64>> = std::sync::Arc::new(Bucket::new(2));
+        let winners = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = b.clone();
+                let w = winners.clone();
+                std::thread::spawn(move || {
+                    if b.try_own() {
+                        w.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+}

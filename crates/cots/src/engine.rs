@@ -1,0 +1,1512 @@
+//! The CoTS engine: delegation, boundary crossing, bucket draining, and the
+//! request state machine of Algorithms 2–6.
+//!
+//! ## Protocol summary
+//!
+//! * **Delegate (Algorithm 2)** — look the element up (inserting if new),
+//!   `fetch_add(1)` its `pending`. Result 1 ⇒ this thread has exclusive
+//!   rights and *crosses the boundary*; anything higher ⇒ the increment is
+//!   logged and the thread moves on; ≥ `TOMB` ⇒ the node is dying, undo and
+//!   retry.
+//! * **Crossing the boundary** — produce a request (`Add`/`Overwrite` for
+//!   unadmitted elements, `Increment` otherwise), push it on the target
+//!   bucket's queue, and try to acquire the bucket. Whoever owns the bucket
+//!   drains *all* queued requests before releasing (bucket-level
+//!   delegation).
+//! * **Relinquish** — after a node's request completes: CAS `pending`
+//!   `1 → 0`; on failure, `swap(1)` collects the logged mass `s - 1` and an
+//!   `Increment(node, s-1)` *bulk* request is queued on the node's (new)
+//!   bucket. This is where skewed streams win: one summary operation
+//!   absorbs the whole logged mass.
+//!
+//! ## Why the raw-pointer requests are sound
+//!
+//! See [`crate::node`]: a queued request holds a unit of `pending`, and
+//! nodes are only retired (`try_remove`) from `pending == 0`.
+//!
+//! ## Who mutates what
+//!
+//! * `bucket.next`, `bucket.elems`, node list links, `bucket.len` — only
+//!   the bucket's owner.
+//! * `node.freq`, `node.error`, `node.bucket` — only the thread currently
+//!   processing that node's request (element ownership).
+//! * `min` — only the owner of the current minimum bucket (plus the
+//!   one-time CAS that installs the first bucket).
+//!
+//! Everything else is read lock-free under an epoch guard, with restarts on
+//! observed inconsistency, as §5.2.2 prescribes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+
+use cots_core::report::WorkTally;
+use cots_core::{
+    ConcurrentCounter, CotsConfig, CotsError, CounterEntry, Element, QueryableSummary, Result,
+    Snapshot, WorkCounters,
+};
+
+use crate::bucket::{Bucket, Request};
+use crate::hashtable::HashTable;
+use crate::node::{Node, NodePtr, TOMB};
+use crate::policy::Policy;
+use crate::scheduler::SchedulerHook;
+
+#[cfg(debug_assertions)]
+mod destroy_registry {
+    //! Debug-build tripwire: catches a bucket being retired twice or
+    //! mutated after retirement.
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::sync::OnceLock;
+
+    fn set() -> &'static Mutex<HashMap<usize, String>> {
+        static SET: OnceLock<Mutex<HashMap<usize, String>>> = OnceLock::new();
+        SET.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub fn record_destroy(ptr: usize, context: String) {
+        let mut s = set().lock().unwrap();
+        if let Some(prev) = s.insert(ptr, context.clone()) {
+            panic!("bucket {ptr:#x} defer_destroyed twice:\n  first: {prev}\n  second: {context}");
+        }
+    }
+
+    pub fn assert_alive(ptr: usize, context: &str) {
+        let s = set().lock().unwrap();
+        if let Some(prev) = s.get(&ptr) {
+            panic!("use of retired bucket {ptr:#x} in {context} (destroyed by: {prev})");
+        }
+    }
+
+    pub fn forget(ptr: usize) {
+        set().lock().unwrap().remove(&ptr);
+    }
+}
+
+/// Outcome of processing one request.
+enum Outcome<K> {
+    /// Request fully handled (possibly by delegating onward).
+    Done,
+    /// Overwrite could not find an evictable candidate; retry later.
+    Deferred(Request<K>),
+}
+
+/// The CoTS frequency-counting engine (Space Saving or Lossy Counting
+/// policy) over the concurrent stream summary.
+///
+/// # Example
+///
+/// ```
+/// use cots::CotsEngine;
+/// use cots_core::{ConcurrentCounter, CotsConfig, QueryableSummary};
+///
+/// let engine = CotsEngine::<u64>::new(CotsConfig::for_capacity(100)?)?;
+/// for item in [3u64, 1, 3, 3, 2, 1] {
+///     engine.delegate(item);
+/// }
+/// engine.finalize();
+/// assert_eq!(engine.estimate(&3), Some((3, 0)));
+/// assert_eq!(engine.snapshot().top_k(1)[0].item, 3);
+/// # Ok::<(), cots_core::CotsError>(())
+/// ```
+pub struct CotsEngine<K: Element> {
+    table: HashTable<K>,
+    /// Permanent sentinel bucket (frequency 0, never holds elements, never
+    /// garbage-collected). The ascending-frequency list hangs off its
+    /// `next`; the first live successor *is* the minimum bucket, so there
+    /// is no separate minimum pointer to keep consistent — the class of
+    /// min-pointer CAS races is designed out.
+    head: Atomic<Bucket<K>>,
+    capacity: usize,
+    policy: Policy,
+    monitored: AtomicUsize,
+    total: AtomicU64,
+    tally: Arc<WorkTally>,
+    adaptive: Option<cots_core::config::AdaptiveConfig>,
+    hook: OnceLock<Arc<dyn SchedulerHook>>,
+    /// After draining a bucket, scan successors for unowned pending work
+    /// (§5.2.3 neighbour checking).
+    scan_neighbors: bool,
+}
+
+impl<K: Element> CotsEngine<K> {
+    /// Build from a validated configuration with the Space Saving policy.
+    pub fn new(config: CotsConfig) -> Result<Self> {
+        Self::with_policy(config, Policy::SpaceSaving)
+    }
+
+    /// Build with an explicit counting policy (§5.3 generalization).
+    pub fn with_policy(config: CotsConfig, policy: Policy) -> Result<Self> {
+        config.validate()?;
+        if let Policy::LossyRounds { width } = policy {
+            if width == 0 {
+                return Err(CotsError::InvalidConfig(
+                    "lossy round width must be positive".into(),
+                ));
+            }
+        }
+        let tally = Arc::new(WorkTally::new());
+        let head = Atomic::new(Bucket::new(0));
+        #[cfg(debug_assertions)]
+        {
+            let guard = epoch::pin();
+            destroy_registry::forget(head.load(Ordering::Relaxed, &guard).as_raw() as usize);
+        }
+        Ok(Self {
+            table: HashTable::new(config.hash_bits, tally.clone()),
+            head,
+            capacity: config.summary.capacity,
+            policy,
+            monitored: AtomicUsize::new(0),
+            total: AtomicU64::new(0),
+            tally,
+            adaptive: config.adaptive,
+            hook: OnceLock::new(),
+            scan_neighbors: true,
+        })
+    }
+
+    /// Install the scheduler hook for dynamic auto configuration.
+    pub fn set_scheduler_hook(&self, hook: Arc<dyn SchedulerHook>) {
+        let _ = self.hook.set(hook);
+    }
+
+    /// Disable the post-drain neighbour scan (ablation support).
+    pub fn set_scan_neighbors(&mut self, scan: bool) {
+        self.scan_neighbors = scan;
+    }
+
+    /// Counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of monitored elements.
+    pub fn monitored(&self) -> usize {
+        self.monitored.load(Ordering::Acquire)
+    }
+
+    /// Accumulated work counters.
+    pub fn work(&self) -> WorkCounters {
+        self.tally.snapshot()
+    }
+
+    /// The counting policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    // ==================================================================
+    // Algorithm 2: Delegate
+    // ==================================================================
+
+    /// Process one stream element (callable from any number of threads).
+    pub fn delegate(&self, item: K) {
+        self.delegate_batch(std::slice::from_ref(&item));
+    }
+
+    /// Process a batch of stream elements under a single epoch pin.
+    ///
+    /// Semantically identical to calling [`CotsEngine::delegate`] per
+    /// element; amortizing the guard and the shared counters over the batch
+    /// removes most of the fixed per-element overhead (the engine's hot
+    /// path is then lookup + one `fetch_add`).
+    pub fn delegate_batch(&self, items: &[K]) {
+        if items.is_empty() {
+            return;
+        }
+        let before = self.total.fetch_add(items.len() as u64, Ordering::AcqRel);
+        let after = before + items.len() as u64;
+        self.tally.elements(items.len() as u64);
+        let guard = epoch::pin();
+        let mut crossings = 0u64;
+        let mut delegated = 0u64;
+        for &item in items {
+            loop {
+                let node_sh = self.table.lookup_or_insert(item, &guard);
+                let node = unsafe { node_sh.deref() };
+                let r = node.pending.fetch_add(1, Ordering::AcqRel) + 1;
+                if r >= TOMB {
+                    // The node was tombstoned under us; undo and retry with
+                    // a fresh entry.
+                    node.pending.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                }
+                if r == 1 {
+                    crossings += 1;
+                    self.cross_boundary(node, 1, &guard);
+                } else {
+                    // Logged: some other thread will fold this increment
+                    // into a bulk request.
+                    delegated += 1;
+                }
+                break;
+            }
+        }
+        self.tally.boundary_crossings(crossings);
+        self.tally.delegated_increments(delegated);
+        // Lossy Counting round boundaries crossed by this batch (§5.3):
+        // replace Overwrite with a minimum-bucket prune.
+        if let Policy::LossyRounds { width } = self.policy {
+            let first_round = before / width;
+            let last_round = after / width;
+            for round in (first_round + 1)..=last_round {
+                self.enqueue_head(Request::PruneMin { threshold: round }, &guard);
+            }
+        }
+        // Migrate this thread's deferred-destruction bag to the global
+        // epoch queue and help collect it. Bucket churn retires roughly one
+        // bucket (and its ~1 KiB queue block) per summary operation;
+        // without active collection the garbage backlog grows far faster
+        // than crossbeam's lazy pin-count heuristic reclaims it (observed:
+        // >1 GiB peak per 2M-element run). Each flush advances the epoch
+        // and steals a bounded number of garbage bags, so several rounds
+        // per batch keep reclamation paced with production.
+        drop(guard);
+        for _ in 0..4 {
+            epoch::pin().flush();
+        }
+    }
+
+    /// The element-owner produces the request for `node` carrying `amount`
+    /// stream occurrences and routes it (the "crossing the boundary" step
+    /// of §5.2.1).
+    fn cross_boundary(&self, node: &Node<K>, amount: u64, guard: &Guard) {
+        if node.freq.load(Ordering::Acquire) == 0 {
+            // Admission of a new element.
+            let admit = match self.policy {
+                Policy::LossyRounds { width } => {
+                    // Lossy Counting admits unconditionally; Δ is the
+                    // current round minus one.
+                    let round = self.total.load(Ordering::Acquire) / width + 1;
+                    node.error.store(round - 1, Ordering::Release);
+                    self.monitored.fetch_add(1, Ordering::AcqRel);
+                    true
+                }
+                Policy::SpaceSaving => self
+                    .monitored
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                        (c < self.capacity).then_some(c + 1)
+                    })
+                    .is_ok(),
+            };
+            if admit {
+                node.freq.store(amount, Ordering::Release);
+                self.enqueue_head(Request::Add(NodePtr::new(node)), guard);
+            } else {
+                self.enqueue_head(Request::Overwrite(NodePtr::new(node), amount), guard);
+            }
+        } else {
+            // The node sits in a bucket and is stationary (we exclusively
+            // own its processing), so routing to `node.bucket` is safe.
+            let b = node.bucket.load(Ordering::Acquire, guard);
+            debug_assert!(!b.is_null(), "admitted node must have a bucket");
+            self.enqueue(b, Request::Increment(NodePtr::new(node), amount), guard);
+        }
+    }
+
+    /// Release exclusive rights on `node`, converting any logged mass into
+    /// a bulk increment (the CAS/swap protocol of §5.2.1).
+    fn relinquish(&self, node: &Node<K>, guard: &Guard) {
+        if node
+            .pending
+            .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return;
+        }
+        let s = node.pending.swap(1, Ordering::AcqRel);
+        debug_assert!((2..TOMB).contains(&s), "relinquish saw pending={s}");
+        let extra = s - 1;
+        // Ownership continues through this bulk request; whoever processes
+        // it relinquishes again.
+        let b = node.bucket.load(Ordering::Acquire, guard);
+        debug_assert!(!b.is_null());
+        self.enqueue(b, Request::Increment(NodePtr::new(node), extra), guard);
+    }
+
+    // ==================================================================
+    // Bucket-level delegation: enqueue + drain
+    // ==================================================================
+
+    /// Log a request on `b`'s queue and try to become its processor.
+    fn enqueue(&self, b: Shared<'_, Bucket<K>>, req: Request<K>, guard: &Guard) {
+        // NB: `b` may be retired (unlinked + deferred) — the epoch pin
+        // keeps it valid and the `is_gc` check below rescues the request.
+        let bucket = unsafe { b.deref() };
+        bucket.queue.push(req);
+        if bucket.is_gc() {
+            // The bucket was logically removed; rescue everything.
+            self.forward_gc_queue(bucket, guard);
+            return;
+        }
+        if let Some(a) = self.adaptive {
+            let len = bucket.queue.len();
+            if len > a.sigma {
+                if let Some(h) = self.hook.get() {
+                    h.on_congestion();
+                }
+            } else if len > a.rho && !bucket.owner.load(Ordering::Relaxed) {
+                if let Some(h) = self.hook.get() {
+                    h.on_starvation();
+                }
+            }
+        }
+        self.try_drain(b, self.scan_neighbors, guard);
+    }
+
+    /// Route a request to the head sentinel, whose owner dispatches it to
+    /// the (current) minimum bucket. The sentinel always exists and is
+    /// never garbage-collected, so the paper's "delegate to the minimum
+    /// frequency bucket" has a stable, race-free target.
+    fn enqueue_head(&self, req: Request<K>, guard: &Guard) {
+        let head = self.head.load(Ordering::Acquire, guard);
+        debug_assert!(!head.is_null(), "sentinel installed at construction");
+        self.enqueue(head, req, guard);
+    }
+
+    /// First live (non-GC) bucket after the sentinel — the minimum bucket —
+    /// or null when the summary is empty. Lock-free read.
+    fn first_alive<'g>(&self, guard: &'g Guard) -> Shared<'g, Bucket<K>> {
+        let head = self.head.load(Ordering::Acquire, guard);
+        let mut cur = unsafe { head.deref() }.next.load(Ordering::Acquire, guard);
+        while let Some(b) = unsafe { cur.as_ref() } {
+            if !b.is_gc() {
+                return cur;
+            }
+            cur = b.next.load(Ordering::Acquire, guard);
+        }
+        Shared::null()
+    }
+
+    /// Acquire-and-drain loop (bucket-level delegation with the
+    /// release-recheck pattern, so no logged request is ever lost).
+    fn try_drain(&self, b: Shared<'_, Bucket<K>>, scan: bool, guard: &Guard) {
+        // NB: `b` may be retired — handled by the leading `is_gc` check.
+        let bucket = unsafe { b.deref() };
+        loop {
+            if bucket.is_gc() {
+                self.forward_gc_queue(bucket, guard);
+                return;
+            }
+            if !bucket.try_own() {
+                // Delegated: the current owner is bound to process our
+                // request before releasing.
+                self.tally.delegated_requests(1);
+                return;
+            }
+            if bucket.is_gc() {
+                // TOCTOU: the previous owner retired the bucket between
+                // our entry check and the ownership CAS. A retired bucket
+                // must never be treated as owned (its links are frozen and
+                // its successors may belong to someone else now) — rescue
+                // the queue and leave.
+                bucket.release();
+                self.forward_gc_queue(bucket, guard);
+                return;
+            }
+            // Owners keep the list tidy: unlink retired successors so
+            // traversals (and the dead prefix after the sentinel) stay
+            // short.
+            self.gc_successors(b, guard);
+            let mut progressed = false;
+            let mut stash: Vec<Request<K>> = Vec::new();
+            while let Some(req) = bucket.queue.pop() {
+                if bucket.is_gc() {
+                    // We GC'd the bucket ourselves mid-drain (minimum
+                    // advanced); everything left re-routes.
+                    self.redispatch(req, guard);
+                    continue;
+                }
+                match self.process_request(b, req, guard) {
+                    Outcome::Done => progressed = true,
+                    Outcome::Deferred(r) => {
+                        self.tally.overwrite_deferrals(1);
+                        stash.push(r);
+                    }
+                }
+            }
+            if bucket.is_gc() {
+                for r in stash {
+                    self.redispatch(r, guard);
+                }
+                self.forward_gc_queue(bucket, guard);
+                return;
+            }
+            let restashed = stash.len();
+            for r in stash {
+                bucket.queue.push(r);
+            }
+            // Empty buckets are retired here (Algorithm 5's empty-bucket
+            // marking). The sentinel (freq 0) is permanent; everything
+            // else, including an emptied minimum bucket, is collected
+            // uniformly — the next live successor simply becomes the new
+            // minimum, with no pointer to update.
+            if restashed == 0
+                && bucket.freq != 0
+                && bucket.len.load(Ordering::Acquire) == 0
+                && bucket.queue.is_empty()
+            {
+                if bucket.mark_gc() {
+                    self.tally.gc_buckets(1);
+                }
+                bucket.release();
+                self.forward_gc_queue(bucket, guard);
+                // Trim the dead prefix promptly — an emptied minimum
+                // bucket would otherwise linger linked after the sentinel
+                // until the next admission.
+                let head = self.head.load(Ordering::Acquire, guard);
+                if head != b {
+                    self.try_drain(head, false, guard);
+                }
+                return;
+            }
+            bucket.release();
+            // Release-recheck: requests pushed after our last pop whose
+            // enqueuers failed the ownership CAS would otherwise strand.
+            if bucket.queue.is_empty() {
+                break;
+            }
+            if !progressed && bucket.queue.len() <= restashed {
+                // Only deferred overwrites remain; they become processable
+                // when new work (increments on the blocking elements)
+                // arrives, which re-enters this loop.
+                break;
+            }
+        }
+        if scan {
+            self.neighbor_scan(b, guard);
+        }
+    }
+
+    /// §5.2.3: after finishing a bucket, help successors that have pending
+    /// requests and no owner, stopping at the first owned bucket.
+    fn neighbor_scan(&self, b: Shared<'_, Bucket<K>>, guard: &Guard) {
+        let mut cur = unsafe { b.deref() }.next.load(Ordering::Acquire, guard);
+        let mut hops = 0;
+        while let Some(bucket) = unsafe { cur.as_ref() } {
+            if bucket.owner.load(Ordering::Relaxed) {
+                break;
+            }
+            if !bucket.is_gc() && !bucket.queue.is_empty() {
+                self.try_drain(cur, false, guard);
+            }
+            cur = bucket.next.load(Ordering::Acquire, guard);
+            hops += 1;
+            if hops > 64 {
+                break; // bounded help; return to the stream
+            }
+        }
+    }
+
+    /// Rescue all requests logged on a garbage-collected bucket.
+    fn forward_gc_queue(&self, bucket: &Bucket<K>, guard: &Guard) {
+        while let Some(req) = bucket.queue.pop() {
+            self.redispatch(req, guard);
+        }
+    }
+
+    /// Re-route a request whose target bucket disappeared.
+    fn redispatch(&self, req: Request<K>, guard: &Guard) {
+        match req {
+            Request::Increment(node, by) => {
+                let b = node.get().bucket.load(Ordering::Acquire, guard);
+                debug_assert!(!b.is_null());
+                self.enqueue(b, Request::Increment(node, by), guard);
+            }
+            other => self.enqueue_head(other, guard),
+        }
+    }
+
+    // ==================================================================
+    // Request processing (Algorithms 3, 5, 6 + §5.3 prune)
+    // ==================================================================
+
+    fn process_request(
+        &self,
+        b: Shared<'_, Bucket<K>>,
+        req: Request<K>,
+        guard: &Guard,
+    ) -> Outcome<K> {
+        self.tally.summary_ops(1);
+        if unsafe { b.deref() }.freq == 0 {
+            // Sentinel dispatch: Adds fall through the normal destination
+            // search (the sentinel's frequency 0 is below every real
+            // count); minimum-bucket requests are delegated to the first
+            // live successor.
+            return self.process_at_sentinel(b, req, guard);
+        }
+        match req {
+            Request::Add(node) => {
+                self.process_add(b, node, guard);
+                Outcome::Done
+            }
+            Request::Increment(node, by) => {
+                self.process_increment(b, node, by, guard);
+                Outcome::Done
+            }
+            Request::Overwrite(node, by) => self.process_overwrite(b, node, by, guard),
+            Request::PruneMin { threshold } => {
+                self.process_prune(b, threshold, guard);
+                Outcome::Done
+            }
+        }
+    }
+
+    /// Request processing at the head sentinel: Adds run the ordinary
+    /// destination search (the sentinel's frequency 0 is below every real
+    /// count, so sorted insertion just works — including into an empty
+    /// summary); minimum-bucket requests are delegated to the first live
+    /// successor.
+    fn process_at_sentinel(
+        &self,
+        b: Shared<'_, Bucket<K>>,
+        req: Request<K>,
+        guard: &Guard,
+    ) -> Outcome<K> {
+        match req {
+            Request::Add(node_ptr) => {
+                self.find_dest(b, node_ptr, guard);
+                Outcome::Done
+            }
+            Request::Overwrite(node_ptr, by) => {
+                self.gc_successors(b, guard);
+                let first = unsafe { b.deref() }.next.load(Ordering::Acquire, guard);
+                if first.is_null() {
+                    // Empty summary. Unreachable for a correctly sized
+                    // Space Saving instance (a full structure is never
+                    // empty), but handled for robustness: admit directly.
+                    debug_assert!(false, "overwrite against an empty summary");
+                    self.monitored.fetch_add(1, Ordering::AcqRel);
+                    let node = node_ptr.get();
+                    node.freq.store(by, Ordering::Release);
+                    self.find_dest(b, node_ptr, guard);
+                } else {
+                    self.enqueue(first, Request::Overwrite(node_ptr, by), guard);
+                }
+                Outcome::Done
+            }
+            Request::PruneMin { threshold } => {
+                self.gc_successors(b, guard);
+                let first = unsafe { b.deref() }.next.load(Ordering::Acquire, guard);
+                if !first.is_null() {
+                    self.enqueue(first, Request::PruneMin { threshold }, guard);
+                }
+                Outcome::Done
+            }
+            Request::Increment(..) => unreachable!("increments route to the node's bucket"),
+        }
+    }
+
+    /// Algorithm 3: AddElementToBucket.
+    fn process_add(&self, b: Shared<'_, Bucket<K>>, node_ptr: NodePtr<K>, guard: &Guard) {
+        let bucket = unsafe { b.deref() };
+        let node = node_ptr.get();
+        let freq = node.freq.load(Ordering::Acquire);
+        if freq == bucket.freq {
+            self.link(b, node, guard);
+            self.relinquish(node, guard);
+        } else if freq < bucket.freq {
+            // This bucket is no longer the right landing spot (a lower
+            // bucket must exist or be created); route through the sentinel,
+            // whose destination search inserts in sorted position.
+            self.enqueue_head(Request::Add(node_ptr), guard);
+        } else {
+            self.find_dest(b, node_ptr, guard);
+        }
+    }
+
+    /// Algorithm 5: IncrementCounter.
+    fn process_increment(
+        &self,
+        b: Shared<'_, Bucket<K>>,
+        node_ptr: NodePtr<K>,
+        by: u64,
+        guard: &Guard,
+    ) {
+        let bucket = unsafe { b.deref() };
+        let node = node_ptr.get();
+        debug_assert!(
+            node.bucket.load(Ordering::Acquire, guard) == b,
+            "increment routed to a stale bucket"
+        );
+        self.unlink(b, node, guard);
+        let new_freq = bucket.freq + by;
+        node.freq.store(new_freq, Ordering::Release);
+        self.find_dest(b, node_ptr, guard);
+        // If this emptied the bucket, the drain-exit garbage collection of
+        // `try_drain` retires it once its queue runs dry.
+    }
+
+    /// Algorithm 4: FindDestBucket. `node` is unlinked, its `freq` holds
+    /// the target; we own `b` and `node.freq > b.freq`.
+    fn find_dest(&self, b: Shared<'_, Bucket<K>>, node_ptr: NodePtr<K>, guard: &Guard) {
+        let bucket = unsafe { b.deref() };
+        let node = node_ptr.get();
+        let target = node.freq.load(Ordering::Acquire);
+        debug_assert!(target > bucket.freq);
+        // Garbage-collect retired buckets immediately after us (we own the
+        // predecessor, so the unlink is safe).
+        self.gc_successors(b, guard);
+        let next = bucket.next.load(Ordering::Acquire, guard);
+        let next_ref = unsafe { next.as_ref() };
+        match next_ref {
+            None => self.insert_bucket_after(b, next, node, guard),
+            Some(nb) if nb.freq > target => self.insert_bucket_after(b, next, node, guard),
+            Some(nb) if nb.freq == target => {
+                // Delegate the linking to the destination bucket.
+                self.enqueue(next, Request::Add(node_ptr), guard);
+            }
+            Some(_) => {
+                // Bulk increment: walk forward to the last bucket whose
+                // frequency does not exceed the target and delegate there
+                // (it will either link us or insert a fresh bucket next to
+                // itself).
+                let mut prev = next;
+                let mut cur = unsafe { next.deref() }.next.load(Ordering::Acquire, guard);
+                let mut steps = 0usize;
+                while let Some(cb) = unsafe { cur.as_ref() } {
+                    if cb.freq > target {
+                        break;
+                    }
+                    if !cb.is_gc() {
+                        prev = cur;
+                    }
+                    cur = cb.next.load(Ordering::Acquire, guard);
+                    steps += 1;
+                    if steps > self.capacity * 4 + 4096 {
+                        // Excessive walk: a long chain of retired buckets
+                        // (e.g. after a bulk-increment storm) that only
+                        // their predecessors' owners may unlink. Break the
+                        // walk by delegating to the furthest *live* bucket
+                        // reached — its owner garbage-collects the dead
+                        // chain right behind it and continues from there,
+                        // guaranteeing progress. (Restarting from the head
+                        // instead would repeat this exact walk and
+                        // livelock.)
+                        self.tally.read_restarts(1);
+                        break;
+                    }
+                }
+                self.enqueue(prev, Request::Add(node_ptr), guard);
+            }
+        }
+    }
+
+    /// Insert a new bucket holding `node` between owned bucket `b` and its
+    /// successor `next`.
+    fn insert_bucket_after(
+        &self,
+        b: Shared<'_, Bucket<K>>,
+        next: Shared<'_, Bucket<K>>,
+        node: &Node<K>,
+        guard: &Guard,
+    ) {
+        #[cfg(debug_assertions)]
+        destroy_registry::assert_alive(b.as_raw() as usize, "insert_bucket_after");
+        let bucket = unsafe { b.deref() };
+        let target = node.freq.load(Ordering::Acquire);
+        let new_bucket = Owned::new(Bucket::new(target));
+        new_bucket.next.store(next, Ordering::Relaxed);
+        let node_sh = Shared::from(node as *const Node<K>);
+        new_bucket.elems.store(node_sh, Ordering::Relaxed);
+        new_bucket.len.store(1, Ordering::Relaxed);
+        node.list_prev.store(Shared::null(), Ordering::Relaxed);
+        node.list_next.store(Shared::null(), Ordering::Relaxed);
+        let installed = new_bucket.into_shared(guard);
+        #[cfg(debug_assertions)]
+        destroy_registry::forget(installed.as_raw() as usize);
+        bucket.next.store(installed, Ordering::Release);
+        node.bucket.store(installed, Ordering::Release);
+        self.relinquish(node, guard);
+    }
+
+    /// Algorithm 6: OverwriteElement. We own `b`; `node` is a new element
+    /// that must replace a minimum-frequency victim.
+    fn process_overwrite(
+        &self,
+        b: Shared<'_, Bucket<K>>,
+        node_ptr: NodePtr<K>,
+        by: u64,
+        guard: &Guard,
+    ) -> Outcome<K> {
+        let bucket = unsafe { b.deref() };
+        // Overwrites apply to the *minimum* bucket; if a lower bucket has
+        // appeared (or this one was retired), chase the real minimum
+        // through the sentinel.
+        if self.first_alive(guard) != b {
+            self.enqueue_head(Request::Overwrite(node_ptr, by), guard);
+            return Outcome::Done;
+        }
+        let node = node_ptr.get();
+        // Hunt for a victim with no pending requests (non-blocking
+        // `try_remove`; busy candidates are skipped, never waited on —
+        // Minimal Existence).
+        let mut cur = bucket.elems.load(Ordering::Acquire, guard);
+        while let Some(cand) = unsafe { cur.as_ref() } {
+            if !std::ptr::eq(cand as *const _, node as *const _) && self.table.try_remove(cand) {
+                // Victim secured: inherit its count as the error bound.
+                self.unlink(b, cand, guard);
+                node.error.store(bucket.freq, Ordering::Release);
+                node.freq.store(bucket.freq + by, Ordering::Release);
+                self.tally.overwrites(1);
+                self.find_dest(b, node_ptr, guard);
+                return Outcome::Done;
+            }
+            cur = cand.list_next.load(Ordering::Acquire, guard);
+        }
+        if bucket.len.load(Ordering::Acquire) == 0 {
+            // The minimum bucket emptied under us. If nothing else is
+            // queued, retire it ourselves and retry at the new minimum;
+            // otherwise the queued work (Adds that will repopulate it)
+            // goes first.
+            if bucket.queue.is_empty() {
+                if bucket.mark_gc() {
+                    self.tally.gc_buckets(1);
+                }
+                self.enqueue_head(Request::Overwrite(node_ptr, by), guard);
+                return Outcome::Done;
+            }
+            return Outcome::Deferred(Request::Overwrite(node_ptr, by));
+        }
+        // Every candidate has pending increments; defer until those are
+        // processed (they are queued on this same bucket).
+        Outcome::Deferred(Request::Overwrite(node_ptr, by))
+    }
+
+    /// §5.3 Lossy Counting maintenance: evict idle minimum-bucket elements
+    /// whose upper bound does not exceed the round id.
+    fn process_prune(&self, b: Shared<'_, Bucket<K>>, threshold: u64, guard: &Guard) {
+        let bucket = unsafe { b.deref() };
+        let mut cur = bucket.elems.load(Ordering::Acquire, guard);
+        while let Some(cand) = unsafe { cur.as_ref() } {
+            let next = cand.list_next.load(Ordering::Acquire, guard);
+            let bound = cand.freq.load(Ordering::Acquire) + cand.error.load(Ordering::Acquire);
+            if bound <= threshold && self.table.try_remove(cand) {
+                self.unlink(b, cand, guard);
+                self.monitored.fetch_sub(1, Ordering::AcqRel);
+            }
+            cur = next;
+        }
+        // An emptied bucket is retired by the drain-exit garbage
+        // collection once its queue runs dry.
+    }
+
+    // ==================================================================
+    // Bucket-list maintenance (owner-side)
+    // ==================================================================
+
+    /// Link `node` at the head of owned bucket `b`'s element list.
+    fn link(&self, b: Shared<'_, Bucket<K>>, node: &Node<K>, guard: &Guard) {
+        #[cfg(debug_assertions)]
+        destroy_registry::assert_alive(b.as_raw() as usize, "link");
+        let bucket = unsafe { b.deref() };
+        let head = bucket.elems.load(Ordering::Acquire, guard);
+        let node_sh = Shared::from(node as *const Node<K>);
+        node.list_prev.store(Shared::null(), Ordering::Relaxed);
+        node.list_next.store(head, Ordering::Relaxed);
+        if let Some(h) = unsafe { head.as_ref() } {
+            h.list_prev.store(node_sh, Ordering::Release);
+        }
+        bucket.elems.store(node_sh, Ordering::Release);
+        bucket.len.fetch_add(1, Ordering::AcqRel);
+        node.bucket.store(b, Ordering::Release);
+    }
+
+    /// Unlink `node` from owned bucket `b`'s element list.
+    fn unlink(&self, b: Shared<'_, Bucket<K>>, node: &Node<K>, guard: &Guard) {
+        let bucket = unsafe { b.deref() };
+        let prev = node.list_prev.load(Ordering::Acquire, guard);
+        let next = node.list_next.load(Ordering::Acquire, guard);
+        match unsafe { prev.as_ref() } {
+            Some(p) => p.list_next.store(next, Ordering::Release),
+            None => bucket.elems.store(next, Ordering::Release),
+        }
+        if let Some(n) = unsafe { next.as_ref() } {
+            n.list_prev.store(prev, Ordering::Release);
+        }
+        bucket.len.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Unlink (and retire) garbage-collected buckets directly after owned
+    /// bucket `b`.
+    fn gc_successors(&self, b: Shared<'_, Bucket<K>>, guard: &Guard) {
+        let bucket = unsafe { b.deref() };
+        loop {
+            let next = bucket.next.load(Ordering::Acquire, guard);
+            match unsafe { next.as_ref() } {
+                Some(nb) if nb.is_gc() => {
+                    let after = nb.next.load(Ordering::Acquire, guard);
+                    bucket.next.store(after, Ordering::Release);
+                    // Rescue any late-logged requests, then retire.
+                    self.forward_gc_queue(nb, guard);
+                    #[cfg(debug_assertions)]
+                    destroy_registry::record_destroy(
+                        next.as_raw() as usize,
+                        format!(
+                            "gc_successors: owner of freq={} (gc={}, owner_flag={}) unlinked freq={} on {:?}",
+                            bucket.freq,
+                            bucket.is_gc(),
+                            bucket.owner.load(Ordering::Relaxed),
+                            nb.freq,
+                            std::thread::current().id()
+                        ),
+                    );
+                    // SAFETY: unreachable from the list now; late holders
+                    // are protected by their epoch pins.
+                    unsafe { guard.defer_destroy(next) };
+                }
+                _ => return,
+            }
+        }
+    }
+
+    // ==================================================================
+    // Quiescence and queries
+    // ==================================================================
+
+    /// Drain every queue to quiescence. Call after all producer threads
+    /// have finished; afterwards every logged request has been applied and
+    /// `Σ counts == N` holds exactly (Space Saving policy).
+    pub fn finalize(&self) {
+        let guard = epoch::pin();
+        for round in 0..1_000_000 {
+            let mut any = false;
+            let mut cur = self.head.load(Ordering::Acquire, &guard);
+            while let Some(bucket) = unsafe { cur.as_ref() } {
+                if !bucket.queue.is_empty() {
+                    any = true;
+                    self.try_drain(cur, false, &guard);
+                } else if round == 0
+                    && bucket.freq != 0
+                    && !bucket.is_gc()
+                    && bucket.len.load(Ordering::Acquire) == 0
+                {
+                    // Quiet empty bucket: drain once so the exit GC
+                    // retires it.
+                    self.try_drain(cur, false, &guard);
+                }
+                cur = bucket.next.load(Ordering::Acquire, &guard);
+            }
+            if !any && round > 0 {
+                return;
+            }
+        }
+        panic!("finalize failed to reach quiescence");
+    }
+
+    /// Exhaustively verify structural invariants. Only meaningful at
+    /// quiescence (after [`CotsEngine::finalize`] with no concurrent
+    /// producers); test support.
+    ///
+    /// # Panics
+    /// On any violation.
+    pub fn check_quiescent_invariants(&self) {
+        let guard = epoch::pin();
+        let mut prev_freq = 0u64;
+        let mut reachable = 0usize;
+        let mut total_mass = 0u64;
+        let mut cur = self.head.load(Ordering::Acquire, &guard);
+        while let Some(bucket) = unsafe { cur.as_ref() } {
+            assert!(bucket.queue.is_empty(), "queue drained at quiescence");
+            if !bucket.is_gc() && bucket.freq != 0 {
+                assert!(bucket.freq > prev_freq, "bucket freqs strictly ascend");
+                prev_freq = bucket.freq;
+                let mut n = bucket.elems.load(Ordering::Acquire, &guard);
+                let mut count = 0usize;
+                let mut prev_node: Shared<'_, Node<K>> = Shared::null();
+                while let Some(node) = unsafe { n.as_ref() } {
+                    assert!(!node.is_dead(), "dead node linked in a bucket");
+                    assert_eq!(
+                        node.pending.load(Ordering::Acquire),
+                        0,
+                        "pending drained at quiescence"
+                    );
+                    assert_eq!(
+                        node.freq.load(Ordering::Acquire),
+                        bucket.freq,
+                        "node freq matches its bucket"
+                    );
+                    assert!(
+                        node.bucket.load(Ordering::Acquire, &guard) == cur,
+                        "node bucket back-pointer"
+                    );
+                    assert!(
+                        node.list_prev.load(Ordering::Acquire, &guard) == prev_node,
+                        "doubly linked list back-pointer"
+                    );
+                    assert!(node.error.load(Ordering::Acquire) <= bucket.freq);
+                    prev_node = n;
+                    n = node.list_next.load(Ordering::Acquire, &guard);
+                    count += 1;
+                    total_mass += bucket.freq;
+                }
+                assert_eq!(
+                    count,
+                    bucket.len.load(Ordering::Acquire),
+                    "bucket len field"
+                );
+                assert!(count > 0, "live buckets are non-empty");
+                reachable += count;
+            } else {
+                assert_eq!(
+                    bucket.len.load(Ordering::Acquire),
+                    0,
+                    "GC'd buckets are empty"
+                );
+            }
+            cur = bucket.next.load(Ordering::Acquire, &guard);
+        }
+        assert_eq!(reachable, self.monitored(), "monitored count matches list");
+        assert_eq!(
+            reachable,
+            self.table.live_count(&guard),
+            "hash table and summary agree"
+        );
+        if matches!(self.policy, Policy::SpaceSaving) {
+            assert_eq!(
+                total_mass,
+                self.total.load(Ordering::Acquire),
+                "count conservation: Σ counts == N"
+            );
+        }
+    }
+
+    /// Best-effort single pass over the bucket list draining whatever is
+    /// currently queued. Unlike [`CotsEngine::finalize`] this never loops
+    /// to full quiescence, so it is safe to call while producers are still
+    /// running (used by windowed readers to freshen a snapshot).
+    pub fn drain_pending(&self) {
+        let guard = epoch::pin();
+        for _ in 0..8 {
+            let mut any = false;
+            let mut cur = self.head.load(Ordering::Acquire, &guard);
+            while let Some(bucket) = unsafe { cur.as_ref() } {
+                if !bucket.queue.is_empty() {
+                    any = true;
+                    self.try_drain(cur, false, &guard);
+                }
+                cur = bucket.next.load(Ordering::Acquire, &guard);
+            }
+            if !any {
+                return;
+            }
+        }
+    }
+
+    /// Render the live bucket chain for diagnostics: frequency, state,
+    /// owner flag, element count and queue length per bucket.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let guard = epoch::pin();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "total={} monitored={} capacity={}",
+            self.total.load(Ordering::Acquire),
+            self.monitored(),
+            self.capacity
+        );
+        let mut cur = self.head.load(Ordering::Acquire, &guard);
+        let mut i = 0;
+        while let Some(bucket) = unsafe { cur.as_ref() } {
+            let _ = writeln!(
+                out,
+                "  [{}] freq={} gc={} owner={} len={} queue={}",
+                i,
+                bucket.freq,
+                bucket.is_gc(),
+                bucket.owner.load(Ordering::Relaxed),
+                bucket.len.load(Ordering::Relaxed),
+                bucket.queue.len()
+            );
+            cur = bucket.next.load(Ordering::Acquire, &guard);
+            i += 1;
+            if i > 64 {
+                let _ = writeln!(out, "  ... (truncated)");
+                break;
+            }
+        }
+        out
+    }
+
+    /// Point estimate `(count, error)` via the search structure (§5.2.4:
+    /// "answered directly from the Search Structure").
+    pub fn estimate_point(&self, item: &K) -> Option<(u64, u64)> {
+        let guard = epoch::pin();
+        let node_sh = self.table.lookup(item, &guard)?;
+        let node = unsafe { node_sh.deref() };
+        let freq = node.freq.load(Ordering::Acquire);
+        if freq == 0 || node.is_dead() {
+            return None;
+        }
+        Some((freq, node.error.load(Ordering::Acquire).min(freq)))
+    }
+
+    /// The frequency of the k-th most frequent element, from a lock-free
+    /// traversal of the bucket list (used by `IsElementInTopk`).
+    pub fn kth_frequency(&self, k: usize) -> Option<u64> {
+        if k == 0 {
+            return None;
+        }
+        let guard = epoch::pin();
+        // Collect (freq, len) ascending, then walk from the top.
+        let mut counts: Vec<(u64, usize)> = Vec::new();
+        let mut cur = self.head.load(Ordering::Acquire, &guard);
+        let mut steps = 0usize;
+        while let Some(bucket) = unsafe { cur.as_ref() } {
+            if !bucket.is_gc() && bucket.freq != 0 {
+                counts.push((bucket.freq, bucket.len.load(Ordering::Acquire)));
+            }
+            if !bucket.is_gc() {
+                steps += 1;
+                if steps > self.capacity * 4 + 1024 {
+                    break; // torn read; report best effort
+                }
+            }
+            cur = bucket.next.load(Ordering::Acquire, &guard);
+        }
+        let mut remaining = k;
+        for &(freq, len) in counts.iter().rev() {
+            if len >= remaining {
+                return Some(freq);
+            }
+            remaining -= len;
+        }
+        None
+    }
+
+    /// A best-effort consistent snapshot (exact at quiescence).
+    fn snapshot_inner(&self) -> Snapshot<K> {
+        let guard = epoch::pin();
+        let cap = self.monitored().max(self.capacity) * 2 + 1024;
+        let mut best: HashMap<K, CounterEntry<K>> = HashMap::new();
+        let mut cur = self.head.load(Ordering::Acquire, &guard);
+        let mut steps = 0usize;
+        'walk: while let Some(bucket) = unsafe { cur.as_ref() } {
+            if !bucket.is_gc() && bucket.freq != 0 {
+                let mut n = bucket.elems.load(Ordering::Acquire, &guard);
+                let mut in_bucket = 0usize;
+                while let Some(node) = unsafe { n.as_ref() } {
+                    let freq = node.freq.load(Ordering::Acquire);
+                    if !node.is_dead() && freq > 0 {
+                        let entry = CounterEntry::new(
+                            node.key,
+                            freq,
+                            node.error.load(Ordering::Acquire).min(freq),
+                        );
+                        best.entry(node.key)
+                            .and_modify(|e| {
+                                if entry.count > e.count {
+                                    *e = entry;
+                                }
+                            })
+                            .or_insert(entry);
+                    }
+                    n = node.list_next.load(Ordering::Acquire, &guard);
+                    in_bucket += 1;
+                    if in_bucket > cap {
+                        self.tally.read_restarts(1);
+                        break 'walk; // torn list; report what we have
+                    }
+                }
+            }
+            if !bucket.is_gc() {
+                steps += 1;
+                if steps > cap {
+                    self.tally.read_restarts(1);
+                    break;
+                }
+            }
+            cur = bucket.next.load(Ordering::Acquire, &guard);
+        }
+        Snapshot::new(
+            best.into_values().collect(),
+            self.total.load(Ordering::Acquire),
+        )
+    }
+}
+
+impl<K: Element> ConcurrentCounter<K> for CotsEngine<K> {
+    fn process(&self, item: K) {
+        self.delegate(item);
+    }
+
+    fn processed(&self) -> u64 {
+        self.total.load(Ordering::Acquire)
+    }
+}
+
+impl<K: Element> QueryableSummary<K> for CotsEngine<K> {
+    fn snapshot(&self) -> Snapshot<K> {
+        self.snapshot_inner()
+    }
+
+    fn estimate(&self, item: &K) -> Option<(u64, u64)> {
+        self.estimate_point(item)
+    }
+}
+
+impl<K: Element> Drop for CotsEngine<K> {
+    fn drop(&mut self) {
+        // Exclusive access: free the bucket list (nodes are owned and freed
+        // by the hash table's Drop).
+        let guard = unsafe { epoch::unprotected() };
+        let mut cur = self.head.load(Ordering::Relaxed, guard);
+        while !cur.is_null() {
+            #[cfg(debug_assertions)]
+            destroy_registry::assert_alive(cur.as_raw() as usize, "Drop");
+            #[cfg(debug_assertions)]
+            destroy_registry::forget(cur.as_raw() as usize);
+            let next = unsafe { cur.deref() }.next.load(Ordering::Relaxed, guard);
+            drop(unsafe { cur.into_owned() });
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cots_core::CotsConfig;
+    use std::sync::Barrier;
+
+    fn engine(capacity: usize) -> CotsEngine<u64> {
+        CotsEngine::new(CotsConfig::for_capacity(capacity).unwrap()).unwrap()
+    }
+
+    fn checked_sum(e: &CotsEngine<u64>) -> u64 {
+        e.finalize();
+        e.check_quiescent_invariants();
+        e.snapshot().entries().iter().map(|x| x.count).sum()
+    }
+
+    #[test]
+    fn sequential_exact_counting() {
+        let e = engine(16);
+        for item in [1u64, 2, 2, 3, 3, 3, 1] {
+            e.delegate(item);
+        }
+        e.finalize();
+        assert_eq!(e.estimate_point(&1), Some((2, 0)));
+        assert_eq!(e.estimate_point(&2), Some((2, 0)));
+        assert_eq!(e.estimate_point(&3), Some((3, 0)));
+        assert_eq!(e.estimate_point(&9), None);
+        assert_eq!(e.processed(), 7);
+        assert_eq!(checked_sum(&e), 7);
+    }
+
+    #[test]
+    fn sequential_overwrite_semantics() {
+        let e = engine(2);
+        for item in [1u64, 1, 2, 3] {
+            e.delegate(item);
+        }
+        e.finalize();
+        // {1:2, 2:1}; 3 overwrites 2 -> {1:2, 3:2 (err 1)}.
+        assert_eq!(e.estimate_point(&2), None);
+        assert_eq!(e.estimate_point(&3), Some((2, 1)));
+        assert_eq!(e.monitored(), 2);
+        assert_eq!(checked_sum(&e), 4);
+        assert!(e.work().overwrites >= 1);
+    }
+
+    #[test]
+    fn bucket_reuse_and_min_advance() {
+        let e = engine(8);
+        // Push counts up so the min bucket empties repeatedly.
+        for round in 0..5 {
+            for item in 0..4u64 {
+                e.delegate(item);
+            }
+            let _ = round;
+        }
+        e.finalize();
+        for item in 0..4u64 {
+            assert_eq!(e.estimate_point(&item), Some((5, 0)));
+        }
+        assert_eq!(checked_sum(&e), 20);
+        assert!(e.work().gc_buckets > 0, "empty buckets must be collected");
+    }
+
+    #[test]
+    fn concurrent_count_conservation_small_alphabet() {
+        let e = Arc::new(engine(64));
+        let threads = 8;
+        let per = 10_000u64;
+        let barrier = Arc::new(Barrier::new(threads));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let e = e.clone();
+                let b = barrier.clone();
+                s.spawn(move || {
+                    b.wait();
+                    for i in 0..per {
+                        e.delegate((t as u64 + i) % 32);
+                    }
+                });
+            }
+        });
+        let n = threads as u64 * per;
+        assert_eq!(e.processed(), n);
+        assert_eq!(checked_sum(&e), n);
+        let snap = e.snapshot();
+        assert!(snap.len() <= 32);
+        // Exact counts: alphabet fits the budget, so every count must
+        // equal the ground truth regardless of interleaving.
+        let mut truth = std::collections::HashMap::new();
+        for t in 0..threads as u64 {
+            for i in 0..per {
+                *truth.entry((t + i) % 32).or_insert(0u64) += 1;
+            }
+        }
+        for entry in snap.entries() {
+            assert_eq!(entry.count, truth[&entry.item], "item {:?}", entry.item);
+            assert_eq!(entry.error, 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_hot_element_combining() {
+        // All threads hammer one element: delegation must combine.
+        let e = Arc::new(engine(4));
+        let threads = 8;
+        let per = 20_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let e = e.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        e.delegate(7u64);
+                    }
+                });
+            }
+        });
+        e.finalize();
+        assert_eq!(e.estimate_point(&7), Some((threads as u64 * per, 0)));
+        let w = e.work();
+        assert_eq!(w.elements, threads as u64 * per);
+        // Combining must have happened: far fewer crossings than elements.
+        assert!(
+            w.boundary_crossings < w.elements,
+            "no combining: {} crossings for {} elements",
+            w.boundary_crossings,
+            w.elements
+        );
+        assert!(w.delegated_increments > 0);
+    }
+
+    #[test]
+    fn concurrent_churn_with_overwrites() {
+        let e = Arc::new(engine(16));
+        let threads = 6;
+        let per = 8_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let e = e.clone();
+                s.spawn(move || {
+                    let mut x = 0x9E3779B97F4A7C15u64 ^ t as u64;
+                    for _ in 0..per {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let item = if x & 1 == 0 { x % 8 } else { 1000 + (x % 4000) };
+                        e.delegate(item);
+                    }
+                });
+            }
+        });
+        let n = threads as u64 * per;
+        assert_eq!(e.processed(), n);
+        assert_eq!(
+            checked_sum(&e),
+            n,
+            "count conservation under eviction churn"
+        );
+        let snap = e.snapshot();
+        assert_eq!(snap.len(), 16);
+        for entry in snap.entries() {
+            assert!(entry.error <= entry.count);
+        }
+        assert!(e.work().overwrites > 0);
+    }
+
+    #[test]
+    fn estimates_visible_during_concurrent_updates() {
+        let e = Arc::new(engine(32));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let e = e.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        e.delegate(i % 16);
+                        i += 1;
+                    }
+                });
+            }
+            // Reader thread: estimates and snapshots must never panic or
+            // violate basic sanity.
+            let e2 = e.clone();
+            let stop2 = stop.clone();
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    if let Some((c, err)) = e2.estimate_point(&3) {
+                        assert!(err <= c);
+                    }
+                    let snap = e2.snapshot();
+                    assert!(snap.len() <= 64);
+                    let _ = e2.kth_frequency(5);
+                }
+                stop2.store(true, Ordering::Relaxed);
+            });
+        });
+        e.finalize();
+        let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
+        assert_eq!(sum, e.processed());
+    }
+
+    #[test]
+    fn kth_frequency_matches_snapshot() {
+        let e = engine(32);
+        for (item, reps) in [(1u64, 10), (2, 7), (3, 7), (4, 2)] {
+            for _ in 0..reps {
+                e.delegate(item);
+            }
+        }
+        e.finalize();
+        assert_eq!(e.kth_frequency(1), Some(10));
+        assert_eq!(e.kth_frequency(2), Some(7));
+        assert_eq!(e.kth_frequency(3), Some(7));
+        assert_eq!(e.kth_frequency(4), Some(2));
+        assert_eq!(e.kth_frequency(5), None);
+        assert_eq!(e.kth_frequency(0), None);
+    }
+
+    #[test]
+    fn work_counters_sane() {
+        let e = engine(8);
+        for i in 0..1000u64 {
+            e.delegate(i % 4);
+        }
+        e.finalize();
+        let w = e.work();
+        assert_eq!(w.elements, 1000);
+        assert_eq!(w.boundary_crossings, 1000); // single-threaded: no combining
+        assert!(w.summary_ops >= 1000);
+        assert!((w.combining_factor() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod lossy_tests {
+    use super::*;
+    use crate::policy::Policy;
+    use cots_core::CotsConfig;
+
+    fn lossy(width: u64) -> CotsEngine<u64> {
+        CotsEngine::with_policy(
+            CotsConfig::for_capacity(1024).unwrap(),
+            Policy::LossyRounds { width },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        assert!(CotsEngine::<u64>::with_policy(
+            CotsConfig::for_capacity(8).unwrap(),
+            Policy::LossyRounds { width: 0 },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn prunes_infrequent_at_round_boundaries() {
+        let e = lossy(8);
+        // Round 1: eight distinct singletons. At the boundary the prune
+        // evicts idle elements with freq + delta <= 1.
+        for item in 0..8u64 {
+            e.delegate(item);
+        }
+        e.finalize();
+        assert!(
+            e.monitored() < 8,
+            "round-boundary prune must evict singletons, still monitoring {}",
+            e.monitored()
+        );
+        // A heavy element survives rounds.
+        for _ in 0..20 {
+            e.delegate(100);
+        }
+        for item in 200..204u64 {
+            e.delegate(item);
+        }
+        e.finalize();
+        let (count, _) = e.estimate_point(&100).expect("heavy element kept");
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn lossy_bounds_hold_like_sequential() {
+        // Compare against the sequential Lossy Counting bounds: count
+        // upper-bounds truth; count - error lower-bounds it.
+        let e = lossy(16);
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 5u64;
+        for _ in 0..4_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x % 64).min(x % 8);
+            e.delegate(item);
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        e.finalize();
+        let snap = e.snapshot();
+        for entry in snap.entries() {
+            let t = truth[&entry.item];
+            // The CoTS adaptation prunes only the minimum bucket per
+            // boundary (the paper's simplification), so counts can lag the
+            // sequential algorithm's but bounds must stay sound.
+            assert!(entry.count >= entry.error);
+            assert!(entry.count - entry.error <= t, "guarantee exceeded truth");
+            assert!(entry.count <= t + entry.error, "upper bound violated");
+        }
+        // Heavy elements (> N/16 = 250) must be monitored.
+        let n = e.processed();
+        for (&item, &t) in &truth {
+            if t > n / 16 {
+                assert!(snap.get(&item).is_some(), "{item} ({t}) missing");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_lossy_does_not_lose_heavy_elements() {
+        let e = std::sync::Arc::new(lossy(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let e = e.clone();
+                s.spawn(move || {
+                    let mut x = 7u64 ^ (t as u64) << 32;
+                    for i in 0..5_000u64 {
+                        // Half the stream is the hot element 42.
+                        let item = if i % 2 == 0 {
+                            42
+                        } else {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            1_000 + (x % 2_000)
+                        };
+                        e.delegate(item);
+                    }
+                });
+            }
+        });
+        e.finalize();
+        let (count, error) = e.estimate_point(&42).expect("hot element kept");
+        assert!(count >= 10_000, "hot element count {count} too low");
+        assert!(count - error <= 10_000);
+    }
+}

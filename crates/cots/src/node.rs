@@ -1,0 +1,163 @@
+//! The shared node: a monitored element's record, which is simultaneously
+//! the hash-table entry (search structure) and the Stream Summary element.
+//!
+//! In the paper's implementation "the hash table points to the element in
+//! the Stream Summary structure, and the element in turn points to the
+//! bucket to which it belongs" (§5.2); collapsing entry and element into one
+//! node realizes exactly that.
+//!
+//! ## The `pending` counter — element-level delegation (Algorithm 2)
+//!
+//! `pending` encodes ownership and logged requests:
+//!
+//! * `0` — idle: the element is inside the summary, nobody is operating on
+//!   it, no requests are logged.
+//! * `n >= 1` — owned: some thread has crossed the boundary for this
+//!   element, and `n - 1` further increments have been logged by other
+//!   threads (the *bulk increment* mass).
+//! * `>= TOMB` — tombstoned: the element has been evicted (`try_remove`
+//!   CASed `0 → TOMB`); threads that raced their `fetch_add` onto a dying
+//!   node observe a value above `TOMB`, undo their contribution and retry
+//!   the lookup.
+//!
+//! ## Lifetime invariant (what makes [`NodePtr`] sound)
+//!
+//! A node is retired (unlinked from its hash chain and handed to
+//! `crossbeam::epoch` for destruction) only after it has been tombstoned.
+//! Tombstoning requires `pending == 0`, and any in-flight request for the
+//! node holds a unit of `pending` (the crossing thread's own unit persists
+//! until the relinquish CAS). Therefore **a queued request keeps its node
+//! alive**, and dereferencing the raw pointer inside a request is safe.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam::epoch::Atomic;
+
+use crate::bucket::Bucket;
+
+/// Tombstone threshold for the `pending` counter.
+pub const TOMB: u64 = 1 << 62;
+
+/// A monitored element: hash entry + summary element in one allocation.
+#[derive(Debug)]
+pub struct Node<K> {
+    /// The monitored element.
+    pub key: K,
+    /// Ownership / delegation counter (see module docs).
+    pub pending: AtomicU64,
+    /// Current frequency estimate. `0` means "not yet admitted to the
+    /// summary"; written only by the thread that owns the element inside
+    /// the summary, read lock-free by point queries.
+    pub freq: AtomicU64,
+    /// Over-estimation bound (set at overwrite time).
+    pub error: AtomicU64,
+    /// The bucket currently holding this node. Written by the bucket owner
+    /// that links the node; read when routing increment requests (always at
+    /// a moment when the node is stationary — see `engine`).
+    pub bucket: Atomic<Bucket<K>>,
+    /// Next entry in the hash chain (insert-locked, read lock-free).
+    pub chain_next: Atomic<Node<K>>,
+    /// Fast dead flag mirroring `pending >= TOMB`; lets chain readers and
+    /// garbage collection skip tombstoned entries without touching
+    /// `pending`.
+    pub dead: AtomicBool,
+    /// Intrusive back-link inside the owning bucket's element list; mutated
+    /// only by the owner of that bucket, read by lock-free traversals.
+    pub list_prev: Atomic<Node<K>>,
+    /// Intrusive forward link inside the owning bucket's element list.
+    pub list_next: Atomic<Node<K>>,
+}
+
+impl<K> Node<K> {
+    /// Fresh node for `key`, not yet in the summary.
+    pub fn new(key: K) -> Self {
+        Self {
+            key,
+            pending: AtomicU64::new(0),
+            freq: AtomicU64::new(0),
+            error: AtomicU64::new(0),
+            bucket: Atomic::null(),
+            chain_next: Atomic::null(),
+            dead: AtomicBool::new(false),
+            list_prev: Atomic::null(),
+            list_next: Atomic::null(),
+        }
+    }
+
+    /// Whether the node has been tombstoned.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+}
+
+/// A raw reference to a [`Node`] carried inside a queued request.
+///
+/// # Safety
+///
+/// Constructed only from nodes whose `pending` count is held (≥ 1) by the
+/// request being queued; per the lifetime invariant above, such nodes
+/// cannot be retired, so the pointer stays valid until the request is
+/// processed and the count is released.
+pub struct NodePtr<K>(*const Node<K>);
+
+// SAFETY: the pointee is kept alive by the pending-count protocol (module
+// docs), and `Node` itself is Sync (all fields atomic or immutable).
+unsafe impl<K: Send + Sync> Send for NodePtr<K> {}
+unsafe impl<K: Send + Sync> Sync for NodePtr<K> {}
+
+impl<K> NodePtr<K> {
+    /// Wrap a node reference whose pending count the caller holds.
+    pub fn new(node: &Node<K>) -> Self {
+        Self(node as *const _)
+    }
+
+    /// Dereference. Safe per the pending-count lifetime invariant.
+    #[inline]
+    pub fn get(&self) -> &Node<K> {
+        // SAFETY: see `NodePtr` docs — a queued request pins its node.
+        unsafe { &*self.0 }
+    }
+}
+
+impl<K> Clone for NodePtr<K> {
+    fn clone(&self) -> Self {
+        Self(self.0)
+    }
+}
+
+impl<K: std::fmt::Debug> std::fmt::Debug for NodePtr<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("NodePtr").field(&self.get().key).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_is_idle_and_unadmitted() {
+        let n = Node::new(7u64);
+        assert_eq!(n.pending.load(Ordering::Relaxed), 0);
+        assert_eq!(n.freq.load(Ordering::Relaxed), 0);
+        assert!(!n.is_dead());
+    }
+
+    #[test]
+    fn node_ptr_round_trip() {
+        let n = Node::new(42u64);
+        let p = NodePtr::new(&n);
+        assert_eq!(p.get().key, 42);
+        let q = p.clone();
+        assert_eq!(q.get().key, 42);
+    }
+
+    #[test]
+    fn tomb_leaves_headroom() {
+        // A stream of 2^62 elements would be needed to push a legitimate
+        // pending count into tombstone territory.
+        const { assert!(TOMB > u64::MAX / 8) };
+        const { assert!(TOMB < u64::MAX / 2) };
+    }
+}

@@ -1,0 +1,202 @@
+//! The measurement runtime: feeds a pre-generated stream through a
+//! [`CotsEngine`] with a pool of worker threads.
+//!
+//! Workers pull fixed-size batches from a shared cursor (so the adaptive
+//! gate can park and wake them without losing stream coverage), process
+//! each element through `delegate`, and hit the gate's pause point between
+//! batches. After all workers drain the stream the engine is finalized
+//! (every logged request applied) and the wall-clock time — including the
+//! finalize, which is part of counting work — is reported.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cots_core::{CotsError, Element, Result, RunStats};
+
+use crate::engine::CotsEngine;
+use crate::scheduler::ThreadGate;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Worker threads.
+    pub threads: usize,
+    /// Elements per batch grab.
+    pub batch: usize,
+    /// Enable the §5.2.3 adaptive gate (requires the engine to have been
+    /// built with `CotsConfig::adaptive`).
+    pub adaptive: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            batch: 1024,
+            adaptive: false,
+        }
+    }
+}
+
+/// Drive `engine` over `stream` and measure the counting wall-clock.
+pub fn run<K: Element>(
+    engine: &Arc<CotsEngine<K>>,
+    stream: &[K],
+    options: RuntimeOptions,
+) -> Result<RunStats> {
+    if options.threads == 0 {
+        return Err(CotsError::InvalidRun("threads must be positive".into()));
+    }
+    if options.batch == 0 {
+        return Err(CotsError::InvalidRun("batch must be positive".into()));
+    }
+    if stream.is_empty() {
+        return Err(CotsError::InvalidRun("stream must be non-empty".into()));
+    }
+    let gate = options.adaptive.then(|| {
+        let g = Arc::new(ThreadGate::new(options.threads, 1, 64));
+        engine.set_scheduler_hook(g.clone());
+        g
+    });
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..options.threads {
+            let cursor = &cursor;
+            let engine = Arc::clone(engine);
+            let gate = gate.clone();
+            scope.spawn(move || loop {
+                if let Some(g) = &gate {
+                    g.pause_point(worker);
+                }
+                let lo = cursor.fetch_add(options.batch, Ordering::AcqRel);
+                if lo >= stream.len() {
+                    // Stream exhausted: release any gate-parked workers so
+                    // the scope can join them (worker 0 can never park, so
+                    // some worker always reaches this line).
+                    if let Some(g) = &gate {
+                        g.shutdown();
+                    }
+                    break;
+                }
+                let hi = (lo + options.batch).min(stream.len());
+                engine.delegate_batch(&stream[lo..hi]);
+            });
+        }
+    });
+    if let Some(g) = &gate {
+        g.shutdown();
+    }
+    engine.finalize();
+    let elapsed = start.elapsed();
+    Ok(RunStats {
+        engine: "cots".into(),
+        threads: options.threads,
+        elements: stream.len() as u64,
+        elapsed,
+        work: engine.work(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cots_core::{ConcurrentCounter, CotsConfig, QueryableSummary};
+    use cots_datagen::StreamSpec;
+
+    fn engine(capacity: usize) -> Arc<CotsEngine<u64>> {
+        Arc::new(CotsEngine::new(CotsConfig::for_capacity(capacity).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn run_covers_whole_stream() {
+        let stream = StreamSpec::zipf(20_000, 400, 2.0, 11).generate();
+        let e = engine(128);
+        let stats = run(
+            &e,
+            &stream,
+            RuntimeOptions {
+                threads: 4,
+                batch: 256,
+                adaptive: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.elements, 20_000);
+        assert_eq!(e.processed(), 20_000);
+        let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
+        assert_eq!(sum, 20_000);
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_run_still_exact() {
+        let stream = StreamSpec::zipf(30_000, 100, 2.5, 3).generate();
+        let e = Arc::new(
+            CotsEngine::<u64>::new(CotsConfig::for_capacity(64).unwrap().with_adaptive(32, 8))
+                .unwrap(),
+        );
+        let stats = run(
+            &e,
+            &stream,
+            RuntimeOptions {
+                threads: 6,
+                batch: 128,
+                adaptive: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.elements, 30_000);
+        let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
+        assert_eq!(sum, 30_000, "adaptive scheduling must not lose elements");
+    }
+
+    #[test]
+    fn rejects_invalid_options() {
+        let e = engine(8);
+        let stream = vec![1u64, 2, 3];
+        assert!(run(&e, &[], RuntimeOptions::default()).is_err());
+        assert!(run(
+            &e,
+            &stream,
+            RuntimeOptions {
+                threads: 0,
+                batch: 8,
+                adaptive: false
+            }
+        )
+        .is_err());
+        assert!(run(
+            &e,
+            &stream,
+            RuntimeOptions {
+                threads: 1,
+                batch: 0,
+                adaptive: false
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn oversubscription_works() {
+        // Many more threads than elements per batch; the paper runs up to
+        // 256 threads on 4 cores.
+        let stream = StreamSpec::zipf(8_000, 50, 3.0, 9).generate();
+        let e = engine(64);
+        let stats = run(
+            &e,
+            &stream,
+            RuntimeOptions {
+                threads: 32,
+                batch: 64,
+                adaptive: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.elements, 8_000);
+        let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
+        assert_eq!(sum, 8_000);
+    }
+}

@@ -1,0 +1,208 @@
+//! Dynamic auto configuration (§5.2.3): the thread pool and the σ/ρ
+//! scheduling thresholds.
+//!
+//! The engine reports two conditions while enqueueing:
+//!
+//! * **congestion** — a bucket queue grew beyond σ, meaning delegation is
+//!   out-pacing draining and extra producers only pile up requests ⇒ the
+//!   gate lowers its active-thread target, and surplus workers park back
+//!   into the pool at their next pause point;
+//! * **starvation** — an unowned bucket queue exceeded ρ ⇒ the gate raises
+//!   the target and wakes a parked worker to drain it.
+//!
+//! Workers call [`ThreadGate::pause_point`] between stream batches; workers
+//! whose id is at or above the current target block there until the target
+//! rises again or the run shuts down.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Callbacks the engine raises toward the scheduler.
+pub trait SchedulerHook: Send + Sync {
+    /// A bucket queue exceeded σ while a thread enqueued.
+    fn on_congestion(&self);
+    /// An unowned bucket queue exceeded ρ.
+    fn on_starvation(&self);
+}
+
+/// Adaptive worker gate: workers `0..target` run, the rest park.
+pub struct ThreadGate {
+    max_threads: usize,
+    min_threads: usize,
+    target: AtomicUsize,
+    /// Cooldown so bursts of signals do not thrash the target.
+    signals: AtomicU64,
+    cooldown: u64,
+    done: AtomicBool,
+    lock: Mutex<()>,
+    condvar: Condvar,
+    /// Times the target was lowered (σ congestion events acted upon).
+    pub parks: AtomicU64,
+    /// Times the target was raised (ρ starvation events acted upon).
+    pub wakes: AtomicU64,
+}
+
+impl ThreadGate {
+    /// Gate over `max_threads` workers, never dropping below
+    /// `min_threads`; at most one target adjustment per `cooldown` signals.
+    pub fn new(max_threads: usize, min_threads: usize, cooldown: u64) -> Self {
+        assert!(max_threads >= 1 && min_threads >= 1 && min_threads <= max_threads);
+        Self {
+            max_threads,
+            min_threads,
+            target: AtomicUsize::new(max_threads),
+            signals: AtomicU64::new(0),
+            cooldown: cooldown.max(1),
+            done: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            condvar: Condvar::new(),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// The current active-thread target.
+    pub fn active_target(&self) -> usize {
+        self.target.load(Ordering::Acquire)
+    }
+
+    /// True once the run has been shut down.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block worker `id` while it is above the active target. Returns
+    /// immediately once the run is done.
+    pub fn pause_point(&self, id: usize) {
+        if self.is_done() || id < self.active_target() {
+            return;
+        }
+        let mut guard = self.lock.lock();
+        while !self.is_done() && id >= self.active_target() {
+            self.condvar.wait(&mut guard);
+        }
+    }
+
+    /// Release every parked worker permanently (end of run).
+    pub fn shutdown(&self) {
+        self.done.store(true, Ordering::Release);
+        let _g = self.lock.lock();
+        self.condvar.notify_all();
+    }
+
+    fn due(&self) -> bool {
+        self.signals
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.cooldown)
+    }
+
+    fn adjust(&self, up: bool) {
+        let _ = self
+            .target
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                if up {
+                    (t < self.max_threads).then_some(t + 1)
+                } else {
+                    (t > self.min_threads).then_some(t - 1)
+                }
+            })
+            .map(|_| {
+                if up {
+                    self.wakes.fetch_add(1, Ordering::Relaxed);
+                    let _g = self.lock.lock();
+                    self.condvar.notify_all();
+                } else {
+                    self.parks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+    }
+}
+
+impl SchedulerHook for ThreadGate {
+    fn on_congestion(&self) {
+        if self.due() {
+            self.adjust(false);
+        }
+    }
+
+    fn on_starvation(&self) {
+        if self.due() {
+            self.adjust(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn target_moves_within_bounds() {
+        let g = ThreadGate::new(4, 1, 1);
+        assert_eq!(g.active_target(), 4);
+        for _ in 0..10 {
+            g.on_congestion();
+        }
+        assert_eq!(g.active_target(), 1, "never below min");
+        for _ in 0..10 {
+            g.on_starvation();
+        }
+        assert_eq!(g.active_target(), 4, "never above max");
+    }
+
+    #[test]
+    fn cooldown_rate_limits() {
+        let g = ThreadGate::new(8, 1, 4);
+        // Only every 4th signal adjusts (the first one fires at counter 0).
+        for _ in 0..8 {
+            g.on_congestion();
+        }
+        assert_eq!(g.active_target(), 6);
+    }
+
+    #[test]
+    fn workers_park_and_wake() {
+        let g = Arc::new(ThreadGate::new(2, 1, 1));
+        g.on_congestion(); // target 1: worker 1 must park
+        assert_eq!(g.active_target(), 1);
+        let g2 = g.clone();
+        let h = std::thread::spawn(move || {
+            g2.pause_point(1); // blocks until target rises or shutdown
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!h.is_finished(), "worker 1 should be parked");
+        g.on_starvation(); // target back to 2 -> wake
+        assert!(h.join().unwrap());
+        assert_eq!(g.wakes.load(Ordering::Relaxed), 1);
+        assert_eq!(g.parks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_releases_everyone() {
+        let g = Arc::new(ThreadGate::new(2, 1, 1));
+        g.on_congestion();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || g.pause_point(1))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        g.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // pause_point after shutdown is a no-op.
+        g.pause_point(5);
+    }
+
+    #[test]
+    fn active_workers_never_block() {
+        let g = ThreadGate::new(4, 1, 1);
+        g.pause_point(0);
+        g.pause_point(3);
+    }
+}

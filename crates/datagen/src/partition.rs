@@ -1,0 +1,134 @@
+//! Stream partitioners.
+//!
+//! The parallel engines split the stream among worker threads. Three
+//! policies are provided:
+//!
+//! * [`chunked`] — contiguous equal slices; what the paper's harness uses
+//!   (each thread processes a contiguous region of the input buffer).
+//! * [`round_robin`] — element `i` goes to thread `i mod t`; preserves
+//!   fine-grained interleaving, at the cost of copying.
+//! * [`by_hash`] — element-hash partitioning; gives each thread a *disjoint
+//!   key space*, which makes the independent design's merge trivially exact
+//!   and is included so that experiments can separate partitioning effects
+//!   from structure effects.
+
+use cots_core::{Element, MulHash};
+
+/// Split `stream` into `parts` contiguous slices whose lengths differ by at
+/// most one.
+///
+/// # Panics
+/// If `parts == 0`.
+pub fn chunked<K>(stream: &[K], parts: usize) -> Vec<&[K]> {
+    assert!(parts > 0, "parts must be positive");
+    let n = stream.len();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(&stream[start..start + len]);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Deal elements to `parts` owned partitions round-robin.
+///
+/// # Panics
+/// If `parts == 0`.
+pub fn round_robin<K: Element>(stream: &[K], parts: usize) -> Vec<Vec<K>> {
+    assert!(parts > 0, "parts must be positive");
+    let mut out: Vec<Vec<K>> = (0..parts)
+        .map(|p| Vec::with_capacity(stream.len() / parts + usize::from(p < stream.len() % parts)))
+        .collect();
+    for (i, &e) in stream.iter().enumerate() {
+        out[i % parts].push(e);
+    }
+    out
+}
+
+/// Partition by element hash: all occurrences of a key land in the same
+/// partition.
+///
+/// # Panics
+/// If `parts == 0`.
+pub fn by_hash<K: Element>(stream: &[K], parts: usize) -> Vec<Vec<K>> {
+    assert!(parts > 0, "parts must be positive");
+    let mut out: Vec<Vec<K>> = (0..parts).map(|_| Vec::new()).collect();
+    for &e in stream {
+        let h = MulHash::hash(&e);
+        out[(h % parts as u64) as usize].push(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn chunked_covers_everything_in_order() {
+        let data: Vec<u64> = (0..103).collect();
+        let parts = chunked(&data, 4);
+        assert_eq!(parts.len(), 4);
+        let lens: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(lens, vec![26, 26, 26, 25]);
+        let flat: Vec<u64> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(flat, data);
+    }
+
+    #[test]
+    fn chunked_more_parts_than_elements() {
+        let data: Vec<u64> = vec![1, 2];
+        let parts = chunked(&data, 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().filter(|p| p.is_empty()).count(), 3);
+        let flat: Vec<u64> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(flat, data);
+    }
+
+    #[test]
+    fn round_robin_deals_evenly() {
+        let data: Vec<u64> = (0..10).collect();
+        let parts = round_robin(&data, 3);
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn by_hash_is_key_disjoint_and_complete() {
+        let data: Vec<u64> = (0..1000).map(|i| i % 37).collect();
+        let parts = by_hash(&data, 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, data.len());
+        let key_sets: Vec<HashSet<u64>> =
+            parts.iter().map(|p| p.iter().copied().collect()).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    key_sets[i].is_disjoint(&key_sets[j]),
+                    "partitions {i} and {j} share keys"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn chunked_zero_parts_panics() {
+        let _ = chunked::<u64>(&[], 0);
+    }
+
+    #[test]
+    fn single_partition_is_identity() {
+        let data: Vec<u64> = (0..5).collect();
+        assert_eq!(chunked(&data, 1)[0], &data[..]);
+        assert_eq!(round_robin(&data, 1)[0], data);
+        assert_eq!(by_hash(&data, 1)[0], data);
+    }
+}

@@ -1,0 +1,226 @@
+//! Stream materialization.
+//!
+//! Experiments pre-generate the stream into memory (as the paper's harness
+//! does) so that generation cost never pollutes the measured counting time
+//! and every engine consumes the byte-identical sequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::AliasTable;
+use cots_core::MulHash;
+
+/// The element-frequency law of a synthetic stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Zipfian with skew `alpha` (the paper's workload; α ∈ [1.5, 3.0]).
+    Zipf {
+        /// Skew parameter; 0 = uniform, larger = more skewed.
+        alpha: f64,
+    },
+    /// Uniform over the alphabet.
+    Uniform,
+    /// Rotates through the alphabet in rank order — every element reappears
+    /// with the maximum possible gap; adversarial for Space Saving's
+    /// eviction heuristic (constant churn of the monitored set when the
+    /// alphabet exceeds the counter budget).
+    RoundRobin,
+    /// Every element occurs exactly once (ids never repeat) — the pure
+    /// overwrite workload: after warm-up, every processed element evicts a
+    /// minimum-frequency counter.
+    AllDistinct,
+    /// A single element repeated — the pure increment workload and the
+    /// maximum-contention case for the shared design / maximum-combining
+    /// case for CoTS.
+    Constant,
+}
+
+/// A reproducible stream description.
+///
+/// # Example
+///
+/// ```
+/// use cots_datagen::StreamSpec;
+///
+/// let spec = StreamSpec::zipf(10_000, 500, 2.0, 42);
+/// let a = spec.generate();
+/// let b = spec.generate();
+/// assert_eq!(a, b, "same spec, same stream");
+/// assert_eq!(a.len(), 10_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Number of elements to generate.
+    pub len: usize,
+    /// Alphabet size `|A|` (ignored by `Constant`; `AllDistinct` emits
+    /// `len` distinct ids).
+    pub alphabet: usize,
+    /// Frequency law.
+    pub distribution: Distribution,
+    /// RNG seed; two specs with equal fields generate identical streams.
+    pub seed: u64,
+    /// When true, rank `i` is mapped to a pseudo-random (but deterministic)
+    /// element id instead of the id `i` itself, so that frequency rank is
+    /// uncorrelated with key value and with hash-bucket placement.
+    pub scramble_ids: bool,
+}
+
+impl StreamSpec {
+    /// The paper's standard workload shape: zipfian stream.
+    pub fn zipf(len: usize, alphabet: usize, alpha: f64, seed: u64) -> Self {
+        Self {
+            len,
+            alphabet,
+            distribution: Distribution::Zipf { alpha },
+            seed,
+            scramble_ids: true,
+        }
+    }
+
+    /// Map a 1-based rank to an element id under this spec.
+    #[inline]
+    pub fn id_of_rank(&self, rank: usize) -> u64 {
+        if self.scramble_ids {
+            // Deterministic injective scrambling: mix (seed, rank). The
+            // avalanche finalizer is a bijection on u64, so distinct ranks
+            // map to distinct ids even across the full alphabet.
+            MulHash::finalize((rank as u64).wrapping_add(self.seed.rotate_left(17)))
+        } else {
+            rank as u64
+        }
+    }
+
+    /// Materialize the stream.
+    ///
+    /// # Panics
+    /// If `len == 0`, or the alphabet is empty for a law that needs one.
+    pub fn generate(&self) -> Vec<u64> {
+        assert!(self.len > 0, "stream must be non-empty");
+        let mut out = Vec::with_capacity(self.len);
+        match self.distribution {
+            Distribution::Zipf { alpha } => {
+                assert!(self.alphabet > 0, "zipf needs a non-empty alphabet");
+                let table = AliasTable::zipf(self.alphabet, alpha);
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                for _ in 0..self.len {
+                    out.push(self.id_of_rank(table.sample_rank(&mut rng)));
+                }
+            }
+            Distribution::Uniform => {
+                assert!(self.alphabet > 0, "uniform needs a non-empty alphabet");
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                for _ in 0..self.len {
+                    out.push(self.id_of_rank(rng.gen_range(1..=self.alphabet)));
+                }
+            }
+            Distribution::RoundRobin => {
+                assert!(self.alphabet > 0, "round-robin needs a non-empty alphabet");
+                for i in 0..self.len {
+                    out.push(self.id_of_rank(1 + (i % self.alphabet)));
+                }
+            }
+            Distribution::AllDistinct => {
+                for i in 0..self.len {
+                    out.push(self.id_of_rank(1 + i));
+                }
+            }
+            Distribution::Constant => {
+                let id = self.id_of_rank(1);
+                out.resize(self.len, id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn reproducible() {
+        let spec = StreamSpec::zipf(10_000, 100, 2.0, 42);
+        assert_eq!(spec.generate(), spec.generate());
+        let other = StreamSpec::zipf(10_000, 100, 2.0, 43);
+        assert_ne!(spec.generate(), other.generate());
+    }
+
+    #[test]
+    fn zipf_respects_alphabet() {
+        let spec = StreamSpec {
+            scramble_ids: false,
+            ..StreamSpec::zipf(5_000, 32, 1.5, 7)
+        };
+        let s = spec.generate();
+        assert!(s.iter().all(|&e| (1..=32).contains(&e)));
+        // Rank 1 must dominate under α=1.5.
+        let ones = s.iter().filter(|&&e| e == 1).count();
+        assert!(ones * 3 > s.len() / 4, "rank-1 occupancy too low: {ones}");
+    }
+
+    #[test]
+    fn scrambled_ids_are_injective() {
+        let spec = StreamSpec::zipf(1, 50_000, 1.0, 3);
+        let ids: HashSet<u64> = (1..=50_000).map(|r| spec.id_of_rank(r)).collect();
+        assert_eq!(ids.len(), 50_000);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let spec = StreamSpec {
+            len: 10,
+            alphabet: 3,
+            distribution: Distribution::RoundRobin,
+            seed: 0,
+            scramble_ids: false,
+        };
+        assert_eq!(spec.generate(), vec![1, 2, 3, 1, 2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn all_distinct_never_repeats() {
+        let spec = StreamSpec {
+            len: 1000,
+            alphabet: 0,
+            distribution: Distribution::AllDistinct,
+            seed: 11,
+            scramble_ids: true,
+        };
+        let s = spec.generate();
+        let set: HashSet<u64> = s.iter().copied().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let spec = StreamSpec {
+            len: 64,
+            alphabet: 9,
+            distribution: Distribution::Constant,
+            seed: 5,
+            scramble_ids: false,
+        };
+        let s = spec.generate();
+        assert!(s.iter().all(|&e| e == 1));
+    }
+
+    #[test]
+    fn uniform_hits_most_of_small_alphabet() {
+        let spec = StreamSpec {
+            len: 2000,
+            alphabet: 16,
+            distribution: Distribution::Uniform,
+            seed: 1,
+            scramble_ids: false,
+        };
+        let distinct: HashSet<u64> = spec.generate().into_iter().collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_stream() {
+        let _ = StreamSpec::zipf(0, 10, 1.0, 0).generate();
+    }
+}

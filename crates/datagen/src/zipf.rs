@@ -1,0 +1,305 @@
+//! Zipfian samplers.
+//!
+//! Two interchangeable samplers over ranks `1..=n` with
+//! `P(rank = i) = (1/i^α) / H(n, α)`:
+//!
+//! * [`Zipf`] — inverse-CDF sampling by binary search over the exact
+//!   cumulative weights. O(log n) per sample, O(n) setup, numerically exact.
+//! * [`AliasTable`] — Walker/Vose alias method. O(1) per sample after an
+//!   O(n) setup; this is what the benchmark harness uses so that stream
+//!   generation never dominates the measured counting time.
+//!
+//! Both are deterministic given a seeded RNG; the `stream` module wires them
+//! to a reproducible seed so every engine in an experiment consumes the
+//! *identical* stream.
+
+use rand::Rng;
+
+/// Generalized harmonic number `H(n, α) = Σ_{i=1}^{n} 1/i^α`
+/// (the paper's `ζ(α)` truncated to the alphabet size).
+pub fn harmonic(n: usize, alpha: f64) -> f64 {
+    // Sum smallest-first to bound floating point error.
+    let mut h = 0.0;
+    for i in (1..=n).rev() {
+        h += 1.0 / (i as f64).powf(alpha);
+    }
+    h
+}
+
+/// Exact inverse-CDF zipf sampler over ranks `1..=n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[i]` = P(rank <= i+1), strictly increasing, last element 1.0.
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `alpha >= 0`
+    /// (`alpha == 0` is the uniform distribution).
+    ///
+    /// # Panics
+    /// If `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "alphabet must be non-empty");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
+        let h = harmonic(n, alpha);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha) / h;
+            cdf.push(acc);
+        }
+        // Guard against accumulated rounding leaving the tail unreachable.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf, alpha }
+    }
+
+    /// The skew parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the alphabet is empty (never: `new` rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of rank `i` (1-based).
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!((1..=self.len()).contains(&rank));
+        let lo = if rank == 1 { 0.0 } else { self.cdf[rank - 2] };
+        self.cdf[rank - 1] - lo
+    }
+
+    /// Sample a 1-based rank.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index with cdf >= u; +1 converts to a 1-based rank.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+}
+
+/// Walker/Vose alias table for O(1) sampling of an arbitrary finite
+/// distribution; used here for the zipf law.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each slot.
+    prob: Vec<f64>,
+    /// Alias target of each slot.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from (unnormalized) non-negative weights.
+    ///
+    /// # Panics
+    /// If `weights` is empty, longer than `u32::MAX`, contains a negative
+    /// or non-finite weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "weights must be non-empty");
+        assert!(n <= u32::MAX as usize, "alphabet too large for alias table");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| *w >= 0.0 && w.is_finite()) && total > 0.0,
+            "weights must be finite, non-negative and not all zero"
+        );
+
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual slots (numerical leftovers) accept unconditionally.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Build the alias table for the zipf law over `n` ranks.
+    pub fn zipf(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "alphabet must be non-empty");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
+        let weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(alpha)).collect();
+        Self::new(&weights)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table is empty (never: construction rejects empties).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sample a 0-based slot index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let slot = rng.gen_range(0..self.len());
+        if rng.gen::<f64>() < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+
+    /// Sample a 1-based rank (zipf convention).
+    #[inline]
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harmonic_known_values() {
+        assert!((harmonic(1, 2.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic(2, 1.0) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4, 0.0) - 4.0).abs() < 1e-12);
+        // ζ(2) = π²/6 ≈ 1.6449; H(10^5, 2) should be within 1e-4 of it.
+        assert!((harmonic(100_000, 2.0) - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one_and_decrease() {
+        let z = Zipf::new(100, 1.5);
+        let total: f64 = (1..=100).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..100 {
+            assert!(z.probability(i) >= z.probability(i + 1));
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 1..=10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_law() {
+        let z = Zipf::new(50, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = vec![0u64; 51];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 1 expectation: n / H(50,2); allow 5% relative error.
+        let expect = n as f64 / harmonic(50, 2.0);
+        let got = counts[1] as f64;
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "rank-1 count {got} vs expected {expect}"
+        );
+        // Monotonic-ish: rank 1 strictly dominates rank 3.
+        assert!(counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn alias_matches_exact_cdf_statistics() {
+        let n = 40;
+        let alpha = 1.5;
+        let a = AliasTable::zipf(n, alpha);
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 200_000;
+        let mut counts = vec![0u64; n + 1];
+        for _ in 0..trials {
+            counts[a.sample_rank(&mut rng)] += 1;
+        }
+        let h = harmonic(n, alpha);
+        for rank in [1usize, 2, 5] {
+            let expect = trials as f64 / (rank as f64).powf(alpha) / h;
+            let got = counts[rank] as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.06,
+                "rank {rank}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_handles_degenerate_weights() {
+        // Single element.
+        let a = AliasTable::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(a.sample(&mut rng), 0);
+        // One dominant weight among zeros.
+        let a = AliasTable::new(&[0.0, 5.0, 0.0]);
+        for _ in 0..100 {
+            assert_eq!(a.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_uniform_covers_all_slots() {
+        let a = AliasTable::new(&[1.0; 16]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[a.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_rejects_empty_alphabet() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn zipf_rejects_negative_alpha() {
+        let _ = Zipf::new(4, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all zero")]
+    fn alias_rejects_zero_mass() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Statistical and structural properties of the generators and
+//! partitioners.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cots_datagen::partition::{by_hash, chunked, round_robin};
+use cots_datagen::zipf::{harmonic, AliasTable, Zipf};
+use cots_datagen::{Distribution, StreamSpec};
+
+/// The paper's frequency law: the i-th rank's expected share is
+/// `1 / (i^α ζ(α))`. Check the materialized stream against it.
+#[test]
+fn generated_stream_follows_the_paper_frequency_law() {
+    for alpha in [1.5f64, 2.0, 3.0] {
+        let n = 400_000;
+        let alphabet = 1_000;
+        let spec = StreamSpec {
+            scramble_ids: false,
+            ..StreamSpec::zipf(n, alphabet, alpha, 99)
+        };
+        let stream = spec.generate();
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &e in &stream {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        let h = harmonic(alphabet, alpha);
+        for rank in [1usize, 2, 4, 8] {
+            let expect = n as f64 / (rank as f64).powf(alpha) / h;
+            let got = counts.get(&(rank as u64)).copied().unwrap_or(0) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(
+                rel < 0.08,
+                "alpha {alpha} rank {rank}: got {got}, expected {expect:.0} (rel {rel:.3})"
+            );
+        }
+    }
+}
+
+/// Both samplers target the identical distribution: compare empirical
+/// rank-1/rank-2 shares between exact-CDF and alias sampling.
+#[test]
+fn alias_and_exact_cdf_agree() {
+    let n = 300;
+    let alpha = 1.8;
+    let trials = 150_000;
+    let exact = Zipf::new(n, alpha);
+    let alias = AliasTable::zipf(n, alpha);
+    let mut rng_a = StdRng::seed_from_u64(1);
+    let mut rng_b = StdRng::seed_from_u64(2);
+    let mut counts_a = vec![0u32; n + 1];
+    let mut counts_b = vec![0u32; n + 1];
+    for _ in 0..trials {
+        counts_a[exact.sample(&mut rng_a)] += 1;
+        counts_b[alias.sample_rank(&mut rng_b)] += 1;
+    }
+    for rank in [1usize, 2, 3, 10] {
+        let a = counts_a[rank] as f64;
+        let b = counts_b[rank] as f64;
+        let rel = (a - b).abs() / a.max(1.0);
+        assert!(rel < 0.1, "rank {rank}: exact {a} vs alias {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partitions_preserve_the_multiset(
+        stream in proptest::collection::vec(0u64..100, 0..500),
+        parts in 1usize..8,
+        scheme in 0u8..3,
+    ) {
+        let partitions: Vec<Vec<u64>> = match scheme {
+            0 => chunked(&stream, parts).into_iter().map(|s| s.to_vec()).collect(),
+            1 => round_robin(&stream, parts),
+            _ => by_hash(&stream, parts),
+        };
+        prop_assert_eq!(partitions.len(), parts);
+        let mut all: Vec<u64> = partitions.into_iter().flatten().collect();
+        let mut want = stream.clone();
+        all.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn chunked_is_balanced(
+        len in 0usize..1000,
+        parts in 1usize..16,
+    ) {
+        let stream: Vec<u64> = (0..len as u64).collect();
+        let chunks = chunked(&stream, parts);
+        let min = chunks.iter().map(|c| c.len()).min().unwrap();
+        let max = chunks.iter().map(|c| c.len()).max().unwrap();
+        prop_assert!(max - min <= 1, "chunk sizes {min}..{max}");
+    }
+
+    #[test]
+    fn specs_are_pure_functions(
+        len in 1usize..2_000,
+        alphabet in 1usize..500,
+        seed in 0u64..1_000,
+    ) {
+        let spec = StreamSpec::zipf(len, alphabet, 2.0, seed);
+        prop_assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn zipf_probability_sums_to_one(
+        n in 1usize..400,
+        alpha in 0.0f64..4.0,
+    ) {
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (1..=n).map(|i| z.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alias_samples_in_range(
+        n in 1usize..200,
+        alpha in 0.0f64..4.0,
+        seed in 0u64..50,
+    ) {
+        let a = AliasTable::zipf(n, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let r = a.sample_rank(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+    }
+}
+
+#[test]
+fn adversarial_distributions_have_expected_shapes() {
+    let rr = StreamSpec {
+        len: 100,
+        alphabet: 7,
+        distribution: Distribution::RoundRobin,
+        seed: 0,
+        scramble_ids: false,
+    }
+    .generate();
+    // Max gap between repeats of an element is exactly the alphabet size.
+    for w in rr.windows(8) {
+        assert_eq!(w[0], w[7]);
+    }
+
+    let distinct = StreamSpec {
+        len: 64,
+        alphabet: 0,
+        distribution: Distribution::AllDistinct,
+        seed: 3,
+        scramble_ids: false,
+    }
+    .generate();
+    let set: std::collections::HashSet<u64> = distinct.iter().copied().collect();
+    assert_eq!(set.len(), 64);
+}

@@ -1,0 +1,192 @@
+//! The **Hybrid** structure sketched (and dismissed) in §4.4.
+//!
+//! "One possible extension can be to maintain a combination of local and
+//! global counters […] to limit the contention (by hitting local counters
+//! frequently) as well as space overhead. This design would not be scalable
+//! as well because on the two extremes of the input distribution it would
+//! degenerate into one or the other parent technique."
+//!
+//! Each worker keeps a small private counter cache; counts are buffered
+//! locally and flushed into the shared locked structure as weighted updates
+//! every `flush_every` elements. On skewed input the cache absorbs most
+//! increments (degenerates toward the independent design, with its merge
+//! staleness); on uniform input nearly every element misses the cache and
+//! goes straight to the shared structure (degenerates toward the shared
+//! design, with its contention). Implemented so §4.4's argument can be
+//! measured rather than taken on faith.
+
+use std::collections::HashMap;
+
+use cots_core::{ConcurrentCounter, Element, QueryableSummary, Result, Snapshot, SummaryConfig};
+use cots_profiling::PhaseTimer;
+
+use crate::lock::LockKind;
+use crate::shared::SharedSpaceSaving;
+
+/// Shared engine plus per-thread write-back counter caches.
+pub struct HybridSpaceSaving<K: Element> {
+    shared: SharedSpaceSaving<K>,
+    /// Maximum distinct keys buffered per worker.
+    cache_keys: usize,
+    /// Buffered increments per worker before a forced flush.
+    flush_every: u64,
+}
+
+/// A worker's private cache; create one per thread with
+/// [`HybridSpaceSaving::new_cache`], and [`HybridSpaceSaving::flush`] it
+/// before reading results.
+#[derive(Debug)]
+pub struct LocalCache<K> {
+    counts: HashMap<K, u64>,
+    buffered: u64,
+}
+
+impl<K: Element> HybridSpaceSaving<K> {
+    /// Build over a shared structure of the given budget.
+    pub fn new(
+        config: SummaryConfig,
+        kind: LockKind,
+        cache_keys: usize,
+        flush_every: u64,
+    ) -> Result<Self> {
+        Ok(Self {
+            shared: SharedSpaceSaving::new(config, kind)?,
+            cache_keys: cache_keys.max(1),
+            flush_every: flush_every.max(1),
+        })
+    }
+
+    /// The shared substrate (for inspection).
+    pub fn shared(&self) -> &SharedSpaceSaving<K> {
+        &self.shared
+    }
+
+    /// A fresh per-worker cache.
+    pub fn new_cache(&self) -> LocalCache<K> {
+        LocalCache {
+            counts: HashMap::with_capacity(self.cache_keys * 2),
+            buffered: 0,
+        }
+    }
+
+    /// Process one element through a worker's cache.
+    pub fn process_cached(&self, cache: &mut LocalCache<K>, item: K) {
+        // Hot path: bump a locally cached key.
+        if let Some(c) = cache.counts.get_mut(&item) {
+            *c += 1;
+            cache.buffered += 1;
+        } else if cache.counts.len() < self.cache_keys {
+            cache.counts.insert(item, 1);
+            cache.buffered += 1;
+        } else {
+            // Cache full: this element bypasses straight to the shared
+            // structure (the uniform-input degeneration).
+            self.shared.process(item);
+        }
+        if cache.buffered >= self.flush_every {
+            self.flush(cache);
+        }
+    }
+
+    /// Push a worker's buffered counts into the shared structure: one
+    /// weighted summary operation per cached key.
+    pub fn flush(&self, cache: &mut LocalCache<K>) {
+        let mut timer = PhaseTimer::disabled();
+        for (item, count) in cache.counts.drain() {
+            self.shared
+                .process_weighted_profiled(item, count, &mut timer);
+        }
+        cache.buffered = 0;
+    }
+}
+
+impl<K: Element> QueryableSummary<K> for HybridSpaceSaving<K> {
+    fn snapshot(&self) -> Snapshot<K> {
+        self.shared.snapshot()
+    }
+
+    fn estimate(&self, item: &K) -> Option<(u64, u64)> {
+        self.shared.estimate(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn engine(capacity: usize, cache: usize, flush: u64) -> HybridSpaceSaving<u64> {
+        HybridSpaceSaving::new(
+            SummaryConfig::with_capacity(capacity).unwrap(),
+            LockKind::Mutex,
+            cache,
+            flush,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flush_delivers_all_counts() {
+        let h = engine(32, 8, 1000);
+        let mut cache = h.new_cache();
+        for e in [1u64, 1, 2, 3, 1] {
+            h.process_cached(&mut cache, e);
+        }
+        // Nothing visible before the flush (all cached).
+        assert_eq!(h.shared().processed(), 0);
+        h.flush(&mut cache);
+        assert_eq!(h.shared().processed(), 5);
+        assert_eq!(h.estimate(&1), Some((3, 0)));
+    }
+
+    #[test]
+    fn auto_flush_at_threshold() {
+        let h = engine(32, 8, 4);
+        let mut cache = h.new_cache();
+        for e in [1u64, 1, 1, 1] {
+            h.process_cached(&mut cache, e);
+        }
+        // Fourth buffered increment triggers the flush.
+        assert_eq!(h.shared().processed(), 4);
+    }
+
+    #[test]
+    fn cache_overflow_bypasses_to_shared() {
+        let h = engine(32, 2, 1000);
+        let mut cache = h.new_cache();
+        h.process_cached(&mut cache, 1);
+        h.process_cached(&mut cache, 2);
+        h.process_cached(&mut cache, 3); // cache full -> direct
+        assert_eq!(h.shared().processed(), 1);
+        h.flush(&mut cache);
+        assert_eq!(h.shared().processed(), 3);
+    }
+
+    #[test]
+    fn concurrent_hybrid_conserves_counts() {
+        let h = Arc::new(engine(64, 16, 64));
+        let threads = 4;
+        let per = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    let mut cache = h.new_cache();
+                    let mut x = t as u64 + 1;
+                    for _ in 0..per {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        h.process_cached(&mut cache, x % 32);
+                    }
+                    h.flush(&mut cache);
+                })
+            })
+            .collect();
+        for th in handles {
+            th.join().unwrap();
+        }
+        let n = threads as u64 * per;
+        assert_eq!(h.shared().processed(), n);
+        let sum: u64 = h.snapshot().entries().iter().map(|e| e.count).sum();
+        assert_eq!(sum, n);
+    }
+}

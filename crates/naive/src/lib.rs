@@ -1,0 +1,31 @@
+//! # cots-naive
+//!
+//! The two naive parallelization schemes the paper analyzes (§4) plus the
+//! hybrid design it argues against (§4.4):
+//!
+//! * [`independent::IndependentSpaceSaving`] — shared-nothing: one private
+//!   Space Saving per thread, merged (serially or hierarchically) at every
+//!   query point. Scales in counting, collapses in merging (Figs. 3(a), 4,
+//!   6).
+//! * [`shared::SharedSpaceSaving`] — one fully shared summary behind
+//!   element-level and bucket-level locks (mutex or spin). Collapses under
+//!   contention (Figs. 3(b), 5, 7).
+//! * [`hybrid::HybridSpaceSaving`] — per-thread counter caches in front of
+//!   the shared structure; degenerates toward one parent or the other at
+//!   the skew extremes, as §4.4 predicts.
+//!
+//! These engines exist to be measured, not used: the `cots` crate is the
+//! framework the paper actually proposes.
+
+#![warn(missing_docs)]
+
+pub mod hybrid;
+pub mod independent;
+pub mod lock;
+pub mod runner;
+pub mod shared;
+
+pub use hybrid::HybridSpaceSaving;
+pub use independent::{IndependentSpaceSaving, MergeStrategy};
+pub use lock::{LockKind, NaiveLock, SpinLock};
+pub use shared::SharedSpaceSaving;

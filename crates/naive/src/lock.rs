@@ -1,0 +1,259 @@
+//! Lock flavours for the naive shared design.
+//!
+//! The paper evaluates the shared structure with pthread mutexes and notes
+//! that "the performance was worse with Spin Locks (busy-wait) as not only
+//! were the threads waiting for shared resources, they were busy-waiting,
+//! and hence were also contending for the CPU" (§4.3). [`NaiveLock`] wraps
+//! either flavour behind one type so the engine can be built with both and
+//! the comparison re-run.
+//!
+//! Acquisitions optionally record into a [`WorkTally`]: one
+//! `lock_acquisitions` per lock, one `lock_contentions` when the fast-path
+//! `try_lock` failed and the thread had to wait.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use cots_core::report::WorkTally;
+use parking_lot::{Mutex, MutexGuard};
+
+/// Which lock implementation a shared engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// Blocking mutex (parking_lot; the analogue of the paper's pthread
+    /// mutex runs).
+    Mutex,
+    /// Test-and-test-and-set spin lock (the paper's busy-wait comparison).
+    Spin,
+}
+
+/// A mutual-exclusion wrapper that is either a parking mutex or a spin lock.
+#[derive(Debug)]
+pub enum NaiveLock<T> {
+    /// Parking mutex.
+    Mutex(Mutex<T>),
+    /// Spin lock.
+    Spin(SpinLock<T>),
+}
+
+impl<T> NaiveLock<T> {
+    /// Create a lock of the requested kind.
+    pub fn new(kind: LockKind, value: T) -> Self {
+        match kind {
+            LockKind::Mutex => NaiveLock::Mutex(Mutex::new(value)),
+            LockKind::Spin => NaiveLock::Spin(SpinLock::new(value)),
+        }
+    }
+
+    /// Acquire, blocking (or spinning) until available.
+    pub fn lock(&self) -> NaiveGuard<'_, T> {
+        match self {
+            NaiveLock::Mutex(m) => NaiveGuard::Mutex(m.lock()),
+            NaiveLock::Spin(s) => NaiveGuard::Spin(s.lock()),
+        }
+    }
+
+    /// Acquire without waiting.
+    pub fn try_lock(&self) -> Option<NaiveGuard<'_, T>> {
+        match self {
+            NaiveLock::Mutex(m) => m.try_lock().map(NaiveGuard::Mutex),
+            NaiveLock::Spin(s) => s.try_lock().map(NaiveGuard::Spin),
+        }
+    }
+
+    /// Acquire while recording acquisition/contention counts.
+    pub fn lock_counted(&self, tally: &WorkTally) -> NaiveGuard<'_, T> {
+        tally.lock_acquisitions(1);
+        if let Some(g) = self.try_lock() {
+            return g;
+        }
+        tally.lock_contentions(1);
+        self.lock()
+    }
+}
+
+/// Guard for [`NaiveLock`].
+pub enum NaiveGuard<'a, T> {
+    /// Guard of the mutex flavour.
+    Mutex(MutexGuard<'a, T>),
+    /// Guard of the spin flavour.
+    Spin(SpinGuard<'a, T>),
+}
+
+impl<T> Deref for NaiveGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            NaiveGuard::Mutex(g) => g,
+            NaiveGuard::Spin(g) => g,
+        }
+    }
+}
+
+impl<T> DerefMut for NaiveGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self {
+            NaiveGuard::Mutex(g) => &mut *g,
+            NaiveGuard::Spin(g) => &mut *g,
+        }
+    }
+}
+
+/// A test-and-test-and-set spin lock.
+///
+/// Deliberately primitive — this is the baseline whose pathologies the
+/// paper measures, not a production lock. It does spin with exponential
+/// yielding so a single-core host can still make progress.
+#[derive(Debug)]
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock protocol guarantees exclusive access to `value` while a
+// guard exists; `T: Send` is required to move values across the lock.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// New unlocked lock.
+    pub fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Spin until acquired.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(g) = self.try_lock() {
+                return g;
+            }
+            // Test-and-test-and-set: wait for the flag to look free before
+            // attempting the atomic swap again.
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins > 64 {
+                    // On an oversubscribed (or single-core) host the owner
+                    // cannot run unless we yield.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Acquire without waiting.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
+/// Guard for [`SpinLock`].
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence implies exclusive ownership.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence implies exclusive ownership.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn both_kinds_provide_mutual_exclusion() {
+        for kind in [LockKind::Mutex, LockKind::Spin] {
+            let lock = Arc::new(NaiveLock::new(kind, 0u64));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let lock = lock.clone();
+                    std::thread::spawn(move || {
+                        for _ in 0..10_000 {
+                            *lock.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*lock.lock(), 40_000, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let lock = NaiveLock::new(LockKind::Spin, 7u32);
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn counted_lock_records_contention() {
+        let tally = Arc::new(WorkTally::new());
+        let lock = Arc::new(NaiveLock::new(LockKind::Mutex, ()));
+        // Uncontended: one acquisition, no contention.
+        drop(lock.lock_counted(&tally));
+        let s = tally.snapshot();
+        assert_eq!(s.lock_acquisitions, 1);
+        assert_eq!(s.lock_contentions, 0);
+        // Contended: hold the lock in another thread.
+        let l2 = lock.clone();
+        let t2 = tally.clone();
+        let g = lock.lock();
+        let h = std::thread::spawn(move || {
+            let _g = l2.lock_counted(&t2);
+        });
+        // Give the thread time to hit the contended path.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(g);
+        h.join().unwrap();
+        let s = tally.snapshot();
+        assert_eq!(s.lock_acquisitions, 2);
+        assert_eq!(s.lock_contentions, 1);
+    }
+
+    #[test]
+    fn spin_guard_releases_on_drop() {
+        let lock = SpinLock::new(vec![1, 2]);
+        {
+            let mut g = lock.lock();
+            g.push(3);
+        }
+        assert_eq!(*lock.lock(), vec![1, 2, 3]);
+    }
+}

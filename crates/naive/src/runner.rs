@@ -1,0 +1,171 @@
+//! Measurement driver for shared-state concurrent engines.
+//!
+//! Partitions the stream into contiguous chunks (the paper's setup), spawns
+//! one worker per chunk, and measures the wall-clock counting time. With
+//! `profile = true` each worker carries an enabled [`PhaseTimer`] and the
+//! per-thread phase times are returned (the residual time outside any
+//! attributed phase is booked as `Rest`, matching Figure 5's "Rest" series).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cots_core::{CotsError, Element, Result, RunStats, WorkCounters};
+use cots_datagen::partition::chunked;
+use cots_profiling::{Phase, PhaseTimer, PhaseTimes};
+
+/// An engine the runner can drive with per-phase attribution.
+pub trait ProfiledCounter<K: Element>: Send + Sync {
+    /// Process one element, attributing time to phases.
+    fn process_profiled(&self, item: K, timer: &mut PhaseTimer);
+
+    /// Total elements processed (exact at quiescence).
+    fn processed(&self) -> u64;
+
+    /// Work counters accumulated so far.
+    fn work(&self) -> WorkCounters;
+
+    /// Engine label for reports.
+    fn label(&self) -> String;
+}
+
+impl<K: Element> ProfiledCounter<K> for crate::shared::SharedSpaceSaving<K> {
+    fn process_profiled(&self, item: K, timer: &mut PhaseTimer) {
+        crate::shared::SharedSpaceSaving::process_profiled(self, item, timer);
+    }
+
+    fn processed(&self) -> u64 {
+        cots_core::ConcurrentCounter::processed(self)
+    }
+
+    fn work(&self) -> WorkCounters {
+        crate::shared::SharedSpaceSaving::work(self)
+    }
+
+    fn label(&self) -> String {
+        "shared".into()
+    }
+}
+
+/// Outcome of a concurrent run.
+#[derive(Debug)]
+pub struct ConcurrentOutcome {
+    /// Wall-clock stats and work counters.
+    pub stats: RunStats,
+    /// Per-thread phase times (empty unless profiling was enabled).
+    pub phase_times: Vec<PhaseTimes>,
+}
+
+/// Drive `engine` over `stream` with `threads` workers on contiguous
+/// chunks; measure the counting wall-clock.
+pub fn run_concurrent<K: Element, E: ProfiledCounter<K>>(
+    engine: &E,
+    stream: &[K],
+    threads: usize,
+    profile: bool,
+) -> Result<ConcurrentOutcome> {
+    if threads == 0 {
+        return Err(CotsError::InvalidRun("threads must be positive".into()));
+    }
+    if stream.is_empty() {
+        return Err(CotsError::InvalidRun("stream must be non-empty".into()));
+    }
+    let chunks = chunked(stream, threads);
+    let phase_slots: Vec<Mutex<PhaseTimes>> = (0..threads)
+        .map(|_| Mutex::new(PhaseTimes::default()))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (tid, chunk) in chunks.iter().enumerate() {
+            let phase_slots = &phase_slots;
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut timer = if profile {
+                    PhaseTimer::enabled()
+                } else {
+                    PhaseTimer::disabled()
+                };
+                let thread_start = Instant::now();
+                for &item in *chunk {
+                    engine.process_profiled(item, &mut timer);
+                }
+                let wall = thread_start.elapsed();
+                let mut times = timer.into_times();
+                if profile {
+                    // Residual time is the "Rest" series.
+                    let attributed = times.total();
+                    if wall > attributed {
+                        times.add(Phase::Rest, wall - attributed);
+                    }
+                }
+                *phase_slots[tid].lock().unwrap() = times;
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = RunStats {
+        engine: engine.label(),
+        threads,
+        elements: stream.len() as u64,
+        elapsed,
+        work: engine.work(),
+    };
+    Ok(ConcurrentOutcome {
+        stats,
+        phase_times: phase_slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockKind;
+    use crate::shared::SharedSpaceSaving;
+    use cots_core::{QueryableSummary, SummaryConfig};
+    use cots_datagen::StreamSpec;
+
+    #[test]
+    fn runner_processes_whole_stream() {
+        let stream = StreamSpec::zipf(10_000, 200, 2.0, 4).generate();
+        let engine = SharedSpaceSaving::<u64>::new(
+            SummaryConfig::with_capacity(64).unwrap(),
+            LockKind::Mutex,
+        )
+        .unwrap();
+        let out = run_concurrent(&engine, &stream, 4, false).unwrap();
+        assert_eq!(out.stats.elements, 10_000);
+        assert_eq!(engine.snapshot().total(), 10_000);
+        let sum: u64 = engine.snapshot().entries().iter().map(|e| e.count).sum();
+        assert_eq!(sum, 10_000);
+    }
+
+    #[test]
+    fn profiled_run_produces_phase_times() {
+        let stream = StreamSpec::zipf(5_000, 100, 1.5, 4).generate();
+        let engine = SharedSpaceSaving::<u64>::new(
+            SummaryConfig::with_capacity(32).unwrap(),
+            LockKind::Mutex,
+        )
+        .unwrap();
+        let out = run_concurrent(&engine, &stream, 2, true).unwrap();
+        assert_eq!(out.phase_times.len(), 2);
+        let any_hash = out
+            .phase_times
+            .iter()
+            .any(|t| t.get(Phase::HashOps) > std::time::Duration::ZERO);
+        assert!(any_hash);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let engine = SharedSpaceSaving::<u64>::new(
+            SummaryConfig::with_capacity(8).unwrap(),
+            LockKind::Mutex,
+        )
+        .unwrap();
+        assert!(run_concurrent(&engine, &[], 2, false).is_err());
+        assert!(run_concurrent(&engine, &[1u64], 0, false).is_err());
+    }
+}

@@ -1,0 +1,593 @@
+//! The naive **Shared Structure** design (paper §4.2).
+//!
+//! One Stream Summary shared by all threads, with the two levels of
+//! synchronization the paper describes:
+//!
+//! * **Element-level**: a per-entry lock in the hash table; a thread must be
+//!   the only one operating on an element, so concurrent threads processing
+//!   the same (hot) element serialize here — the dominant cost for skewed
+//!   streams in Figure 5.
+//! * **Bucket-level**: moving an element between frequency buckets locks the
+//!   bucket list and the source/destination buckets; threads touching the
+//!   same buckets serialize here — the dominant cost for less-skewed
+//!   streams.
+//!
+//! plus the min-pointer lock that serializes overwriters at the
+//! minimum-frequency bucket.
+//!
+//! Lock ordering (deadlock freedom): a thread owns at most one *element*
+//! lock taken before anything else (a second element — the overwrite victim
+//! — is only ever `try_lock`ed); then `min_serial`; then the bucket-list
+//! lock; then bucket element-list locks. Chain locks are leaf locks never
+//! held across other acquisitions (the entry lock taken under a chain lock
+//! belongs to a freshly allocated, unpublished entry and cannot block).
+//!
+//! The engine is deliberately *naive*: it is the baseline whose collapse
+//! under contention Figures 3(b), 5 and 7 measure, reimplemented faithfully
+//! rather than improved.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cots_core::report::WorkTally;
+use cots_core::{
+    ConcurrentCounter, CounterEntry, Element, MulHash, QueryableSummary, Result, Snapshot,
+    SummaryConfig, WorkCounters,
+};
+use cots_profiling::{Phase, PhaseTimer};
+
+use crate::lock::{LockKind, NaiveLock};
+
+/// A monitored element's shared record.
+struct Entry<K> {
+    key: K,
+    /// Element-level lock; `count == 0` means "allocated but not yet in the
+    /// summary" (only its creator, which holds the lock, sees this state).
+    state: NaiveLock<EntryState>,
+    /// Set (under `state`) when the entry is evicted; readers retry.
+    deleted: AtomicBool,
+    /// Error bound, written under `state`, read lock-free by snapshots.
+    error: AtomicU64,
+    /// Position inside the owning bucket's element vector; guarded by that
+    /// bucket's lock.
+    pos: AtomicUsize,
+}
+
+struct EntryState {
+    count: u64,
+}
+
+/// A frequency bucket: the set of entries with exactly this count.
+struct FreqBucket<K> {
+    freq: u64,
+    elems: NaiveLock<Vec<Arc<Entry<K>>>>,
+}
+
+impl<K: Element> FreqBucket<K> {
+    fn new(freq: u64, kind: LockKind) -> Arc<Self> {
+        Arc::new(Self {
+            freq,
+            elems: NaiveLock::new(kind, Vec::new()),
+        })
+    }
+}
+
+/// Space Saving over a fully shared, two-level-locked Stream Summary.
+pub struct SharedSpaceSaving<K: Element> {
+    chains: Vec<NaiveLock<Vec<Arc<Entry<K>>>>>,
+    hash_bits: u32,
+    /// The bucket list, ordered by frequency.
+    list: NaiveLock<BTreeMap<u64, Arc<FreqBucket<K>>>>,
+    /// Serializes overwriters hunting the minimum bucket (the paper's
+    /// min-pointer lock).
+    min_serial: NaiveLock<()>,
+    /// Cached min/max frequencies, maintained under the list lock.
+    min_val: AtomicU64,
+    max_val: AtomicU64,
+    monitored: AtomicUsize,
+    capacity: usize,
+    total: AtomicU64,
+    kind: LockKind,
+    tally: Arc<WorkTally>,
+}
+
+impl<K: Element> SharedSpaceSaving<K> {
+    /// Build with the given counter budget and lock flavour.
+    pub fn new(config: SummaryConfig, kind: LockKind) -> Result<Self> {
+        let hash_bits = (2 * config.capacity.max(2))
+            .next_power_of_two()
+            .trailing_zeros();
+        let buckets = 1usize << hash_bits;
+        Ok(Self {
+            chains: (0..buckets)
+                .map(|_| NaiveLock::new(kind, Vec::new()))
+                .collect(),
+            hash_bits,
+            list: NaiveLock::new(kind, BTreeMap::new()),
+            min_serial: NaiveLock::new(kind, ()),
+            min_val: AtomicU64::new(0),
+            max_val: AtomicU64::new(0),
+            monitored: AtomicUsize::new(0),
+            capacity: config.capacity,
+            total: AtomicU64::new(0),
+            kind,
+            tally: Arc::new(WorkTally::new()),
+        })
+    }
+
+    /// Counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of monitored elements.
+    pub fn monitored(&self) -> usize {
+        self.monitored.load(Ordering::Acquire)
+    }
+
+    /// Accumulated work counters.
+    pub fn work(&self) -> WorkCounters {
+        self.tally.snapshot()
+    }
+
+    /// The shared tally (for drivers that want to pre-register counts).
+    pub fn tally(&self) -> &Arc<WorkTally> {
+        &self.tally
+    }
+
+    /// Process one element while attributing time to the Figure-5 phases.
+    pub fn process_profiled(&self, item: K, timer: &mut PhaseTimer) {
+        self.process_weighted_profiled(item, 1, timer);
+    }
+
+    /// Process `weight` occurrences of `item` as one summary operation
+    /// (used by the hybrid design's cache flushes).
+    pub fn process_weighted_profiled(&self, item: K, weight: u64, timer: &mut PhaseTimer) {
+        debug_assert!(weight > 0);
+        self.total.fetch_add(weight, Ordering::Relaxed);
+        self.tally.elements(weight);
+        loop {
+            // ---- Hash Opns: find-or-insert plus element-level blocking.
+            let span = timer.start();
+            let entry = self.find_or_insert(item);
+            let mut guard = entry.state.lock_counted(&self.tally);
+            timer.finish(Phase::HashOps, span);
+            if entry.deleted.load(Ordering::Acquire) {
+                drop(guard);
+                continue; // evicted while we waited; retry lookup
+            }
+            // `count == 0` marks an entry not yet in the summary. Whichever
+            // thread locks it first performs the admission; later threads
+            // (including the creator, if it lost the race) see a positive
+            // count and increment. This is the element-level
+            // synchronization of §4.2: exactly one thread operates on the
+            // element inside the summary.
+            if guard.count == 0 {
+                self.admit(&entry, &mut guard, weight, timer);
+            } else {
+                self.increment(&entry, &mut guard, weight, timer);
+            }
+            drop(guard);
+            self.tally.boundary_crossings(1);
+            self.tally.summary_ops(1);
+            return;
+        }
+    }
+
+    /// Find the live entry for `item`, or allocate one with `count == 0`.
+    fn find_or_insert(&self, item: K) -> Arc<Entry<K>> {
+        let idx = MulHash::index(MulHash::hash(&item), self.hash_bits);
+        let mut chain = self.chains[idx].lock_counted(&self.tally);
+        // Lazy deletion: garbage-collect evicted entries while we hold the
+        // chain lock (the paper's "Garbage Collect all deleted entries in
+        // the bucket" on insert).
+        chain.retain(|e| !e.deleted.load(Ordering::Acquire));
+        if let Some(e) = chain.iter().find(|e| e.key == item) {
+            return e.clone();
+        }
+        let entry = Arc::new(Entry {
+            key: item,
+            state: NaiveLock::new(self.kind, EntryState { count: 0 }),
+            deleted: AtomicBool::new(false),
+            error: AtomicU64::new(0),
+            pos: AtomicUsize::new(usize::MAX),
+        });
+        chain.push(entry.clone());
+        entry
+    }
+
+    /// A new element enters the summary: add if there is room, otherwise
+    /// overwrite the minimum (paper Algorithm 1).
+    fn admit(
+        &self,
+        entry: &Arc<Entry<K>>,
+        guard: &mut EntryState,
+        weight: u64,
+        timer: &mut PhaseTimer,
+    ) {
+        let reserved = self
+            .monitored
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                (c < self.capacity).then_some(c + 1)
+            })
+            .is_ok();
+        if reserved {
+            // ---- AddElementToBucket(1, e)
+            let span = timer.start();
+            let mut list = self.list.lock_counted(&self.tally);
+            timer.finish(Phase::BucketLocks, span);
+            let span = timer.start();
+            let bucket = list
+                .entry(weight)
+                .or_insert_with(|| FreqBucket::new(weight, self.kind))
+                .clone();
+            let mut elems = bucket.elems.lock_counted(&self.tally);
+            entry.pos.store(elems.len(), Ordering::Relaxed);
+            elems.push(entry.clone());
+            guard.count = weight;
+            drop(elems);
+            timer.finish(Phase::StructureOps, span);
+            let span = timer.start();
+            self.refresh_min_max(&list);
+            timer.finish(Phase::MinMaxLocks, span);
+        } else {
+            self.overwrite(entry, guard, weight, timer);
+        }
+    }
+
+    /// Move `entry` from its current bucket to `count + 1`.
+    fn increment(
+        &self,
+        entry: &Arc<Entry<K>>,
+        guard: &mut EntryState,
+        weight: u64,
+        timer: &mut PhaseTimer,
+    ) {
+        let old = guard.count;
+        let new = old + weight;
+        let span = timer.start();
+        let mut list = self.list.lock_counted(&self.tally);
+        timer.finish(Phase::BucketLocks, span);
+        let span = timer.start();
+        let src = list.get(&old).expect("entry's bucket must exist").clone();
+        let dst = list
+            .entry(new)
+            .or_insert_with(|| FreqBucket::new(new, self.kind))
+            .clone();
+        // Source before destination: consistent (ascending-frequency) order.
+        let mut src_elems = src.elems.lock_counted(&self.tally);
+        let mut dst_elems = dst.elems.lock_counted(&self.tally);
+        Self::detach(&mut src_elems, entry);
+        entry.pos.store(dst_elems.len(), Ordering::Relaxed);
+        dst_elems.push(entry.clone());
+        guard.count = new;
+        let src_empty = src_elems.is_empty();
+        drop(dst_elems);
+        drop(src_elems);
+        if src_empty {
+            list.remove(&old);
+        }
+        timer.finish(Phase::StructureOps, span);
+        let span = timer.start();
+        self.refresh_min_max(&list);
+        timer.finish(Phase::MinMaxLocks, span);
+    }
+
+    /// Overwrite the minimum-frequency element with `entry` (which is new).
+    fn overwrite(
+        &self,
+        entry: &Arc<Entry<K>>,
+        guard: &mut EntryState,
+        weight: u64,
+        timer: &mut PhaseTimer,
+    ) {
+        loop {
+            // ---- The min-pointer lock serializes overwriters.
+            let span = timer.start();
+            let _min = self.min_serial.lock_counted(&self.tally);
+            timer.finish(Phase::MinMaxLocks, span);
+            let span = timer.start();
+            let mut list = self.list.lock_counted(&self.tally);
+            timer.finish(Phase::BucketLocks, span);
+            let span = timer.start();
+            let Some((&min_freq, bucket)) = list.iter().next() else {
+                // Nothing to evict (capacity reserved concurrently); treat
+                // as add at frequency 1.
+                drop(list);
+                timer.finish(Phase::StructureOps, span);
+                std::thread::yield_now();
+                continue;
+            };
+            let bucket = bucket.clone();
+            let mut elems = bucket.elems.lock_counted(&self.tally);
+            // Find a victim whose element lock we can take without
+            // blocking (blocking would deadlock against a thread that
+            // holds the victim's element lock and wants the list lock we
+            // hold), and evict it under that lock.
+            let mut evicted: Option<Arc<Entry<K>>> = None;
+            for i in 0..elems.len() {
+                let cand = elems[i].clone();
+                if Arc::ptr_eq(&cand, entry) {
+                    continue;
+                }
+                let locked = if let Some(mut g) = cand.state.try_lock() {
+                    debug_assert_eq!(g.count, min_freq);
+                    cand.deleted.store(true, Ordering::Release);
+                    g.count = 0;
+                    true
+                } else {
+                    false
+                };
+                if locked {
+                    evicted = Some(cand);
+                    break;
+                }
+            }
+            let Some(victim) = evicted else {
+                // Every candidate is busy: in the naive design the thread
+                // simply waits its turn at the min bucket.
+                drop(elems);
+                drop(list);
+                timer.finish(Phase::StructureOps, span);
+                self.tally.overwrite_deferrals(1);
+                std::thread::yield_now();
+                continue;
+            };
+            Self::detach(&mut elems, &victim);
+            let bucket_empty = elems.is_empty();
+            drop(elems);
+            // Install the newcomer at min_freq + weight with error
+            // min_freq.
+            let new_count = min_freq + weight;
+            let dst = list
+                .entry(new_count)
+                .or_insert_with(|| FreqBucket::new(new_count, self.kind))
+                .clone();
+            let mut dst_elems = dst.elems.lock_counted(&self.tally);
+            entry.pos.store(dst_elems.len(), Ordering::Relaxed);
+            dst_elems.push(entry.clone());
+            drop(dst_elems);
+            guard.count = new_count;
+            entry.error.store(min_freq, Ordering::Release);
+            if bucket_empty {
+                list.remove(&min_freq);
+            }
+            timer.finish(Phase::StructureOps, span);
+            let span = timer.start();
+            self.refresh_min_max(&list);
+            timer.finish(Phase::MinMaxLocks, span);
+            self.tally.overwrites(1);
+            return;
+        }
+    }
+
+    /// Remove `entry` from a bucket's element vector in O(1) via its cached
+    /// position, fixing the position of the displaced element.
+    fn detach(elems: &mut Vec<Arc<Entry<K>>>, entry: &Arc<Entry<K>>) {
+        let pos = entry.pos.load(Ordering::Relaxed);
+        debug_assert!(pos < elems.len() && Arc::ptr_eq(&elems[pos], entry));
+        elems.swap_remove(pos);
+        if pos < elems.len() {
+            elems[pos].pos.store(pos, Ordering::Relaxed);
+        }
+    }
+
+    /// Maintain the cached min/max frequency (callers hold the list lock).
+    fn refresh_min_max(&self, list: &BTreeMap<u64, Arc<FreqBucket<K>>>) {
+        self.min_val
+            .store(list.keys().next().copied().unwrap_or(0), Ordering::Release);
+        self.max_val.store(
+            list.keys().next_back().copied().unwrap_or(0),
+            Ordering::Release,
+        );
+    }
+
+    /// Current minimum monitored frequency (0 when empty).
+    pub fn min_count(&self) -> u64 {
+        self.min_val.load(Ordering::Acquire)
+    }
+
+    /// Current maximum monitored frequency (0 when empty).
+    pub fn max_count(&self) -> u64 {
+        self.max_val.load(Ordering::Acquire)
+    }
+}
+
+impl<K: Element> ConcurrentCounter<K> for SharedSpaceSaving<K> {
+    fn process(&self, item: K) {
+        let mut timer = PhaseTimer::disabled();
+        self.process_profiled(item, &mut timer);
+    }
+
+    fn processed(&self) -> u64 {
+        self.total.load(Ordering::Acquire)
+    }
+}
+
+impl<K: Element> QueryableSummary<K> for SharedSpaceSaving<K> {
+    fn snapshot(&self) -> Snapshot<K> {
+        let list = self.list.lock();
+        let mut entries = Vec::new();
+        for bucket in list.values().rev() {
+            let elems = bucket.elems.lock();
+            for e in elems.iter() {
+                entries.push(CounterEntry::new(
+                    e.key,
+                    bucket.freq,
+                    e.error.load(Ordering::Acquire).min(bucket.freq),
+                ));
+            }
+        }
+        Snapshot::new(entries, self.total.load(Ordering::Acquire))
+    }
+
+    fn estimate(&self, item: &K) -> Option<(u64, u64)> {
+        let idx = MulHash::index(MulHash::hash(item), self.hash_bits);
+        let chain = self.chains[idx].lock();
+        let entry = chain
+            .iter()
+            .find(|e| e.key == *item && !e.deleted.load(Ordering::Acquire))?
+            .clone();
+        drop(chain);
+        let count = entry.state.lock().count;
+        if count == 0 {
+            return None;
+        }
+        Some((count, entry.error.load(Ordering::Acquire).min(count)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    fn engine(capacity: usize, kind: LockKind) -> SharedSpaceSaving<u64> {
+        SharedSpaceSaving::new(SummaryConfig::with_capacity(capacity).unwrap(), kind).unwrap()
+    }
+
+    #[test]
+    fn sequential_use_matches_space_saving_semantics() {
+        let s = engine(2, LockKind::Mutex);
+        for e in [1u64, 1, 2, 3] {
+            s.process(e);
+        }
+        // {1:2, 2:1} then 3 overwrites 2 -> {1:2, 3:2(err 1)}.
+        assert_eq!(s.estimate(&1), Some((2, 0)));
+        assert_eq!(s.estimate(&2), None);
+        assert_eq!(s.estimate(&3), Some((2, 1)));
+        assert_eq!(s.processed(), 4);
+        assert_eq!(s.monitored(), 2);
+        // Count conservation.
+        let sum: u64 = s.snapshot().entries().iter().map(|e| e.count).sum();
+        assert_eq!(sum, 4);
+    }
+
+    #[test]
+    fn min_max_tracking() {
+        let s = engine(8, LockKind::Mutex);
+        for e in [5u64, 5, 5, 6] {
+            s.process(e);
+        }
+        assert_eq!(s.min_count(), 1);
+        assert_eq!(s.max_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_count_conservation_exact_alphabet() {
+        // Alphabet fits capacity: counts must be exact regardless of
+        // interleaving.
+        for kind in [LockKind::Mutex, LockKind::Spin] {
+            let s = Arc::new(engine(64, kind));
+            let threads = 8;
+            let per = 5_000u64;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let s = s.clone();
+                    let b = barrier.clone();
+                    std::thread::spawn(move || {
+                        b.wait();
+                        for i in 0..per {
+                            s.process((t as u64 + i) % 32);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(s.processed(), threads as u64 * per);
+            let snap = s.snapshot();
+            let sum: u64 = snap.entries().iter().map(|e| e.count).sum();
+            assert_eq!(sum, threads as u64 * per, "kind {kind:?}");
+            assert!(snap.len() <= 64);
+        }
+    }
+
+    #[test]
+    fn concurrent_overwrites_preserve_conservation() {
+        // Alphabet much larger than capacity: constant eviction churn.
+        let s = Arc::new(engine(16, LockKind::Mutex));
+        let threads = 6;
+        let per = 4_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut x = 0x9E3779B97F4A7C15u64 ^ (t as u64);
+                    for _ in 0..per {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        // Skewed-ish: half the mass on 8 hot keys.
+                        let e = if x & 1 == 0 { x % 8 } else { 100 + (x % 5000) };
+                        s.process(e);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = threads as u64 * per;
+        assert_eq!(s.processed(), n);
+        let snap = s.snapshot();
+        let sum: u64 = snap.entries().iter().map(|e| e.count).sum();
+        assert_eq!(sum, n, "Σ counters must equal N under churn");
+        assert_eq!(snap.len(), 16);
+        assert!(s.work().overwrites > 0);
+        // Bounds: count - error <= true <= count needs ground truth; here
+        // assert the structural half: error <= count.
+        for e in snap.entries() {
+            assert!(e.error <= e.count);
+        }
+    }
+
+    #[test]
+    fn hot_element_hammering() {
+        // All threads process the same single element: element-level
+        // serialization, counts must still be exact.
+        let s = Arc::new(engine(4, LockKind::Mutex));
+        let threads = 8;
+        let per = 3_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        s.process(7u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.estimate(&7), Some((threads as u64 * per, 0)));
+    }
+
+    #[test]
+    fn work_counters_populate() {
+        let s = engine(4, LockKind::Mutex);
+        for e in 0..100u64 {
+            s.process(e % 10);
+        }
+        let w = s.work();
+        assert_eq!(w.elements, 100);
+        assert_eq!(w.boundary_crossings, 100);
+        assert!(w.lock_acquisitions > 0);
+        assert!(w.overwrites > 0);
+    }
+
+    #[test]
+    fn profiled_processing_attributes_time() {
+        let s = engine(8, LockKind::Mutex);
+        let mut timer = PhaseTimer::enabled();
+        for e in 0..1000u64 {
+            s.process_profiled(e % 20, &mut timer);
+        }
+        let t = timer.times();
+        assert!(t.get(Phase::HashOps) > std::time::Duration::ZERO);
+        assert!(t.get(Phase::StructureOps) > std::time::Duration::ZERO);
+    }
+}

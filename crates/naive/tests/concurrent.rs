@@ -1,0 +1,189 @@
+//! Concurrency stress for the naive engines — they are baselines, but they
+//! must be *correct* baselines, or the figures measure bugs instead of
+//! designs.
+
+use std::sync::Arc;
+
+use cots_core::{ConcurrentCounter, QueryableSummary, SummaryConfig};
+use cots_datagen::{ExactCounter, StreamSpec};
+use cots_naive::{
+    HybridSpaceSaving, IndependentSpaceSaving, LockKind, MergeStrategy, SharedSpaceSaving,
+};
+
+fn conserved(snapshot: &cots_core::Snapshot<u64>, n: u64, label: &str) {
+    let sum: u64 = snapshot.entries().iter().map(|e| e.count).sum();
+    assert_eq!(sum, n, "{label}: count conservation");
+}
+
+#[test]
+fn shared_spinlock_under_heavy_churn() {
+    let engine = Arc::new(
+        SharedSpaceSaving::<u64>::new(SummaryConfig::with_capacity(16).unwrap(), LockKind::Spin)
+            .unwrap(),
+    );
+    let threads = 6;
+    let per = 4_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let engine = engine.clone();
+            s.spawn(move || {
+                let mut x = 0xABCDEFu64 ^ (t as u64);
+                for _ in 0..per {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let item = if x & 3 == 0 {
+                        x % 4
+                    } else {
+                        10_000 + (x % 3_000)
+                    };
+                    engine.process(item);
+                }
+            });
+        }
+    });
+    assert_eq!(engine.processed(), threads as u64 * per);
+    conserved(&engine.snapshot(), threads as u64 * per, "shared-spin");
+}
+
+#[test]
+fn shared_mutex_overwrite_deferral_converges() {
+    // All threads hammer a tiny alphabet that exactly fills the structure,
+    // then shift to a disjoint alphabet — every post-shift element must
+    // overwrite while the old elements are hot.
+    let engine = Arc::new(
+        SharedSpaceSaving::<u64>::new(SummaryConfig::with_capacity(4).unwrap(), LockKind::Mutex)
+            .unwrap(),
+    );
+    let threads = 4;
+    let per = 3_000u64;
+    std::thread::scope(|s| {
+        for _t in 0..threads {
+            let engine = engine.clone();
+            s.spawn(move || {
+                // Every thread processes the same keys, maximizing the
+                // element-level serialization and overwrite contention.
+                for i in 0..per {
+                    let item = if i < per / 2 { i % 4 } else { 100 + (i % 8) };
+                    engine.process(item);
+                }
+            });
+        }
+    });
+    let n = threads as u64 * per;
+    assert_eq!(engine.processed(), n);
+    conserved(&engine.snapshot(), n, "shared-deferral");
+    assert!(engine.work().overwrites > 0);
+}
+
+#[test]
+fn independent_hierarchical_with_many_threads_and_small_batches() {
+    let stream = StreamSpec::zipf(60_000, 3_000, 2.0, 31).generate();
+    let truth = ExactCounter::from_stream(&stream);
+    let engine = IndependentSpaceSaving {
+        config: SummaryConfig::with_capacity(128).unwrap(),
+        strategy: MergeStrategy::Hierarchical,
+        merge_every: Some(1_000), // 60 merges
+    };
+    for threads in [2usize, 5, 8, 13] {
+        let out = engine.run(&stream, threads, false).unwrap();
+        assert_eq!(out.snapshot.total(), stream.len() as u64, "x{threads}");
+        assert!(out.merges >= 50, "x{threads}: merges {}", out.merges);
+        for e in out.snapshot.entries() {
+            let t = truth.count(&e.item);
+            assert!(
+                e.count >= t && e.guaranteed() <= t,
+                "x{threads} item {}",
+                e.item
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_concurrent_weighted_flushes_conserve() {
+    let engine = Arc::new(
+        HybridSpaceSaving::<u64>::new(
+            SummaryConfig::with_capacity(64).unwrap(),
+            LockKind::Mutex,
+            32,
+            256,
+        )
+        .unwrap(),
+    );
+    let threads = 5;
+    let per = 6_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let engine = engine.clone();
+            s.spawn(move || {
+                let mut cache = engine.new_cache();
+                let mut x = 77u64 ^ ((t as u64) << 20);
+                for i in 0..per {
+                    // Mix: skewed hot keys + churn.
+                    let item = if i % 3 != 0 {
+                        x % 16
+                    } else {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        5_000 + (x % 2_000)
+                    };
+                    engine.process_cached(&mut cache, item);
+                }
+                engine.flush(&mut cache);
+            });
+        }
+    });
+    let n = threads as u64 * per;
+    assert_eq!(engine.shared().processed(), n);
+    conserved(&engine.snapshot(), n, "hybrid");
+    // Hot keys (≥ per/3 each per thread ⇒ ≥ 10k total/16…) dominate the
+    // eviction floor and must be monitored.
+    let snap = engine.snapshot();
+    for k in 0..16u64 {
+        assert!(snap.get(&k).is_some(), "hot key {k} missing");
+    }
+}
+
+#[test]
+fn shared_readers_run_against_writers() {
+    let engine = Arc::new(
+        SharedSpaceSaving::<u64>::new(SummaryConfig::with_capacity(64).unwrap(), LockKind::Mutex)
+            .unwrap(),
+    );
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            let engine = engine.clone();
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    engine.process((i + t as u64) % 200);
+                }
+            });
+        }
+        let reader_engine = engine.clone();
+        let reader_stop = stop.clone();
+        s.spawn(move || {
+            while !reader_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = reader_engine.snapshot();
+                assert!(snap.len() <= 64);
+                for e in snap.entries() {
+                    assert!(e.error <= e.count);
+                }
+                let _ = reader_engine.estimate(&5);
+            }
+        });
+        for t in 0..3 {
+            let engine = engine.clone();
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    engine.process((i * 7 + t as u64) % 200);
+                }
+            });
+        }
+        // Writers finish; stop the reader.
+        let stop = stop.clone();
+        s.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+    conserved(&engine.snapshot(), 120_000, "shared-readers");
+}

@@ -1,0 +1,299 @@
+//! *Sticky Sampling* (Manku & Motwani, VLDB '02 — the same paper as Lossy
+//! Counting, which the CoTS paper builds on for its §5.3 generalization).
+//!
+//! A probabilistic counter-based algorithm: a monitored element is always
+//! incremented; an unmonitored one is admitted with probability `1/r`,
+//! where the sampling rate `r` doubles epoch by epoch (epoch lengths `2t,
+//! 2t, 4t, 8t, …` with `t = (1/ε)·ln(1/(s·δ))`). At each rate change every
+//! entry is "unsampled": it loses one count per failed coin flip and is
+//! dropped at zero. Expected space is `O((1/ε)·ln(1/(s·δ)))` —
+//! *independent of the stream length*, which is Sticky Sampling's selling
+//! point over Lossy Counting.
+//!
+//! Estimates never over-count and under-count by at most `εN` with
+//! probability `1 − δ`. To fit the suite-wide [`CounterEntry`] contract,
+//! snapshots report `count' = count + ⌈εN⌉` with `error = ⌈εN⌉` (the
+//! guaranteed part `count' − error = count` is a true lower bound; the
+//! upper bound is probabilistic, as documented).
+//!
+//! Randomness comes from an internal SplitMix64 generator seeded at
+//! construction, so runs are reproducible without external dependencies.
+
+use std::collections::HashMap;
+
+use cots_core::{
+    CotsError, CounterEntry, Element, FrequencyCounter, QueryableSummary, Result, Snapshot,
+};
+
+/// Sequential Sticky Sampling.
+#[derive(Debug, Clone)]
+pub struct StickySampling<K: Element> {
+    counts: HashMap<K, u64>,
+    /// Support threshold `s` (fraction of the stream).
+    support: f64,
+    /// Error bound ε.
+    epsilon: f64,
+    /// Current sampling rate `r` (a power of two).
+    rate: u64,
+    /// Elements remaining in the current epoch.
+    remaining: u64,
+    /// Base epoch length `t`.
+    t: u64,
+    total: u64,
+    rng: SplitMix64,
+}
+
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A fair coin that lands heads with probability `1/r` (r a power of
+    /// two).
+    fn one_in(&mut self, r: u64) -> bool {
+        debug_assert!(r.is_power_of_two());
+        self.next() & (r - 1) == 0
+    }
+}
+
+impl<K: Element> StickySampling<K> {
+    /// Build with support `s`, error `ε` and failure probability `δ`,
+    /// seeded for reproducibility.
+    pub fn new(support: f64, epsilon: f64, delta: f64, seed: u64) -> Result<Self> {
+        if !(support > 0.0 && support < 1.0) {
+            return Err(CotsError::InvalidConfig(format!(
+                "support must be in (0,1), got {support}"
+            )));
+        }
+        if !(epsilon > 0.0 && epsilon < support) {
+            return Err(CotsError::InvalidConfig(format!(
+                "epsilon must be in (0, support), got {epsilon}"
+            )));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CotsError::InvalidConfig(format!(
+                "delta must be in (0,1), got {delta}"
+            )));
+        }
+        let t = ((1.0 / epsilon) * (1.0 / (support * delta)).ln()).ceil() as u64;
+        Ok(Self {
+            counts: HashMap::new(),
+            support,
+            epsilon,
+            rate: 1,
+            remaining: 2 * t.max(1),
+            t: t.max(1),
+            total: 0,
+            rng: SplitMix64(seed | 1),
+        })
+    }
+
+    /// The support threshold `s`.
+    pub fn support(&self) -> f64 {
+        self.support
+    }
+
+    /// The error bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Current sampling rate.
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// Number of monitored entries.
+    pub fn monitored(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The additive slack `⌈εN⌉` applied to upper bounds.
+    fn slack(&self) -> u64 {
+        (self.epsilon * self.total as f64).ceil() as u64
+    }
+
+    /// Rate doubling: unsample every entry with geometric trimming.
+    fn advance_epoch(&mut self) {
+        self.rate *= 2;
+        self.remaining = self.t * self.rate;
+        let rng = &mut self.rng;
+        self.counts.retain(|_, c| {
+            // Diminish by one per unsuccessful coin toss (the toss
+            // succeeds with probability 1/2 after a rate doubling).
+            while *c > 0 && rng.next() & 1 == 1 {
+                *c -= 1;
+            }
+            *c > 0
+        });
+    }
+
+    /// The frequent set at the configured support: entries with
+    /// `count >= (s - ε)·N` — the paper's output rule.
+    pub fn frequent_at_support(&self) -> Vec<(K, u64)> {
+        let min = ((self.support - self.epsilon) * self.total as f64).ceil() as u64;
+        let mut v: Vec<(K, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= min.max(1))
+            .map(|(&k, &c)| (k, c))
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+impl<K: Element> FrequencyCounter<K> for StickySampling<K> {
+    fn process(&mut self, item: K) {
+        self.total += 1;
+        if self.remaining == 0 {
+            self.advance_epoch();
+        }
+        self.remaining = self.remaining.saturating_sub(1);
+        if let Some(c) = self.counts.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.rng.one_in(self.rate) {
+            self.counts.insert(item, 1);
+        }
+    }
+
+    fn processed(&self) -> u64 {
+        self.total
+    }
+}
+
+impl<K: Element> QueryableSummary<K> for StickySampling<K> {
+    fn snapshot(&self) -> Snapshot<K> {
+        let slack = self.slack();
+        Snapshot::new(
+            self.counts
+                .iter()
+                .map(|(&k, &c)| CounterEntry::new(k, c + slack, slack))
+                .collect(),
+            self.total,
+        )
+    }
+
+    fn estimate(&self, item: &K) -> Option<(u64, u64)> {
+        let slack = self.slack();
+        self.counts.get(item).map(|&c| (c + slack, slack))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cots_datagen::ExactCounter;
+
+    fn engine(seed: u64) -> StickySampling<u64> {
+        StickySampling::new(0.01, 0.002, 0.01, seed).unwrap()
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(StickySampling::<u64>::new(0.0, 0.001, 0.1, 1).is_err());
+        assert!(StickySampling::<u64>::new(0.01, 0.02, 0.1, 1).is_err()); // ε >= s
+        assert!(StickySampling::<u64>::new(0.01, 0.001, 1.0, 1).is_err());
+        assert!(engine(1).rate() == 1);
+    }
+
+    #[test]
+    fn exact_within_first_epoch() {
+        // Rate 1: every element is admitted, counts exact.
+        let mut e = engine(7);
+        for item in [1u64, 1, 2, 3, 3, 3] {
+            e.process(item);
+        }
+        assert_eq!(e.estimate(&3).map(|(c, err)| c - err), Some(3));
+        assert_eq!(e.monitored(), 3);
+    }
+
+    #[test]
+    fn counts_never_overestimate_truth() {
+        let mut e = engine(11);
+        let mut truth = ExactCounter::new();
+        let mut x = 3u64;
+        for _ in 0..200_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x % 10_000).min(x % 50);
+            e.process(item);
+            truth.process(item);
+        }
+        // Guaranteed part is a lower bound on the truth, always.
+        for entry in e.snapshot().entries() {
+            assert!(
+                entry.guaranteed() <= truth.count(&entry.item),
+                "item {}: guaranteed {} > true {}",
+                entry.item,
+                entry.guaranteed(),
+                truth.count(&entry.item)
+            );
+        }
+        // Rate must have advanced (stream far longer than 2t).
+        assert!(e.rate() > 1, "rate stuck at 1 after 200k elements");
+    }
+
+    #[test]
+    fn heavy_hitters_recalled_at_support() {
+        // One element with 5% of a 100k stream, support 1%, ε 0.2%.
+        let mut e = engine(13);
+        let mut x = 9u64;
+        for i in 0..100_000u64 {
+            let item = if i % 20 == 0 {
+                42u64
+            } else {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                1000 + (x % 30_000)
+            };
+            e.process(item);
+        }
+        let frequent = e.frequent_at_support();
+        assert!(
+            frequent.iter().any(|&(k, _)| k == 42),
+            "5% element missed at 1% support: {frequent:?}"
+        );
+    }
+
+    #[test]
+    fn space_stays_bounded() {
+        // The expected space 2t/ε... here: 2t entries in expectation; allow
+        // a generous constant factor.
+        let mut e = engine(17);
+        let t = e.t;
+        let mut x = 5u64;
+        for _ in 0..500_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            e.process(x); // all-distinct: worst case for space
+        }
+        assert!(
+            (e.monitored() as u64) < 8 * t,
+            "monitored {} should stay near 2t = {}",
+            e.monitored(),
+            2 * t
+        );
+    }
+
+    #[test]
+    fn reproducible_across_seeds() {
+        let run = |seed| {
+            let mut e = engine(seed);
+            for i in 0..10_000u64 {
+                e.process(i % 500);
+            }
+            e.snapshot().len()
+        };
+        assert_eq!(run(3), run(3));
+        // Different seeds generally differ (probabilistic admission).
+        // Not asserted strictly — equal sizes are possible but unlikely to
+        // matter; assert the deterministic case only.
+    }
+}

@@ -1,0 +1,645 @@
+//! The *Stream Summary* structure (Demaine et al., Metwally et al.; paper
+//! §3.3, Fig. 2).
+//!
+//! A doubly linked list of *frequency buckets* sorted by frequency; each
+//! bucket holds the doubly linked list of elements whose current count
+//! equals the bucket's frequency. All four operations of Table 1 — lookup is
+//! the caller's job via a hash index — run in O(1) amortized time for unit
+//! increments, which is what keeps Space Saving constant-time per element.
+//!
+//! The structure is arena-backed: buckets and element nodes live in slabs
+//! addressed by `u32` ids with free lists, so the whole monitored set sits
+//! in two contiguous allocations (no per-node boxing, no unsafe).
+
+use cots_core::Element;
+
+/// Sentinel id for "no node / no bucket".
+const NIL: u32 = u32::MAX;
+
+/// Handle to a monitored element node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    item: K,
+    /// Over-estimation bound (the count inherited at overwrite time).
+    error: u64,
+    bucket: u32,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    freq: u64,
+    head: u32,
+    prev: u32,
+    next: u32,
+    len: u32,
+}
+
+/// The Stream Summary: elements kept sorted by frequency in O(1) per update.
+#[derive(Debug, Clone)]
+pub struct StreamSummary<K> {
+    nodes: Vec<Node<K>>,
+    free_nodes: Vec<u32>,
+    buckets: Vec<Bucket>,
+    free_buckets: Vec<u32>,
+    /// Lowest-frequency bucket (list head).
+    min_bucket: u32,
+    /// Highest-frequency bucket (list tail).
+    max_bucket: u32,
+    len: usize,
+}
+
+impl<K: Element> Default for StreamSummary<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Element> StreamSummary<K> {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free_nodes: Vec::new(),
+            buckets: Vec::new(),
+            free_buckets: Vec::new(),
+            min_bucket: NIL,
+            max_bucket: NIL,
+            len: 0,
+        }
+    }
+
+    /// Pre-allocate for `capacity` monitored elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut s = Self::new();
+        s.nodes.reserve(capacity);
+        s.buckets.reserve(capacity.min(1024));
+        s
+    }
+
+    /// Number of monitored elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no element is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The monitored element of `id`.
+    pub fn item(&self, id: NodeId) -> K {
+        self.nodes[id.0 as usize].item
+    }
+
+    /// Current count of `id` (its bucket's frequency).
+    pub fn count(&self, id: NodeId) -> u64 {
+        self.buckets[self.nodes[id.0 as usize].bucket as usize].freq
+    }
+
+    /// Error bound of `id`.
+    pub fn error(&self, id: NodeId) -> u64 {
+        self.nodes[id.0 as usize].error
+    }
+
+    /// The minimum-frequency element and its count, if any. Returns the
+    /// *first* element of the minimum bucket — the overwrite candidate.
+    pub fn min(&self) -> Option<(NodeId, u64)> {
+        if self.min_bucket == NIL {
+            return None;
+        }
+        let b = &self.buckets[self.min_bucket as usize];
+        debug_assert_ne!(b.head, NIL, "empty bucket must have been freed");
+        Some((NodeId(b.head), b.freq))
+    }
+
+    /// The minimum frequency, or 0 when empty.
+    pub fn min_count(&self) -> u64 {
+        if self.min_bucket == NIL {
+            0
+        } else {
+            self.buckets[self.min_bucket as usize].freq
+        }
+    }
+
+    /// The maximum frequency, or 0 when empty.
+    pub fn max_count(&self) -> u64 {
+        if self.max_bucket == NIL {
+            0
+        } else {
+            self.buckets[self.max_bucket as usize].freq
+        }
+    }
+
+    /// `AddElementToBucket`: start monitoring `item` with the given count
+    /// and error. Returns the node handle.
+    pub fn insert(&mut self, item: K, count: u64, error: u64) -> NodeId {
+        debug_assert!(count > 0, "counts are positive");
+        let bucket = self.bucket_for(count);
+        let id = self.alloc_node(Node {
+            item,
+            error,
+            bucket,
+            prev: NIL,
+            next: NIL,
+        });
+        self.attach(id, bucket);
+        self.len += 1;
+        NodeId(id)
+    }
+
+    /// `IncrementCounter`: raise `id`'s count by `by` (a *bulk increment*
+    /// when `by > 1`). Returns the new count.
+    pub fn increment(&mut self, id: NodeId, by: u64) -> u64 {
+        debug_assert!(by > 0);
+        let node = id.0;
+        let old_bucket = self.nodes[node as usize].bucket;
+        let target = self.buckets[old_bucket as usize].freq + by;
+        self.detach(node);
+        // Search forward from the old bucket: for unit increments the
+        // destination is the immediate neighbour (or a new bucket right
+        // after), which is the O(1) property of the structure.
+        let dest = self.bucket_at_or_insert(old_bucket, target);
+        self.nodes[node as usize].bucket = dest;
+        self.attach(node, dest);
+        self.free_bucket_if_empty(old_bucket);
+        target
+    }
+
+    /// `Overwrite`: evict the current minimum element, replace it with
+    /// `item`, set its error to the evicted count, and give it count
+    /// `evicted + by`. Returns `(evicted_item, evicted_count)`.
+    ///
+    /// # Panics
+    /// If the summary is empty.
+    pub fn overwrite_min(&mut self, item: K, by: u64) -> (K, u64, NodeId) {
+        let (min_id, min_count) = self.min().expect("overwrite on empty summary");
+        let node = min_id.0;
+        let old_item = self.nodes[node as usize].item;
+        self.nodes[node as usize].item = item;
+        self.nodes[node as usize].error = min_count;
+        self.increment(min_id, by);
+        (old_item, min_count, min_id)
+    }
+
+    /// Remove `id` from the summary entirely (used by Lossy-Counting-style
+    /// policies that delete infrequent elements at round boundaries).
+    pub fn remove(&mut self, id: NodeId) -> K {
+        let node = id.0;
+        let bucket = self.nodes[node as usize].bucket;
+        self.detach(node);
+        self.free_bucket_if_empty(bucket);
+        let item = self.nodes[node as usize].item;
+        self.free_nodes.push(node);
+        self.len -= 1;
+        item
+    }
+
+    /// Iterate `(item, count, error)` in decreasing count order (the order
+    /// queries consume: from the maximum-frequency bucket backwards).
+    pub fn iter_desc(&self) -> impl Iterator<Item = (K, u64, u64)> + '_ {
+        DescIter {
+            summary: self,
+            bucket: self.max_bucket,
+            node: if self.max_bucket == NIL {
+                NIL
+            } else {
+                self.buckets[self.max_bucket as usize].head
+            },
+        }
+    }
+
+    /// Iterate `(item, count, error)` in increasing count order (the order
+    /// updates traverse).
+    pub fn iter_asc(&self) -> impl Iterator<Item = (K, u64, u64)> + '_ {
+        AscIter {
+            summary: self,
+            bucket: self.min_bucket,
+            node: if self.min_bucket == NIL {
+                NIL
+            } else {
+                self.buckets[self.min_bucket as usize].head
+            },
+        }
+    }
+
+    /// Exhaustively verify structural invariants; test support.
+    ///
+    /// # Panics
+    /// On any violation.
+    pub fn check_invariants(&self) {
+        let mut seen_nodes = 0usize;
+        let mut prev_freq = 0u64;
+        let mut b = self.min_bucket;
+        let mut prev_b = NIL;
+        while b != NIL {
+            let bucket = &self.buckets[b as usize];
+            assert!(bucket.freq > prev_freq, "bucket freqs strictly increase");
+            assert_eq!(bucket.prev, prev_b, "bucket back-link");
+            assert_ne!(bucket.head, NIL, "no empty buckets in the list");
+            prev_freq = bucket.freq;
+            // Walk the element list.
+            let mut n = bucket.head;
+            let mut prev_n = NIL;
+            let mut count = 0u32;
+            while n != NIL {
+                let node = &self.nodes[n as usize];
+                assert_eq!(node.bucket, b, "node bucket back-pointer");
+                assert_eq!(node.prev, prev_n, "node back-link");
+                assert!(node.error <= bucket.freq, "error bounded by count");
+                prev_n = n;
+                n = node.next;
+                count += 1;
+            }
+            assert_eq!(count, bucket.len, "bucket length field");
+            seen_nodes += count as usize;
+            prev_b = b;
+            b = bucket.next;
+        }
+        assert_eq!(prev_b, self.max_bucket, "max pointer is the list tail");
+        assert_eq!(seen_nodes, self.len, "len field matches reachable nodes");
+        assert_eq!(
+            self.nodes.len() - self.free_nodes.len(),
+            self.len,
+            "slab accounting"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    fn alloc_node(&mut self, node: Node<K>) -> u32 {
+        if let Some(id) = self.free_nodes.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn alloc_bucket(&mut self, bucket: Bucket) -> u32 {
+        if let Some(id) = self.free_buckets.pop() {
+            self.buckets[id as usize] = bucket;
+            id
+        } else {
+            self.buckets.push(bucket);
+            (self.buckets.len() - 1) as u32
+        }
+    }
+
+    /// Push node `n` onto the front of `bucket`'s element list.
+    fn attach(&mut self, n: u32, bucket: u32) {
+        let head = self.buckets[bucket as usize].head;
+        self.nodes[n as usize].bucket = bucket;
+        self.nodes[n as usize].prev = NIL;
+        self.nodes[n as usize].next = head;
+        if head != NIL {
+            self.nodes[head as usize].prev = n;
+        }
+        self.buckets[bucket as usize].head = n;
+        self.buckets[bucket as usize].len += 1;
+    }
+
+    /// Unlink node `n` from its bucket's element list.
+    fn detach(&mut self, n: u32) {
+        let (bucket, prev, next) = {
+            let node = &self.nodes[n as usize];
+            (node.bucket, node.prev, node.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.buckets[bucket as usize].head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        }
+        self.buckets[bucket as usize].len -= 1;
+    }
+
+    /// Find the bucket with frequency exactly `freq`, creating it in sorted
+    /// position if missing. `count` is usually 1 (new elements) or near the
+    /// minimum, so search from the list head.
+    fn bucket_for(&mut self, freq: u64) -> u32 {
+        if self.min_bucket == NIL {
+            let b = self.alloc_bucket(Bucket {
+                freq,
+                head: NIL,
+                prev: NIL,
+                next: NIL,
+                len: 0,
+            });
+            self.min_bucket = b;
+            self.max_bucket = b;
+            return b;
+        }
+        if freq < self.buckets[self.min_bucket as usize].freq {
+            return self.insert_bucket_before(self.min_bucket, freq);
+        }
+        let mut b = self.min_bucket;
+        loop {
+            let bf = self.buckets[b as usize].freq;
+            if bf == freq {
+                return b;
+            }
+            debug_assert!(bf < freq);
+            let next = self.buckets[b as usize].next;
+            if next == NIL || self.buckets[next as usize].freq > freq {
+                return self.insert_bucket_after(b, freq);
+            }
+            b = next;
+        }
+    }
+
+    /// Find or create the bucket with frequency `target`, searching forward
+    /// from `start` (exclusive of `start` itself, whose freq < target).
+    fn bucket_at_or_insert(&mut self, start: u32, target: u64) -> u32 {
+        debug_assert!(self.buckets[start as usize].freq < target);
+        let mut b = start;
+        loop {
+            let next = self.buckets[b as usize].next;
+            if next == NIL || self.buckets[next as usize].freq > target {
+                return self.insert_bucket_after(b, target);
+            }
+            if self.buckets[next as usize].freq == target {
+                return next;
+            }
+            b = next;
+        }
+    }
+
+    fn insert_bucket_after(&mut self, b: u32, freq: u64) -> u32 {
+        let next = self.buckets[b as usize].next;
+        let new = self.alloc_bucket(Bucket {
+            freq,
+            head: NIL,
+            prev: b,
+            next,
+            len: 0,
+        });
+        self.buckets[b as usize].next = new;
+        if next != NIL {
+            self.buckets[next as usize].prev = new;
+        } else {
+            self.max_bucket = new;
+        }
+        new
+    }
+
+    fn insert_bucket_before(&mut self, b: u32, freq: u64) -> u32 {
+        let prev = self.buckets[b as usize].prev;
+        let new = self.alloc_bucket(Bucket {
+            freq,
+            head: NIL,
+            prev,
+            next: b,
+            len: 0,
+        });
+        self.buckets[b as usize].prev = new;
+        if prev != NIL {
+            self.buckets[prev as usize].next = new;
+        } else {
+            self.min_bucket = new;
+        }
+        new
+    }
+
+    /// If `b` has no elements, unlink and recycle it (fixing min/max).
+    fn free_bucket_if_empty(&mut self, b: u32) {
+        if self.buckets[b as usize].head != NIL {
+            return;
+        }
+        let (prev, next) = {
+            let bucket = &self.buckets[b as usize];
+            (bucket.prev, bucket.next)
+        };
+        if prev != NIL {
+            self.buckets[prev as usize].next = next;
+        } else {
+            self.min_bucket = next;
+        }
+        if next != NIL {
+            self.buckets[next as usize].prev = prev;
+        } else {
+            self.max_bucket = prev;
+        }
+        self.free_buckets.push(b);
+    }
+}
+
+struct DescIter<'a, K> {
+    summary: &'a StreamSummary<K>,
+    bucket: u32,
+    node: u32,
+}
+
+impl<K: Element> Iterator for DescIter<'_, K> {
+    type Item = (K, u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.bucket != NIL && self.node == NIL {
+            self.bucket = self.summary.buckets[self.bucket as usize].prev;
+            if self.bucket != NIL {
+                self.node = self.summary.buckets[self.bucket as usize].head;
+            }
+        }
+        if self.bucket == NIL {
+            return None;
+        }
+        let node = &self.summary.nodes[self.node as usize];
+        let freq = self.summary.buckets[self.bucket as usize].freq;
+        let out = (node.item, freq, node.error);
+        self.node = node.next;
+        Some(out)
+    }
+}
+
+struct AscIter<'a, K> {
+    summary: &'a StreamSummary<K>,
+    bucket: u32,
+    node: u32,
+}
+
+impl<K: Element> Iterator for AscIter<'_, K> {
+    type Item = (K, u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.bucket != NIL && self.node == NIL {
+            self.bucket = self.summary.buckets[self.bucket as usize].next;
+            if self.bucket != NIL {
+                self.node = self.summary.buckets[self.bucket as usize].head;
+            }
+        }
+        if self.bucket == NIL {
+            return None;
+        }
+        let node = &self.summary.nodes[self.node as usize];
+        let freq = self.summary.buckets[self.bucket as usize].freq;
+        let out = (node.item, freq, node.error);
+        self.node = node.next;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_2_walkthrough() {
+        // Stream ⟨e1, e3, e3, e2, e2⟩ from Fig. 2.
+        let mut s: StreamSummary<u32> = StreamSummary::new();
+        let e1 = s.insert(1, 1, 0);
+        let e3 = s.insert(3, 1, 0);
+        s.increment(e3, 1);
+        let e2 = s.insert(2, 1, 0);
+        s.check_invariants();
+        // State (a): bucket 1 = {e1, e2}, bucket 2 = {e3}.
+        assert_eq!(s.count(e1), 1);
+        assert_eq!(s.count(e2), 1);
+        assert_eq!(s.count(e3), 2);
+        assert_eq!(s.min_count(), 1);
+        s.increment(e2, 1);
+        s.check_invariants();
+        // State (b): bucket 1 = {e1}, bucket 2 = {e2, e3}.
+        assert_eq!(s.count(e2), 2);
+        assert_eq!(s.min_count(), 1);
+        assert_eq!(s.max_count(), 2);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn increment_collapses_and_creates_buckets() {
+        let mut s: StreamSummary<u32> = StreamSummary::new();
+        let a = s.insert(1, 1, 0);
+        let b = s.insert(2, 1, 0);
+        s.increment(a, 1); // buckets 1:{2}, 2:{1}
+        s.check_invariants();
+        s.increment(b, 1); // bucket 1 empties and is freed; 2:{1,2}
+        s.check_invariants();
+        assert_eq!(s.min_count(), 2);
+        assert_eq!(s.max_count(), 2);
+        s.increment(a, 5); // 2:{2}, 7:{1}
+        s.check_invariants();
+        assert_eq!(s.count(a), 7);
+        assert_eq!(s.max_count(), 7);
+    }
+
+    #[test]
+    fn bulk_increment_skips_intermediate_buckets() {
+        let mut s: StreamSummary<u32> = StreamSummary::new();
+        let a = s.insert(1, 1, 0);
+        let _b = s.insert(2, 2, 0);
+        let _c = s.insert(3, 5, 0);
+        let new = s.increment(a, 3); // 1 -> 4, lands between 2 and 5
+        assert_eq!(new, 4);
+        s.check_invariants();
+        let counts: Vec<u64> = s.iter_asc().map(|(_, c, _)| c).collect();
+        assert_eq!(counts, vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn overwrite_min_replaces_item_and_sets_error() {
+        let mut s: StreamSummary<u32> = StreamSummary::new();
+        let _a = s.insert(1, 3, 0);
+        let _b = s.insert(2, 1, 0);
+        let (old, old_count, id) = s.overwrite_min(9, 1);
+        assert_eq!(old, 2);
+        assert_eq!(old_count, 1);
+        assert_eq!(s.item(id), 9);
+        assert_eq!(s.count(id), 2);
+        assert_eq!(s.error(id), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn overwrite_picks_first_of_min_bucket() {
+        let mut s: StreamSummary<u32> = StreamSummary::new();
+        s.insert(1, 1, 0);
+        s.insert(2, 1, 0); // attach pushes to front: head is 2
+        let (old, _, _) = s.overwrite_min(7, 1);
+        assert_eq!(old, 2);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn remove_frees_nodes_and_buckets() {
+        let mut s: StreamSummary<u32> = StreamSummary::new();
+        let a = s.insert(1, 1, 0);
+        let b = s.insert(2, 4, 0);
+        assert_eq!(s.remove(a), 1);
+        s.check_invariants();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_count(), 4);
+        assert_eq!(s.remove(b), 2);
+        s.check_invariants();
+        assert!(s.is_empty());
+        assert_eq!(s.min_count(), 0);
+        assert_eq!(s.max_count(), 0);
+        // Slab is fully recycled.
+        let c = s.insert(3, 1, 0);
+        assert_eq!(s.count(c), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn iteration_orders() {
+        let mut s: StreamSummary<u32> = StreamSummary::new();
+        s.insert(1, 5, 0);
+        s.insert(2, 1, 0);
+        s.insert(3, 9, 2);
+        s.insert(4, 5, 1);
+        let desc: Vec<u64> = s.iter_desc().map(|(_, c, _)| c).collect();
+        assert_eq!(desc, vec![9, 5, 5, 1]);
+        let asc: Vec<u64> = s.iter_asc().map(|(_, c, _)| c).collect();
+        assert_eq!(asc, vec![1, 5, 5, 9]);
+        let items_desc: Vec<u32> = s.iter_desc().map(|(i, _, _)| i).collect();
+        assert_eq!(items_desc[0], 3);
+        assert_eq!(items_desc[3], 2);
+    }
+
+    #[test]
+    fn empty_summary_behaviour() {
+        let s: StreamSummary<u32> = StreamSummary::new();
+        assert!(s.min().is_none());
+        assert_eq!(s.iter_desc().count(), 0);
+        assert_eq!(s.iter_asc().count(), 0);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn dense_churn_stays_consistent() {
+        // Pseudo-random mixed workload, invariants checked throughout.
+        let mut s: StreamSummary<u64> = StreamSummary::new();
+        let mut handles: Vec<NodeId> = Vec::new();
+        let mut x = 0x12345678u64;
+        for step in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let op = x % 100;
+            if op < 40 || handles.is_empty() {
+                handles.push(s.insert(x, 1, 0));
+            } else if op < 85 {
+                let idx = (x >> 32) as usize % handles.len();
+                s.increment(handles[idx], 1 + (x % 4));
+            } else if s.len() > 1 {
+                let (min_id, _) = s.min().unwrap();
+                // Remove min id from handles before overwriting.
+                if let Some(pos) = handles.iter().position(|h| *h == min_id) {
+                    let (_, _, new_id) = s.overwrite_min(x ^ 0xdead, 1);
+                    handles[pos] = new_id;
+                }
+            }
+            if step % 64 == 0 {
+                s.check_invariants();
+            }
+        }
+        s.check_invariants();
+    }
+}

@@ -1,0 +1,132 @@
+//! Internet-advertising click analytics — the paper's motivating scenario
+//! (§1): a *publisher* counts impressions and clicks per advertisement in
+//! real time to estimate Click-Through Rates, answer "ads clicked more than
+//! 0.1% of total clicks" (a frequent-elements query), serve "top-25 most
+//! clicked" (a top-k query), and flag click-fraud suspects.
+//!
+//! Two CoTS engines run side by side — one over the impression stream, one
+//! over the click stream — and the CTR is derived from their estimates.
+//!
+//! ```text
+//! cargo run --release --example click_analytics
+//! ```
+
+use std::sync::Arc;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::{CotsConfig, QueryableSummary, SetQuery, Threshold};
+use cots_datagen::StreamSpec;
+/// Tiny deterministic RNG so the example needs no extra dependencies.
+mod rand_free {
+    pub struct SmallRng(u64);
+
+    impl SmallRng {
+        pub fn new(seed: u64) -> Self {
+            Self(seed | 1)
+        }
+
+        pub fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+
+        /// A coin with probability `num/den`.
+        pub fn chance(&mut self, num: u64, den: u64) -> bool {
+            self.next() % den < num
+        }
+    }
+}
+
+const ADS: usize = 20_000;
+const IMPRESSIONS: usize = 2_000_000;
+const FRAUD_AD: u64 = 4_242;
+
+fn main() {
+    // Impressions follow ad popularity (zipf over ad ids, ids NOT
+    // scrambled so they read as small integers).
+    let mut impressions = StreamSpec {
+        scramble_ids: false,
+        ..StreamSpec::zipf(IMPRESSIONS, ADS, 1.8, 99)
+    }
+    .generate();
+
+    // Clicks: every impression has a ~2% organic click chance, except one
+    // fraudulent ad whose operator clicks ~60% of its own impressions.
+    let mut rng = rand_free::SmallRng::new(7);
+    let mut clicks: Vec<u64> = Vec::new();
+    for &ad in &impressions {
+        let p = if ad == FRAUD_AD { 60 } else { 2 };
+        if rng.chance(p, 100) {
+            clicks.push(ad);
+        }
+    }
+    // Inject extra fraudulent impressions so the fraud ad is visible.
+    impressions.resize(impressions.len() + 5_000, FRAUD_AD);
+    for _ in 0..5_000 {
+        if rng.chance(60, 100) {
+            clicks.push(FRAUD_AD);
+        }
+    }
+
+    let config = CotsConfig::for_capacity(2_000).expect("valid");
+    let impressions_engine = Arc::new(CotsEngine::<u64>::new(config).expect("valid"));
+    let clicks_engine = Arc::new(CotsEngine::<u64>::new(config).expect("valid"));
+    let opts = RuntimeOptions {
+        threads: 4,
+        batch: 2048,
+        adaptive: false,
+    };
+    let imp_stats = cots::run(&impressions_engine, &impressions, opts).expect("impressions run");
+    let clk_stats = cots::run(&clicks_engine, &clicks, opts).expect("clicks run");
+    println!(
+        "counted {} impressions ({:.1} M/s) and {} clicks ({:.1} M/s)\n",
+        imp_stats.elements,
+        imp_stats.throughput() / 1e6,
+        clk_stats.elements,
+        clk_stats.throughput() / 1e6
+    );
+
+    // "Top-25 most clicked advertisements" (Query 2, top-k).
+    println!("top-10 most clicked ads (of the top-25 query):");
+    let top25 = clicks_engine.set_query(SetQuery::TopK { k: 25 });
+    for e in top25.entries().iter().take(10) {
+        let (imp, _) = impressions_engine.estimate(&e.item).unwrap_or((0, 0));
+        let ctr = if imp > 0 {
+            e.count as f64 / imp as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "  ad {:>6}: ~{:>6} clicks / ~{:>7} impressions  CTR {ctr:5.1}%",
+            e.item, e.count, imp
+        );
+    }
+
+    // "Ads clicked more than 0.1% of the total clicks" (Query 2, frequent).
+    let hot = clicks_engine.set_query(SetQuery::Frequent {
+        threshold: Threshold::Fraction(0.001),
+    });
+    println!("\n{} ads exceed 0.1% of all clicks", hot.len());
+
+    // Fraud screen: a frequent ad whose CTR estimate is implausible.
+    println!("\nfraud screen (CTR > 20% among frequently clicked ads):");
+    let mut caught = false;
+    for e in hot.entries() {
+        let (imp, imp_err) = impressions_engine.estimate(&e.item).unwrap_or((0, 0));
+        // Conservative CTR lower bound: guaranteed clicks over the
+        // impression upper bound.
+        let guaranteed_clicks = e.guaranteed();
+        if imp > 0 && guaranteed_clicks as f64 / imp as f64 > 0.20 {
+            println!(
+                "  SUSPECT ad {:>6}: >= {} clicks on <= {} impressions (imp err {})",
+                e.item, guaranteed_clicks, imp, imp_err
+            );
+            caught = e.item == FRAUD_AD || caught;
+        }
+    }
+    assert!(caught, "the planted fraudulent ad must be flagged");
+    println!("\nplanted fraudulent ad {FRAUD_AD} was flagged ✔");
+}

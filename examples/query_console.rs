@@ -1,0 +1,97 @@
+//! An interactive-style query console over a live CoTS engine, driven by
+//! the paper's SQL-like dialect (§3.2) via `cots_core::ql`.
+//!
+//! A background workload (zipfian click stream) is counted by the engine;
+//! the console then executes a scripted set of statements — including the
+//! paper's own examples — against the live summary. Pass a statement as
+//! the first CLI argument to run your own instead:
+//!
+//! ```text
+//! cargo run --release --example query_console -- \
+//!     "Select S.element From Stream S Where IsElementInTopk(S.element, 5)"
+//! ```
+
+use std::sync::Arc;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::ql;
+use cots_core::query::{QueryKind, QueryPeriod};
+use cots_core::{CotsConfig, QueryableSummary};
+use cots_datagen::StreamSpec;
+
+fn main() {
+    // Count a 1M-element zipfian stream (ids unscrambled so output reads
+    // as ranks).
+    let stream = StreamSpec {
+        scramble_ids: false,
+        ..StreamSpec::zipf(1_000_000, 100_000, 1.8, 5)
+    }
+    .generate();
+    let engine = Arc::new(
+        CotsEngine::<u64>::new(CotsConfig::for_capacity(2_000).expect("valid")).expect("valid"),
+    );
+    cots::run(
+        &engine,
+        &stream,
+        RuntimeOptions {
+            threads: 4,
+            batch: 2048,
+            adaptive: false,
+        },
+    )
+    .expect("counting run");
+    println!("counted {} elements; console ready\n", stream.len());
+
+    let user_statement = std::env::args().nth(1);
+    let statements: Vec<String> = match user_statement {
+        Some(s) => vec![s],
+        None => vec![
+            // The paper's §3.2 examples, plus point-query variants.
+            "Select S.element From Stream S Where IsElementFrequent(S.element, 0.01)".into(),
+            "Select S.element From Stream S Where IsElementFrequent(S.element, 0.001) Every 50000"
+                .into(),
+            "Select S.element From Stream S Where IsElementInTopk(S.element, 10)".into(),
+            "Select S.element From Stream S Where IsElementFrequent(1, 0.05)".into(),
+            "Select S.element From Stream S Where IsElementInTopk(3, 5)".into(),
+        ],
+    };
+
+    for text in statements {
+        println!("cots> {text}");
+        let stmt = match ql::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("  error: {e}\n");
+                continue;
+            }
+        };
+        if let Some(every) = stmt.every {
+            // Interval queries are scheduled against updates; here we show
+            // the resolved schedule and evaluate once.
+            let iq = stmt.to_interval(1_000_000.0); // assume 1M updates/s
+            let QueryPeriod::Updates(n) = iq.period;
+            println!("  (interval query: re-evaluate every {n} updates — {every:?})");
+        }
+        match stmt.query {
+            QueryKind::Point(p) => {
+                println!("  => {}\n", engine.point_query(p));
+            }
+            QueryKind::Set(s) => {
+                let snap = engine.set_query(s);
+                println!("  => {} rows", snap.len());
+                for e in snap.entries().iter().take(10) {
+                    println!(
+                        "     element {:>8}  count ~{:>8}  (guaranteed >= {})",
+                        e.item,
+                        e.count,
+                        e.guaranteed()
+                    );
+                }
+                if snap.len() > 10 {
+                    println!("     ... {} more", snap.len() - 10);
+                }
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: count a skewed stream with the CoTS engine and answer the
+//! paper's queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::{ConcurrentCounter, CotsConfig, PointQuery, QueryableSummary, SetQuery, Threshold};
+use cots_datagen::StreamSpec;
+
+fn main() {
+    // A zipfian stream: 1M elements over a 50k alphabet, α = 2.0.
+    let stream = StreamSpec::zipf(1_000_000, 50_000, 2.0, 7).generate();
+
+    // An engine monitoring 1 000 counters (ε = 0.001).
+    let engine = Arc::new(
+        CotsEngine::<u64>::new(CotsConfig::for_capacity(1_000).expect("valid config"))
+            .expect("valid config"),
+    );
+
+    // Count with 4 cooperating threads.
+    let stats = cots::run(
+        &engine,
+        &stream,
+        RuntimeOptions {
+            threads: 4,
+            batch: 2048,
+            adaptive: false,
+        },
+    )
+    .expect("run succeeds");
+    println!(
+        "processed {} elements in {:.3}s ({:.2} M elements/s), combining factor {:.1}",
+        stats.elements,
+        stats.elapsed.as_secs_f64(),
+        stats.throughput() / 1e6,
+        stats.work.combining_factor()
+    );
+    assert_eq!(engine.processed(), stream.len() as u64);
+
+    // Query 2 (set): the top-10 elements.
+    println!("\ntop-10 elements:");
+    for e in engine.set_query(SetQuery::TopK { k: 10 }).entries() {
+        println!(
+            "  item {:>20}  count {:>7}  (error <= {})",
+            e.item, e.count, e.error
+        );
+    }
+
+    // Query 2 (set): everything above 0.5% of the stream.
+    let frequent = engine.set_query(SetQuery::Frequent {
+        threshold: Threshold::Fraction(0.005),
+    });
+    println!("\n{} elements exceed 0.5% of the stream", frequent.len());
+
+    // Query 1 (point): is the most frequent element frequent / in the top-k?
+    let top_item = engine.snapshot().top_k(1)[0].item;
+    let is_frequent = engine.point_query(PointQuery::IsFrequent {
+        item: top_item,
+        threshold: Threshold::Fraction(0.01),
+    });
+    let in_top5 = engine.point_query(PointQuery::IsInTopK {
+        item: top_item,
+        k: 5,
+    });
+    println!("\nitem {top_item}: frequent(1%) = {is_frequent}, in top-5 = {in_top5}");
+
+    // Point estimates run in O(1) against the live search structure.
+    let (count, error) = engine.estimate(&top_item).expect("monitored");
+    println!(
+        "estimate: count = {count}, error bound = {error} (true count >= {})",
+        count - error
+    );
+}

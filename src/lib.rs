@@ -1,0 +1,15 @@
+//! # cots-suite
+//!
+//! Umbrella crate for the CoTS reproduction workspace. It carries the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`); the library surface simply re-exports the member crates so
+//! examples and downstream experiments can depend on a single crate.
+
+#![warn(missing_docs)]
+
+pub use cots;
+pub use cots_core as core;
+pub use cots_datagen as datagen;
+pub use cots_naive as naive;
+pub use cots_profiling as profiling;
+pub use cots_sequential as sequential;

@@ -1,0 +1,205 @@
+//! Count conservation (`Σ counts == N`) and bound soundness under
+//! adversarial stream shapes and eviction churn, for every Space-Saving
+//! engine in the suite.
+
+use std::sync::Arc;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::{CotsConfig, FrequencyCounter, QueryableSummary, Snapshot, SummaryConfig};
+use cots_datagen::{Distribution, ExactCounter, StreamSpec};
+use cots_naive::{IndependentSpaceSaving, LockKind, MergeStrategy, SharedSpaceSaving};
+use cots_sequential::SpaceSaving;
+
+const CAPACITY: usize = 64;
+
+fn adversarial_specs() -> Vec<(&'static str, StreamSpec)> {
+    vec![
+        (
+            "all-distinct (pure overwrite)",
+            StreamSpec {
+                len: 20_000,
+                alphabet: 0,
+                distribution: Distribution::AllDistinct,
+                seed: 1,
+                scramble_ids: true,
+            },
+        ),
+        (
+            "constant (pure increment)",
+            StreamSpec {
+                len: 20_000,
+                alphabet: 1,
+                distribution: Distribution::Constant,
+                seed: 2,
+                scramble_ids: true,
+            },
+        ),
+        (
+            "round-robin (max churn)",
+            StreamSpec {
+                len: 20_000,
+                alphabet: 1_000,
+                distribution: Distribution::RoundRobin,
+                seed: 3,
+                scramble_ids: true,
+            },
+        ),
+        (
+            "uniform over big alphabet",
+            StreamSpec {
+                len: 20_000,
+                alphabet: 5_000,
+                distribution: Distribution::Uniform,
+                seed: 4,
+                scramble_ids: true,
+            },
+        ),
+        ("zipf 1.5", StreamSpec::zipf(20_000, 5_000, 1.5, 5)),
+        ("zipf 3.0", StreamSpec::zipf(20_000, 5_000, 3.0, 6)),
+    ]
+}
+
+fn check(snapshot: &Snapshot<u64>, truth: &ExactCounter<u64>, label: &str) {
+    let n = truth.processed();
+    let sum: u64 = snapshot.entries().iter().map(|e| e.count).sum();
+    assert_eq!(sum, n, "{label}: count conservation");
+    assert!(snapshot.len() <= CAPACITY, "{label}: capacity bound");
+    for e in snapshot.entries() {
+        let t = truth.count(&e.item);
+        assert!(
+            e.count >= t,
+            "{label}: {} count {} < true {}",
+            e.item,
+            e.count,
+            t
+        );
+        assert!(
+            e.guaranteed() <= t,
+            "{label}: {} guarantee {} > true {}",
+            e.item,
+            e.guaranteed(),
+            t
+        );
+    }
+    // Unmonitored elements must be bounded by the minimum monitored count
+    // (Space Saving's core guarantee) when the structure is full.
+    if snapshot.len() == CAPACITY {
+        let min = snapshot.entries().last().unwrap().count;
+        let snap_items: std::collections::HashSet<u64> =
+            snapshot.entries().iter().map(|e| e.item).collect();
+        for (item, t) in truth.frequent(cots_core::Threshold::Count(min + 1)) {
+            assert!(
+                snap_items.contains(&item),
+                "{label}: unmonitored {item} has count {t} > min {min}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_conserves_on_adversarial_streams() {
+    for (label, spec) in adversarial_specs() {
+        let stream = spec.generate();
+        let truth = ExactCounter::from_stream(&stream);
+        let mut e = SpaceSaving::<u64>::new(SummaryConfig::with_capacity(CAPACITY).unwrap());
+        e.process_slice(&stream);
+        e.check_invariants();
+        check(&e.snapshot(), &truth, label);
+    }
+}
+
+#[test]
+fn shared_conserves_on_adversarial_streams() {
+    for (label, spec) in adversarial_specs() {
+        let stream = spec.generate();
+        let truth = ExactCounter::from_stream(&stream);
+        let e = SharedSpaceSaving::<u64>::new(
+            SummaryConfig::with_capacity(CAPACITY).unwrap(),
+            LockKind::Mutex,
+        )
+        .unwrap();
+        cots_naive::runner::run_concurrent(&e, &stream, 4, false).unwrap();
+        check(&e.snapshot(), &truth, label);
+    }
+}
+
+#[test]
+fn cots_conserves_on_adversarial_streams() {
+    for (label, spec) in adversarial_specs() {
+        let stream = spec.generate();
+        let truth = ExactCounter::from_stream(&stream);
+        for threads in [1usize, 4, 16] {
+            let e = Arc::new(
+                CotsEngine::<u64>::new(CotsConfig::for_capacity(CAPACITY).unwrap()).unwrap(),
+            );
+            cots::run(
+                &e,
+                &stream,
+                RuntimeOptions {
+                    threads,
+                    batch: 256,
+                    adaptive: false,
+                },
+            )
+            .unwrap();
+            check(&e.snapshot(), &truth, &format!("{label} x{threads}"));
+        }
+    }
+}
+
+#[test]
+fn independent_merge_keeps_sound_bounds_under_churn() {
+    // The merged result is allowed looser bounds than a single structure
+    // (absent-mass substitution) but they must stay *sound*.
+    for (label, spec) in adversarial_specs() {
+        let stream = spec.generate();
+        let truth = ExactCounter::from_stream(&stream);
+        let engine = IndependentSpaceSaving {
+            config: SummaryConfig::with_capacity(CAPACITY).unwrap(),
+            strategy: MergeStrategy::Serial,
+            merge_every: Some(5_000),
+        };
+        let out = engine.run(&stream, 4, false).unwrap();
+        assert_eq!(out.snapshot.total(), truth.processed(), "{label}");
+        for e in out.snapshot.entries() {
+            let t = truth.count(&e.item);
+            assert!(
+                e.count >= t,
+                "{label}: merged count {} < true {}",
+                e.count,
+                t
+            );
+            assert!(
+                e.guaranteed() <= t,
+                "{label}: merged guarantee {} > true {}",
+                e.guaranteed(),
+                t
+            );
+        }
+    }
+}
+
+#[test]
+fn cots_adaptive_conserves() {
+    let stream = StreamSpec::zipf(40_000, 2_000, 2.0, 11).generate();
+    let truth = ExactCounter::from_stream(&stream);
+    let e = Arc::new(
+        CotsEngine::<u64>::new(
+            CotsConfig::for_capacity(CAPACITY)
+                .unwrap()
+                .with_adaptive(64, 8),
+        )
+        .unwrap(),
+    );
+    cots::run(
+        &e,
+        &stream,
+        RuntimeOptions {
+            threads: 8,
+            batch: 256,
+            adaptive: true,
+        },
+    )
+    .unwrap();
+    check(&e.snapshot(), &truth, "cots adaptive");
+}

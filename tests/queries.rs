@@ -1,0 +1,173 @@
+//! The query model (§3.2) end to end: point, set, and interval queries
+//! against live engines, including queries running concurrently with
+//! updates (the paper's lock-free readers).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cots::{CotsEngine, RuntimeOptions};
+use cots_core::query::{IntervalQuery, QueryKind, QueryPeriod};
+use cots_core::{
+    ConcurrentCounter, CotsConfig, FrequencyCounter, PointQuery, QueryableSummary, SetQuery,
+    SummaryConfig, Threshold,
+};
+use cots_datagen::StreamSpec;
+use cots_sequential::SpaceSaving;
+
+#[test]
+fn point_and_set_queries_agree_with_snapshot() {
+    let stream = StreamSpec::zipf(50_000, 2_000, 2.0, 5).generate();
+    let e = Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(256).unwrap()).unwrap());
+    cots::run(
+        &e,
+        &stream,
+        RuntimeOptions {
+            threads: 4,
+            batch: 512,
+            adaptive: false,
+        },
+    )
+    .unwrap();
+    let snap = e.snapshot();
+    let threshold = Threshold::Fraction(0.01);
+    let frequent = e.set_query(SetQuery::Frequent { threshold });
+    // Every element of the set answer satisfies the point query, and the
+    // point query matches snapshot membership.
+    for entry in frequent.entries() {
+        assert!(e.point_query(PointQuery::IsFrequent {
+            item: entry.item,
+            threshold
+        }));
+    }
+    assert_eq!(frequent.entries(), &snap.frequent(threshold)[..]);
+
+    let top = e.set_query(SetQuery::TopK { k: 10 });
+    assert_eq!(top.len(), 10);
+    for entry in top.entries() {
+        assert!(e.point_query(PointQuery::IsInTopK {
+            item: entry.item,
+            k: 10
+        }));
+    }
+    // An element below the k-th frequency is not in top-k.
+    let kth = e.kth_frequency(10).unwrap();
+    if let Some(below) = snap.entries().iter().find(|x| x.count < kth) {
+        assert!(!e.point_query(PointQuery::IsInTopK {
+            item: below.item,
+            k: 10
+        }));
+    }
+}
+
+#[test]
+fn kth_frequency_matches_sorted_snapshot() {
+    let stream = StreamSpec::zipf(30_000, 500, 2.5, 8).generate();
+    let e = Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(128).unwrap()).unwrap());
+    cots::run(
+        &e,
+        &stream,
+        RuntimeOptions {
+            threads: 2,
+            batch: 512,
+            adaptive: false,
+        },
+    )
+    .unwrap();
+    let snap = e.snapshot();
+    for k in [1usize, 2, 5, 20, snap.len()] {
+        assert_eq!(
+            e.kth_frequency(k),
+            snap.entries().get(k - 1).map(|x| x.count),
+            "k = {k}"
+        );
+    }
+    assert_eq!(e.kth_frequency(snap.len() + 1), None);
+}
+
+#[test]
+fn interval_query_driver_over_sequential_engine() {
+    // Query 3: a set query re-evaluated every 10 000 updates; answers must
+    // be monotone in the total for the dominating element.
+    let stream = StreamSpec::zipf(50_000, 1_000, 2.0, 13).generate();
+    let q: IntervalQuery<u64> = IntervalQuery {
+        query: QueryKind::Set(SetQuery::TopK { k: 1 }),
+        period: QueryPeriod::Updates(10_000),
+    };
+    let QueryPeriod::Updates(period) = q.period;
+    let mut engine = SpaceSaving::<u64>::new(SummaryConfig::with_capacity(256).unwrap());
+    let mut last_top_count = 0u64;
+    let mut evaluations = 0;
+    for (i, &item) in stream.iter().enumerate() {
+        engine.process(item);
+        if ((i + 1) as u64).is_multiple_of(period) {
+            let ans = engine.query(q.query);
+            let top = ans.as_set().unwrap()[0];
+            assert!(top.count >= last_top_count, "top count must not shrink");
+            last_top_count = top.count;
+            evaluations += 1;
+        }
+    }
+    assert_eq!(evaluations, 5);
+}
+
+#[test]
+fn queries_concurrent_with_updates_are_safe_and_sane() {
+    // Readers ask point/set queries while writers count; answers must be
+    // internally consistent (error <= count, sets sorted, sizes bounded).
+    let stream = StreamSpec::zipf(200_000, 5_000, 2.0, 17).generate();
+    let e = Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(512).unwrap()).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let writer_engine = e.clone();
+        let writer_stop = stop.clone();
+        s.spawn(move || {
+            cots::run(
+                &writer_engine,
+                &stream,
+                RuntimeOptions {
+                    threads: 2,
+                    batch: 512,
+                    adaptive: false,
+                },
+            )
+            .unwrap();
+            writer_stop.store(true, Ordering::Release);
+        });
+        for _ in 0..2 {
+            let e = e.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut queries = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let snap = e.snapshot();
+                    assert!(snap.entries().windows(2).all(|w| w[0].count >= w[1].count));
+                    for entry in snap.top_k(5) {
+                        assert!(entry.error <= entry.count);
+                        let _ = e.point_query(PointQuery::IsFrequent {
+                            item: entry.item,
+                            threshold: Threshold::Count(1),
+                        });
+                    }
+                    let _ = e.kth_frequency(3);
+                    queries += 1;
+                }
+                assert!(queries > 0);
+            });
+        }
+    });
+    // Post-quiescence exactness.
+    assert_eq!(e.processed(), 200_000);
+    let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
+    assert_eq!(sum, 200_000);
+}
+
+#[test]
+fn fractional_and_absolute_thresholds_are_consistent() {
+    let stream = StreamSpec::zipf(10_000, 100, 2.0, 23).generate();
+    let mut engine = SpaceSaving::<u64>::new(SummaryConfig::with_capacity(128).unwrap());
+    engine.process_slice(&stream);
+    let snap = engine.snapshot();
+    let frac = snap.frequent(Threshold::Fraction(0.02));
+    let abs = snap.frequent(Threshold::Count(200)); // 2% of 10 000
+    assert_eq!(frac, abs);
+}

@@ -1,0 +1,137 @@
+//! End-to-end: the SQL-ish query dialect and the jumping window driving
+//! real engines.
+
+use std::sync::Arc;
+
+use cots::{CotsEngine, JumpingWindow, RuntimeOptions};
+use cots_core::ql;
+use cots_core::query::{QueryKind, QueryPeriod};
+use cots_core::{CotsConfig, QueryableSummary};
+use cots_datagen::StreamSpec;
+
+#[test]
+fn parsed_statements_run_against_a_live_engine() {
+    let stream = StreamSpec {
+        scramble_ids: false,
+        ..StreamSpec::zipf(60_000, 2_000, 2.0, 5)
+    }
+    .generate();
+    let engine = Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(256).unwrap()).unwrap());
+    cots::run(
+        &engine,
+        &stream,
+        RuntimeOptions {
+            threads: 4,
+            batch: 512,
+            adaptive: false,
+        },
+    )
+    .unwrap();
+
+    // Set query through the dialect matches the direct API.
+    let stmt = ql::parse("Select S.element From Stream S Where IsElementFrequent(S.element, 0.01)")
+        .unwrap();
+    let QueryKind::Set(set) = stmt.query else {
+        panic!("expected a set query")
+    };
+    let via_ql = engine.set_query(set);
+    let direct = engine.set_query(cots_core::SetQuery::Frequent {
+        threshold: cots_core::Threshold::Fraction(0.01),
+    });
+    assert_eq!(via_ql.entries(), direct.entries());
+    assert!(!via_ql.is_empty(), "1% of a zipf(2.0) stream is non-empty");
+
+    // Point query: rank 1 must be in the top 5 (unscrambled ids = ranks).
+    let stmt = ql::parse("Select S.element From Stream S Where IsElementInTopk(1, 5)").unwrap();
+    let QueryKind::Point(p) = stmt.query else {
+        panic!("expected a point query")
+    };
+    assert!(engine.point_query(p));
+
+    // Interval scheduling drives periodic evaluation.
+    let stmt =
+        ql::parse("Select S.element From Stream S Where IsElementInTopk(S.element, 3) Every 20000")
+            .unwrap();
+    let iq = stmt.to_interval(0.0);
+    let QueryPeriod::Updates(period) = iq.period;
+    assert_eq!(period, 20_000);
+    let mut evaluations = 0;
+    for (i, _) in stream.iter().enumerate() {
+        if ((i + 1) as u64).is_multiple_of(period) {
+            let ans = engine.query(iq.query);
+            assert_eq!(ans.as_set().unwrap().len(), 3);
+            evaluations += 1;
+        }
+    }
+    assert_eq!(evaluations, 3);
+}
+
+#[test]
+fn jumping_window_tracks_a_drifting_distribution() {
+    // The hot set shifts every phase; the window must follow it while the
+    // full-history engine stays anchored to the oldest heavy hitters.
+    let window =
+        Arc::new(JumpingWindow::<u64>::new(CotsConfig::for_capacity(64).unwrap(), 20_000).unwrap());
+    let full = Arc::new(CotsEngine::<u64>::new(CotsConfig::for_capacity(64).unwrap()).unwrap());
+
+    let phases: [(u64, usize); 3] = [(100, 40_000), (200, 40_000), (300, 40_000)];
+    for (base, len) in phases {
+        for i in 0..len as u64 {
+            // 75% of the phase's traffic on its own hot key.
+            let item = if i % 4 != 3 {
+                base
+            } else {
+                base + 1 + (i % 50)
+            };
+            window.process(item);
+            full.delegate(item);
+        }
+    }
+    full.finalize();
+
+    let wsnap = window.snapshot();
+    let top = wsnap.top_k(1);
+    assert_eq!(
+        top[0].item, 300,
+        "window top must be the latest phase's hot key"
+    );
+    // Old hot keys have aged out of the window entirely.
+    assert!(wsnap.get(&100).is_none(), "phase-1 key must have aged out");
+    // The full-history engine still holds all three.
+    let fsnap = full.snapshot();
+    for key in [100u64, 200, 300] {
+        assert!(
+            fsnap.get(&key).is_some(),
+            "full history must retain hot key {key}"
+        );
+    }
+    assert!(window.rotations() >= 10);
+}
+
+#[test]
+fn window_snapshot_is_safe_under_concurrent_feeding() {
+    let window =
+        Arc::new(JumpingWindow::<u64>::new(CotsConfig::for_capacity(32).unwrap(), 5_000).unwrap());
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            let w = window.clone();
+            s.spawn(move || {
+                for i in 0..30_000u64 {
+                    w.process((i + t as u64) % 20);
+                }
+            });
+        }
+        let w = window.clone();
+        s.spawn(move || {
+            for _ in 0..200 {
+                let snap = w.snapshot();
+                let sum: u64 = snap.entries().iter().map(|e| e.count).sum();
+                assert!(sum <= w.window() + 1, "window mass bound: {sum}");
+                for e in snap.entries() {
+                    assert!(e.error <= e.count);
+                }
+            }
+        });
+    });
+    assert_eq!(window.processed(), 90_000);
+}
