@@ -200,6 +200,8 @@ fn ablate_hash(c: &mut Criterion) {
             let mut hits = 0u64;
             for &k in &data {
                 let n = table.lookup_or_insert(k, &guard);
+                // SAFETY: returned under the live `guard` above; nothing is
+                // reclaimed while that pin is held.
                 hits = hits.wrapping_add(unsafe { n.deref() }.key);
             }
             hits

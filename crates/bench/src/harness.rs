@@ -4,9 +4,9 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use cots_core::json::ToJson;
 use cots_core::RunStats;
 use cots_datagen::StreamSpec;
-use serde::Serialize;
 
 /// Experiment scaling knobs, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -85,17 +85,13 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 }
 
 /// Write a serializable report under `target/repro/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let path = out_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("wrote {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: serialize {name}: {e}"),
+    let s = cots_core::json::to_string_pretty(value);
+    if let Err(e) = fs::write(&path, s) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
     }
 }
 

@@ -22,6 +22,7 @@
 //! paper's qualitative claims. See `DESIGN.md` §4 and `EXPERIMENTS.md`.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod engines;
 pub mod harness;

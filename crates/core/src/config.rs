@@ -6,12 +6,11 @@
 //! additionally takes a [`CotsConfig`] describing the search structure and
 //! the cooperative scheduler.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{CotsError, Result};
+use crate::json::{FromJson, Json, JsonResult, ToJson};
 
 /// Counter budget configuration shared by every counter-based algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SummaryConfig {
     /// Maximum number of monitored counters (`m`).
     pub capacity: usize,
@@ -45,7 +44,7 @@ impl SummaryConfig {
 }
 
 /// Configuration of the CoTS framework.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CotsConfig {
     /// Counter budget.
     pub summary: SummaryConfig,
@@ -63,7 +62,7 @@ pub struct CotsConfig {
 }
 
 /// Queue-occupancy thresholds for dynamic auto configuration (§5.2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveConfig {
     /// σ: when a bucket queue grows beyond this while a thread enqueues,
     /// the scheduler parks surplus threads back into the pool.
@@ -123,6 +122,60 @@ impl CotsConfig {
     }
 }
 
+impl ToJson for SummaryConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("capacity", self.capacity.to_json())])
+    }
+}
+
+impl FromJson for SummaryConfig {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            capacity: usize::from_json(v.field("capacity")?)?,
+        })
+    }
+}
+
+impl ToJson for AdaptiveConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("sigma", self.sigma.to_json()),
+            ("rho", self.rho.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AdaptiveConfig {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            sigma: usize::from_json(v.field("sigma")?)?,
+            rho: usize::from_json(v.field("rho")?)?,
+        })
+    }
+}
+
+impl ToJson for CotsConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("summary", self.summary.to_json()),
+            ("hash_bits", self.hash_bits.to_json()),
+            ("block_entries", self.block_entries.to_json()),
+            ("adaptive", self.adaptive.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CotsConfig {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            summary: SummaryConfig::from_json(v.field("summary")?)?,
+            hash_bits: u32::from_json(v.field("hash_bits")?)?,
+            block_entries: usize::from_json(v.field("block_entries")?)?,
+            adaptive: Option::from_json(v.field("adaptive")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +217,18 @@ mod tests {
         assert!(c.validate().is_err());
         let c = CotsConfig::for_capacity(10).unwrap().with_adaptive(64, 8);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for c in [
+            CotsConfig::for_capacity(1000).unwrap(),
+            CotsConfig::for_capacity(10).unwrap().with_adaptive(64, 8),
+        ] {
+            let s = crate::json::to_string(&c);
+            let back: CotsConfig = crate::json::from_str(&s).unwrap();
+            assert_eq!(c, back);
+        }
     }
 
     #[test]

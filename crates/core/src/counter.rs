@@ -6,9 +6,8 @@
 //! engine-independent export format: entries sorted by decreasing count, from
 //! which every query of the paper's model can be answered.
 
-use serde::{Deserialize, Serialize};
-
 use crate::element::Element;
+use crate::json::{FromJson, Json, JsonResult, ToJson};
 use crate::query::Threshold;
 
 /// One monitored element: the guaranteed-over-estimate `count` and the
@@ -17,7 +16,7 @@ use crate::query::Threshold;
 /// For Space Saving, `error` is the count the element inherited when it
 /// overwrote the previous minimum; a *guaranteed* count of
 /// `count - error` is thus always a lower bound on the true frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterEntry<K> {
     /// The monitored element.
     pub item: K,
@@ -51,7 +50,7 @@ impl<K: Element> CounterEntry<K> {
 /// this suite the invariant `Σ count == total` holds whenever the alphabet
 /// has been counted exactly or the structure is full (Space Saving maintains
 /// it unconditionally).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot<K> {
     entries: Vec<CounterEntry<K>>,
     total: u64,
@@ -159,6 +158,44 @@ impl<K: Element> Snapshot<K> {
     }
 }
 
+impl<K: ToJson> ToJson for CounterEntry<K> {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("item", self.item.to_json()),
+            ("count", self.count.to_json()),
+            ("error", self.error.to_json()),
+        ])
+    }
+}
+
+impl<K: FromJson> FromJson for CounterEntry<K> {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            item: K::from_json(v.field("item")?)?,
+            count: u64::from_json(v.field("count")?)?,
+            error: u64::from_json(v.field("error")?)?,
+        })
+    }
+}
+
+impl<K: ToJson> ToJson for Snapshot<K> {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("entries", self.entries.to_json()),
+            ("total", self.total.to_json()),
+        ])
+    }
+}
+
+impl<K: FromJson> FromJson for Snapshot<K> {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            entries: Vec::from_json(v.field("entries")?)?,
+            total: u64::from_json(v.field("total")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,10 +288,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = snap();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Snapshot<u64> = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&s);
+        let back: Snapshot<u64> = crate::json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -1,0 +1,113 @@
+//! Structural-invariant auditing (the `invariants` feature, on by default).
+//!
+//! Every summary structure in the suite maintains a frequency-sorted bucket
+//! list with doubly-linked element lists hanging off it; the concurrent
+//! engine adds tombstones and deferred bucket GC on top. This module gives
+//! them a common vocabulary for *auditing* that structure: a
+//! [`CheckInvariants`] implementor walks itself and reports every violated
+//! invariant as a [`Violation`] instead of asserting on the first one, so a
+//! failing stress test prints the complete damage, not just the first
+//! symptom.
+//!
+//! Checks are exhaustive walks — O(elements) or worse — and are meant for
+//! tests and debugging barriers, not steady-state production use. That, and
+//! nothing else, is why the module is feature-gated: disabling the
+//! `invariants` feature removes the auditing API surface, never any
+//! behavior.
+
+use std::fmt;
+
+/// One violated structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable short name of the invariant, e.g. `"bucket-order"`.
+    pub invariant: &'static str,
+    /// Human-readable description of the violating state.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Construct a violation of `invariant` described by `detail`.
+    pub fn new(invariant: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            invariant,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Structures that can audit their own internal consistency.
+pub trait CheckInvariants {
+    /// Walk the structure and collect every violated invariant.
+    ///
+    /// An empty vector means the structure is consistent. Implementations
+    /// must not panic on inconsistent state — the point is to report it.
+    fn violations(&self) -> Vec<Violation>;
+
+    /// Panic with a readable multi-line report if any invariant is
+    /// violated.
+    ///
+    /// This is the form tests call at barriers:
+    /// `engine.validate();`.
+    ///
+    /// # Panics
+    /// If [`CheckInvariants::violations`] is non-empty.
+    fn validate(&self) {
+        let violations = self.violations();
+        if !violations.is_empty() {
+            let mut msg = format!("{} structural invariant(s) violated:\n", violations.len());
+            for v in &violations {
+                msg.push_str(&format!("  {v}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysOk;
+    impl CheckInvariants for AlwaysOk {
+        fn violations(&self) -> Vec<Violation> {
+            Vec::new()
+        }
+    }
+
+    struct Broken;
+    impl CheckInvariants for Broken {
+        fn violations(&self) -> Vec<Violation> {
+            vec![
+                Violation::new("bucket-order", "freq 3 follows freq 5"),
+                Violation::new("len-field", "bucket says 2, found 1"),
+            ]
+        }
+    }
+
+    #[test]
+    fn validate_passes_when_consistent() {
+        AlwaysOk.validate();
+    }
+
+    #[test]
+    fn validate_reports_all_violations() {
+        let err = std::panic::catch_unwind(|| Broken.validate()).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("2 structural invariant(s)"));
+        assert!(msg.contains("[bucket-order]"));
+        assert!(msg.contains("[len-field]"));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::new("backpointer", "node 4 points at bucket 9");
+        assert_eq!(v.to_string(), "[backpointer] node 4 points at bucket 9");
+    }
+}

@@ -28,17 +28,25 @@
 //!   engines) and [`ConcurrentCounter`](traits::ConcurrentCounter) (shared
 //!   engines).
 //! * [`config`] — capacity/ε configuration shared by all engines.
-//! * [`report`] — serde-serializable run statistics and hardware-independent
+//! * [`report`] — JSON-serializable run statistics and hardware-independent
 //!   work counters.
+//! * [`json`] — the dependency-free JSON model those reports serialize
+//!   through ([`ToJson`](json::ToJson) / [`FromJson`](json::FromJson)).
 //! * [`error`] — the crate error type.
+//! * [`invariants`] — structural self-auditing for summary structures
+//!   (feature `invariants`, on by default).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod config;
 pub mod counter;
 pub mod element;
 pub mod error;
 pub mod hash;
+#[cfg(feature = "invariants")]
+pub mod invariants;
+pub mod json;
 pub mod merge;
 pub mod ql;
 pub mod query;
@@ -50,6 +58,9 @@ pub use counter::{CounterEntry, Snapshot};
 pub use element::Element;
 pub use error::{CotsError, Result};
 pub use hash::MulHash;
+#[cfg(feature = "invariants")]
+pub use invariants::{CheckInvariants, Violation};
+pub use json::{FromJson, Json, ToJson};
 pub use query::{PointQuery, QueryAnswer, SetQuery, Threshold};
 pub use report::{RunStats, WorkCounters};
 pub use traits::{ConcurrentCounter, FrequencyCounter, QueryableSummary};

@@ -12,10 +12,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonResult, ToJson};
 
 /// Plain, serializable work-counter totals.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkCounters {
     /// Stream elements processed.
     pub elements: u64,
@@ -166,7 +166,7 @@ impl WorkTally {
 }
 
 /// Outcome of one measured engine run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// Engine label ("sequential", "shared-mutex", "independent-serial",
     /// "cots", …).
@@ -175,8 +175,8 @@ pub struct RunStats {
     pub threads: usize,
     /// Stream length processed.
     pub elements: u64,
-    /// Wall-clock duration of the counting phase.
-    #[serde(with = "duration_secs")]
+    /// Wall-clock duration of the counting phase. Serialized as fractional
+    /// seconds, matching the paper's tables.
     pub elapsed: Duration,
     /// Logical work performed.
     pub work: WorkCounters,
@@ -202,19 +202,64 @@ impl RunStats {
     }
 }
 
-mod duration_secs {
-    //! Serialize `Duration` as fractional seconds, matching the paper's
-    //! tables.
-    use super::*;
-    use serde::{Deserializer, Serializer};
+macro_rules! counters_json {
+    ($($field:ident),* $(,)?) => {
+        impl ToJson for WorkCounters {
+            fn to_json(&self) -> Json {
+                Json::obj(vec![
+                    $((stringify!($field), self.$field.to_json()),)*
+                ])
+            }
+        }
 
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_f64(d.as_secs_f64())
+        impl FromJson for WorkCounters {
+            fn from_json(v: &Json) -> JsonResult<Self> {
+                Ok(Self {
+                    $($field: u64::from_json(v.field(stringify!($field))?)?,)*
+                })
+            }
+        }
+    };
+}
+
+counters_json!(
+    elements,
+    summary_ops,
+    boundary_crossings,
+    delegated_increments,
+    delegated_requests,
+    lock_acquisitions,
+    lock_contentions,
+    merges,
+    merged_counters,
+    read_restarts,
+    gc_buckets,
+    overwrites,
+    overwrite_deferrals,
+);
+
+impl ToJson for RunStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("engine", self.engine.to_json()),
+            ("threads", self.threads.to_json()),
+            ("elements", self.elements.to_json()),
+            ("elapsed", self.elapsed.as_secs_f64().to_json()),
+            ("work", self.work.to_json()),
+        ])
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
-        let secs = <f64 as serde::Deserialize>::deserialize(d)?;
-        Ok(Duration::from_secs_f64(secs.max(0.0)))
+impl FromJson for RunStats {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        let secs = f64::from_json(v.field("elapsed")?)?;
+        Ok(Self {
+            engine: String::from_json(v.field("engine")?)?,
+            threads: usize::from_json(v.field("threads")?)?,
+            elements: u64::from_json(v.field("elements")?)?,
+            elapsed: Duration::from_secs_f64(secs.max(0.0)),
+            work: WorkCounters::from_json(v.field("work")?)?,
+        })
     }
 }
 
@@ -301,7 +346,7 @@ mod tests {
     }
 
     #[test]
-    fn run_stats_serde_round_trip() {
+    fn run_stats_json_round_trip() {
         let r = RunStats {
             engine: "cots".into(),
             threads: 4,
@@ -309,9 +354,11 @@ mod tests {
             elapsed: Duration::from_millis(1500),
             work: WorkCounters::default(),
         };
-        let json = serde_json::to_string(&r).unwrap();
-        let back: RunStats = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&r);
+        let back: RunStats = crate::json::from_str(&json).unwrap();
         assert_eq!(back.engine, "cots");
+        assert_eq!(back.threads, 4);
+        assert_eq!(back.work, r.work);
         assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
     }
 }

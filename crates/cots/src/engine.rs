@@ -227,6 +227,9 @@ impl<K: Element> CotsEngine<K> {
         for &item in items {
             loop {
                 let node_sh = self.table.lookup_or_insert(item, &guard);
+                // SAFETY: `lookup_or_insert` returned this pointer under
+                // `guard`; tombstoned nodes are retired with `defer_destroy`,
+                // never freed while pinned.
                 let node = unsafe { node_sh.deref() };
                 let r = node.pending.fetch_add(1, Ordering::AcqRel) + 1;
                 if r >= TOMB {
@@ -336,6 +339,8 @@ impl<K: Element> CotsEngine<K> {
     fn enqueue(&self, b: Shared<'_, Bucket<K>>, req: Request<K>, guard: &Guard) {
         // NB: `b` may be retired (unlinked + deferred) — the epoch pin
         // keeps it valid and the `is_gc` check below rescues the request.
+        // SAFETY: the caller loaded `b` under `guard`; even if concurrently
+        // retired, reclamation is deferred past this pin.
         let bucket = unsafe { b.deref() };
         bucket.queue.push(req);
         if bucket.is_gc() {
@@ -372,7 +377,11 @@ impl<K: Element> CotsEngine<K> {
     /// or null when the summary is empty. Lock-free read.
     fn first_alive<'g>(&self, guard: &'g Guard) -> Shared<'g, Bucket<K>> {
         let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: the sentinel head is never retired; it is freed only by
+        // `Drop`, which has exclusive access.
         let mut cur = unsafe { head.deref() }.next.load(Ordering::Acquire, guard);
+        // SAFETY: chain pointers are loaded under `guard`; retired buckets
+        // are reclaimed via `defer_destroy` only after every pin is released.
         while let Some(b) = unsafe { cur.as_ref() } {
             if !b.is_gc() {
                 return cur;
@@ -386,6 +395,8 @@ impl<K: Element> CotsEngine<K> {
     /// release-recheck pattern, so no logged request is ever lost).
     fn try_drain(&self, b: Shared<'_, Bucket<K>>, scan: bool, guard: &Guard) {
         // NB: `b` may be retired — handled by the leading `is_gc` check.
+        // SAFETY: the caller loaded `b` under `guard`; even if concurrently
+        // retired, reclamation is deferred past this pin.
         let bucket = unsafe { b.deref() };
         loop {
             if bucket.is_gc() {
@@ -485,8 +496,12 @@ impl<K: Element> CotsEngine<K> {
     /// §5.2.3: after finishing a bucket, help successors that have pending
     /// requests and no owner, stopping at the first owned bucket.
     fn neighbor_scan(&self, b: Shared<'_, Bucket<K>>, guard: &Guard) {
+        // SAFETY: `b` was loaded under `guard` by the caller; deferred
+        // reclamation keeps it valid while pinned.
         let mut cur = unsafe { b.deref() }.next.load(Ordering::Acquire, guard);
         let mut hops = 0;
+        // SAFETY: chain pointers are loaded under `guard`; retired buckets
+        // are reclaimed via `defer_destroy` only after every pin is released.
         while let Some(bucket) = unsafe { cur.as_ref() } {
             if bucket.owner.load(Ordering::Relaxed) {
                 break;
@@ -532,6 +547,8 @@ impl<K: Element> CotsEngine<K> {
         guard: &Guard,
     ) -> Outcome<K> {
         self.tally.summary_ops(1);
+        // SAFETY: requests are only dispatched to buckets loaded under
+        // `guard`; deferred reclamation keeps `b` valid.
         if unsafe { b.deref() }.freq == 0 {
             // Sentinel dispatch: Adds fall through the normal destination
             // search (the sentinel's frequency 0 is below every real
@@ -574,6 +591,8 @@ impl<K: Element> CotsEngine<K> {
             }
             Request::Overwrite(node_ptr, by) => {
                 self.gc_successors(b, guard);
+                // SAFETY: we hold `b`'s drain rights and `guard` is pinned;
+                // the bucket stays allocated even if concurrently retired.
                 let first = unsafe { b.deref() }.next.load(Ordering::Acquire, guard);
                 if first.is_null() {
                     // Empty summary. Unreachable for a correctly sized
@@ -591,6 +610,8 @@ impl<K: Element> CotsEngine<K> {
             }
             Request::PruneMin { threshold } => {
                 self.gc_successors(b, guard);
+                // SAFETY: we hold `b`'s drain rights and `guard` is pinned;
+                // the bucket stays allocated even if concurrently retired.
                 let first = unsafe { b.deref() }.next.load(Ordering::Acquire, guard);
                 if !first.is_null() {
                     self.enqueue(first, Request::PruneMin { threshold }, guard);
@@ -603,6 +624,8 @@ impl<K: Element> CotsEngine<K> {
 
     /// Algorithm 3: AddElementToBucket.
     fn process_add(&self, b: Shared<'_, Bucket<K>>, node_ptr: NodePtr<K>, guard: &Guard) {
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         let node = node_ptr.get();
         let freq = node.freq.load(Ordering::Acquire);
@@ -627,6 +650,8 @@ impl<K: Element> CotsEngine<K> {
         by: u64,
         guard: &Guard,
     ) {
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         let node = node_ptr.get();
         debug_assert!(
@@ -644,6 +669,8 @@ impl<K: Element> CotsEngine<K> {
     /// Algorithm 4: FindDestBucket. `node` is unlinked, its `freq` holds
     /// the target; we own `b` and `node.freq > b.freq`.
     fn find_dest(&self, b: Shared<'_, Bucket<K>>, node_ptr: NodePtr<K>, guard: &Guard) {
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         let node = node_ptr.get();
         let target = node.freq.load(Ordering::Acquire);
@@ -652,6 +679,8 @@ impl<K: Element> CotsEngine<K> {
         // predecessor, so the unlink is safe).
         self.gc_successors(b, guard);
         let next = bucket.next.load(Ordering::Acquire, guard);
+        // SAFETY: successor pointer loaded under `guard`; retired buckets are
+        // reclaimed only after every pin is released.
         let next_ref = unsafe { next.as_ref() };
         match next_ref {
             None => self.insert_bucket_after(b, next, node, guard),
@@ -666,8 +695,13 @@ impl<K: Element> CotsEngine<K> {
                 // (it will either link us or insert a fresh bucket next to
                 // itself).
                 let mut prev = next;
+                // SAFETY: `next` was observed non-null above and remains
+                // valid under `guard`.
                 let mut cur = unsafe { next.deref() }.next.load(Ordering::Acquire, guard);
                 let mut steps = 0usize;
+                // SAFETY: chain pointers are loaded under `guard`; retired
+                // buckets are reclaimed via `defer_destroy` only after every
+                // pin is released.
                 while let Some(cb) = unsafe { cur.as_ref() } {
                     if cb.freq > target {
                         break;
@@ -707,6 +741,8 @@ impl<K: Element> CotsEngine<K> {
     ) {
         #[cfg(debug_assertions)]
         destroy_registry::assert_alive(b.as_raw() as usize, "insert_bucket_after");
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         let target = node.freq.load(Ordering::Acquire);
         let new_bucket = Owned::new(Bucket::new(target));
@@ -733,6 +769,8 @@ impl<K: Element> CotsEngine<K> {
         by: u64,
         guard: &Guard,
     ) -> Outcome<K> {
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         // Overwrites apply to the *minimum* bucket; if a lower bucket has
         // appeared (or this one was retired), chase the real minimum
@@ -746,6 +784,8 @@ impl<K: Element> CotsEngine<K> {
         // `try_remove`; busy candidates are skipped, never waited on —
         // Minimal Existence).
         let mut cur = bucket.elems.load(Ordering::Acquire, guard);
+        // SAFETY: element-list nodes are unlinked before retirement and
+        // reclaimed via `defer_destroy`; `guard` keeps them valid.
         while let Some(cand) = unsafe { cur.as_ref() } {
             if !std::ptr::eq(cand as *const _, node as *const _) && self.table.try_remove(cand) {
                 // Victim secured: inherit its count as the error bound.
@@ -780,8 +820,12 @@ impl<K: Element> CotsEngine<K> {
     /// §5.3 Lossy Counting maintenance: evict idle minimum-bucket elements
     /// whose upper bound does not exceed the round id.
     fn process_prune(&self, b: Shared<'_, Bucket<K>>, threshold: u64, guard: &Guard) {
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         let mut cur = bucket.elems.load(Ordering::Acquire, guard);
+        // SAFETY: element-list nodes are unlinked before retirement and
+        // reclaimed via `defer_destroy`; `guard` keeps them valid.
         while let Some(cand) = unsafe { cur.as_ref() } {
             let next = cand.list_next.load(Ordering::Acquire, guard);
             let bound = cand.freq.load(Ordering::Acquire) + cand.error.load(Ordering::Acquire);
@@ -803,11 +847,14 @@ impl<K: Element> CotsEngine<K> {
     fn link(&self, b: Shared<'_, Bucket<K>>, node: &Node<K>, guard: &Guard) {
         #[cfg(debug_assertions)]
         destroy_registry::assert_alive(b.as_raw() as usize, "link");
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         let head = bucket.elems.load(Ordering::Acquire, guard);
         let node_sh = Shared::from(node as *const Node<K>);
         node.list_prev.store(Shared::null(), Ordering::Relaxed);
         node.list_next.store(head, Ordering::Relaxed);
+        // SAFETY: `head` was loaded from the owned bucket under `guard`.
         if let Some(h) = unsafe { head.as_ref() } {
             h.list_prev.store(node_sh, Ordering::Release);
         }
@@ -818,13 +865,19 @@ impl<K: Element> CotsEngine<K> {
 
     /// Unlink `node` from owned bucket `b`'s element list.
     fn unlink(&self, b: Shared<'_, Bucket<K>>, node: &Node<K>, guard: &Guard) {
+        // SAFETY: we hold `b`'s drain rights and `guard` is pinned; the
+        // bucket stays allocated even if concurrently retired.
         let bucket = unsafe { b.deref() };
         let prev = node.list_prev.load(Ordering::Acquire, guard);
         let next = node.list_next.load(Ordering::Acquire, guard);
+        // SAFETY: list neighbours of a node in an owned bucket, loaded under
+        // `guard`.
         match unsafe { prev.as_ref() } {
             Some(p) => p.list_next.store(next, Ordering::Release),
             None => bucket.elems.store(next, Ordering::Release),
         }
+        // SAFETY: list neighbours of a node in an owned bucket, loaded under
+        // `guard`.
         if let Some(n) = unsafe { next.as_ref() } {
             n.list_prev.store(prev, Ordering::Release);
         }
@@ -834,9 +887,13 @@ impl<K: Element> CotsEngine<K> {
     /// Unlink (and retire) garbage-collected buckets directly after owned
     /// bucket `b`.
     fn gc_successors(&self, b: Shared<'_, Bucket<K>>, guard: &Guard) {
+        // SAFETY: the caller owns `b` and holds `guard`; the bucket stays
+        // allocated.
         let bucket = unsafe { b.deref() };
         loop {
             let next = bucket.next.load(Ordering::Acquire, guard);
+            // SAFETY: successor loaded under `guard`; reclamation is deferred
+            // past all pins.
             match unsafe { next.as_ref() } {
                 Some(nb) if nb.is_gc() => {
                     let after = nb.next.load(Ordering::Acquire, guard);
@@ -876,6 +933,9 @@ impl<K: Element> CotsEngine<K> {
         for round in 0..1_000_000 {
             let mut any = false;
             let mut cur = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: chain pointers are loaded under `guard`; retired
+            // buckets are reclaimed via `defer_destroy` only after every pin
+            // is released.
             while let Some(bucket) = unsafe { cur.as_ref() } {
                 if !bucket.queue.is_empty() {
                     any = true;
@@ -905,74 +965,159 @@ impl<K: Element> CotsEngine<K> {
     /// # Panics
     /// On any violation.
     pub fn check_quiescent_invariants(&self) {
+        let violations = self.collect_violations();
+        assert!(
+            violations.is_empty(),
+            "CotsEngine invariants violated: {}",
+            violations
+                .iter()
+                .map(|(name, detail)| format!("[{name}] {detail}"))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    /// Walk the whole structure and collect every violated invariant as a
+    /// `(name, detail)` pair. Only meaningful at quiescence. Backs both
+    /// [`CotsEngine::check_quiescent_invariants`] and the feature-gated
+    /// `CheckInvariants` impl.
+    ///
+    /// Runs a hash-table GC pass first (tombstoned entries are collected
+    /// lazily, so freshly evicted nodes may linger in the chains until the
+    /// next insert) and then requires that *no* dead node remains
+    /// reachable.
+    fn collect_violations(&self) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
         let guard = epoch::pin();
+        // Tombstones are unlinked lazily; force the pass so the
+        // no-dead-reachable invariant below is exact, not eventual.
+        self.table.gc_all_chains(&guard);
+        let dead = self.table.dead_reachable(&guard);
+        if dead != 0 {
+            out.push((
+                "tombstone-gc",
+                format!("{dead} tombstoned node(s) reachable after a GC pass"),
+            ));
+        }
         let mut prev_freq = 0u64;
         let mut reachable = 0usize;
         let mut total_mass = 0u64;
+        let mut idx = 0usize;
         let mut cur = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: chain pointers are loaded under `guard`; retired buckets
+        // are reclaimed via `defer_destroy` only after every pin is released.
         while let Some(bucket) = unsafe { cur.as_ref() } {
-            assert!(bucket.queue.is_empty(), "queue drained at quiescence");
+            if !bucket.queue.is_empty() {
+                out.push((
+                    "queue-drained",
+                    format!("bucket {idx} (freq {}) has queued requests", bucket.freq),
+                ));
+            }
             if !bucket.is_gc() && bucket.freq != 0 {
-                assert!(bucket.freq > prev_freq, "bucket freqs strictly ascend");
+                if bucket.freq <= prev_freq {
+                    out.push((
+                        "bucket-order",
+                        format!("bucket {idx}: freq {} after {prev_freq}", bucket.freq),
+                    ));
+                }
                 prev_freq = bucket.freq;
                 let mut n = bucket.elems.load(Ordering::Acquire, &guard);
                 let mut count = 0usize;
                 let mut prev_node: Shared<'_, Node<K>> = Shared::null();
+                // SAFETY: element-list nodes are unlinked before retirement
+                // and reclaimed via `defer_destroy`; `guard` keeps them
+                // valid.
                 while let Some(node) = unsafe { n.as_ref() } {
-                    assert!(!node.is_dead(), "dead node linked in a bucket");
-                    assert_eq!(
-                        node.pending.load(Ordering::Acquire),
-                        0,
-                        "pending drained at quiescence"
-                    );
-                    assert_eq!(
-                        node.freq.load(Ordering::Acquire),
-                        bucket.freq,
-                        "node freq matches its bucket"
-                    );
-                    assert!(
-                        node.bucket.load(Ordering::Acquire, &guard) == cur,
-                        "node bucket back-pointer"
-                    );
-                    assert!(
-                        node.list_prev.load(Ordering::Acquire, &guard) == prev_node,
-                        "doubly linked list back-pointer"
-                    );
-                    assert!(node.error.load(Ordering::Acquire) <= bucket.freq);
+                    if node.is_dead() {
+                        out.push((
+                            "no-dead-linked",
+                            format!("bucket {idx}: tombstoned node still linked"),
+                        ));
+                    }
+                    let pending = node.pending.load(Ordering::Acquire);
+                    if pending != 0 && pending < TOMB {
+                        out.push((
+                            "pending-drained",
+                            format!("bucket {idx}: node with pending {pending}"),
+                        ));
+                    }
+                    let freq = node.freq.load(Ordering::Acquire);
+                    if freq != bucket.freq {
+                        out.push((
+                            "freq-match",
+                            format!("bucket {idx} (freq {}): node freq {freq}", bucket.freq),
+                        ));
+                    }
+                    if node.bucket.load(Ordering::Acquire, &guard) != cur {
+                        out.push((
+                            "node-backpointer",
+                            format!("bucket {idx}: node bucket back-pointer astray"),
+                        ));
+                    }
+                    if node.list_prev.load(Ordering::Acquire, &guard) != prev_node {
+                        out.push((
+                            "node-backlink",
+                            format!("bucket {idx}: doubly-linked prev astray"),
+                        ));
+                    }
+                    let error = node.error.load(Ordering::Acquire);
+                    if error > bucket.freq {
+                        out.push((
+                            "error-bound",
+                            format!("bucket {idx}: error {error} > count {}", bucket.freq),
+                        ));
+                    }
                     prev_node = n;
                     n = node.list_next.load(Ordering::Acquire, &guard);
                     count += 1;
                     total_mass += bucket.freq;
                 }
-                assert_eq!(
-                    count,
-                    bucket.len.load(Ordering::Acquire),
-                    "bucket len field"
-                );
-                assert!(count > 0, "live buckets are non-empty");
+                let len = bucket.len.load(Ordering::Acquire);
+                if count != len {
+                    out.push((
+                        "len-field",
+                        format!("bucket {idx}: len {len} but {count} reachable"),
+                    ));
+                }
+                if count == 0 {
+                    out.push((
+                        "bucket-nonempty",
+                        format!("bucket {idx} (freq {}) is live but empty", bucket.freq),
+                    ));
+                }
                 reachable += count;
-            } else {
-                assert_eq!(
-                    bucket.len.load(Ordering::Acquire),
-                    0,
-                    "GC'd buckets are empty"
-                );
+            } else if bucket.freq != 0 && bucket.len.load(Ordering::Acquire) != 0 {
+                out.push((
+                    "gc-empty",
+                    format!("retired bucket {idx} still holds elements"),
+                ));
             }
             cur = bucket.next.load(Ordering::Acquire, &guard);
+            idx += 1;
         }
-        assert_eq!(reachable, self.monitored(), "monitored count matches list");
-        assert_eq!(
-            reachable,
-            self.table.live_count(&guard),
-            "hash table and summary agree"
-        );
+        if reachable != self.monitored() {
+            out.push((
+                "monitored-count",
+                format!("{reachable} reachable but monitored() = {}", self.monitored()),
+            ));
+        }
+        let live = self.table.live_count(&guard);
+        if reachable != live {
+            out.push((
+                "table-agreement",
+                format!("{reachable} reachable but hash table holds {live}"),
+            ));
+        }
         if matches!(self.policy, Policy::SpaceSaving) {
-            assert_eq!(
-                total_mass,
-                self.total.load(Ordering::Acquire),
-                "count conservation: Σ counts == N"
-            );
+            let total = self.total.load(Ordering::Acquire);
+            if total_mass != total {
+                out.push((
+                    "count-conservation",
+                    format!("Σ counts = {total_mass} ≠ N = {total}"),
+                ));
+            }
         }
+        out
     }
 
     /// Best-effort single pass over the bucket list draining whatever is
@@ -984,6 +1129,9 @@ impl<K: Element> CotsEngine<K> {
         for _ in 0..8 {
             let mut any = false;
             let mut cur = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: chain pointers are loaded under `guard`; retired
+            // buckets are reclaimed via `defer_destroy` only after every pin
+            // is released.
             while let Some(bucket) = unsafe { cur.as_ref() } {
                 if !bucket.queue.is_empty() {
                     any = true;
@@ -1012,6 +1160,8 @@ impl<K: Element> CotsEngine<K> {
         );
         let mut cur = self.head.load(Ordering::Acquire, &guard);
         let mut i = 0;
+        // SAFETY: chain pointers are loaded under `guard`; retired buckets
+        // are reclaimed via `defer_destroy` only after every pin is released.
         while let Some(bucket) = unsafe { cur.as_ref() } {
             let _ = writeln!(
                 out,
@@ -1038,6 +1188,8 @@ impl<K: Element> CotsEngine<K> {
     pub fn estimate_point(&self, item: &K) -> Option<(u64, u64)> {
         let guard = epoch::pin();
         let node_sh = self.table.lookup(item, &guard)?;
+        // SAFETY: `lookup` returned this pointer under `guard`; node
+        // reclamation is deferred past the pin.
         let node = unsafe { node_sh.deref() };
         let freq = node.freq.load(Ordering::Acquire);
         if freq == 0 || node.is_dead() {
@@ -1057,6 +1209,8 @@ impl<K: Element> CotsEngine<K> {
         let mut counts: Vec<(u64, usize)> = Vec::new();
         let mut cur = self.head.load(Ordering::Acquire, &guard);
         let mut steps = 0usize;
+        // SAFETY: chain pointers are loaded under `guard`; retired buckets
+        // are reclaimed via `defer_destroy` only after every pin is released.
         while let Some(bucket) = unsafe { cur.as_ref() } {
             if !bucket.is_gc() && bucket.freq != 0 {
                 counts.push((bucket.freq, bucket.len.load(Ordering::Acquire)));
@@ -1086,10 +1240,15 @@ impl<K: Element> CotsEngine<K> {
         let mut best: HashMap<K, CounterEntry<K>> = HashMap::new();
         let mut cur = self.head.load(Ordering::Acquire, &guard);
         let mut steps = 0usize;
+        // SAFETY: chain pointers are loaded under `guard`; retired buckets
+        // are reclaimed via `defer_destroy` only after every pin is released.
         'walk: while let Some(bucket) = unsafe { cur.as_ref() } {
             if !bucket.is_gc() && bucket.freq != 0 {
                 let mut n = bucket.elems.load(Ordering::Acquire, &guard);
                 let mut in_bucket = 0usize;
+                // SAFETY: element-list nodes are unlinked before retirement
+                // and reclaimed via `defer_destroy`; `guard` keeps them
+                // valid.
                 while let Some(node) = unsafe { n.as_ref() } {
                     let freq = node.freq.load(Ordering::Acquire);
                     if !node.is_dead() && freq > 0 {
@@ -1150,10 +1309,25 @@ impl<K: Element> QueryableSummary<K> for CotsEngine<K> {
     }
 }
 
+#[cfg(feature = "invariants")]
+impl<K: Element> cots_core::CheckInvariants for CotsEngine<K> {
+    /// Audit the full structure. Only meaningful at quiescence (after
+    /// [`CotsEngine::finalize`] with no concurrent producers): a mid-run
+    /// audit observes in-flight delegations as violations by design.
+    fn violations(&self) -> Vec<cots_core::Violation> {
+        self.collect_violations()
+            .into_iter()
+            .map(|(name, detail)| cots_core::Violation::new(name, detail))
+            .collect()
+    }
+}
+
 impl<K: Element> Drop for CotsEngine<K> {
     fn drop(&mut self) {
         // Exclusive access: free the bucket list (nodes are owned and freed
         // by the hash table's Drop).
+        // SAFETY: `&mut self` proves no concurrent accessors or live pins
+        // remain.
         let guard = unsafe { epoch::unprotected() };
         let mut cur = self.head.load(Ordering::Relaxed, guard);
         while !cur.is_null() {
@@ -1161,7 +1335,11 @@ impl<K: Element> Drop for CotsEngine<K> {
             destroy_registry::assert_alive(cur.as_raw() as usize, "Drop");
             #[cfg(debug_assertions)]
             destroy_registry::forget(cur.as_raw() as usize);
+            // SAFETY: `cur` is non-null (loop condition) and `&mut self`
+            // excludes concurrent mutation.
             let next = unsafe { cur.deref() }.next.load(Ordering::Relaxed, guard);
+            // SAFETY: each bucket appears exactly once in the chain, so this
+            // is the unique owner.
             drop(unsafe { cur.into_owned() });
             cur = next;
         }

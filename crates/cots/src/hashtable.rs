@@ -53,6 +53,8 @@ impl<K: Element> HashTable<K> {
     /// Lock-free lookup of the live node for `key`.
     pub fn lookup<'g>(&self, key: &K, guard: &'g Guard) -> Option<Shared<'g, Node<K>>> {
         let mut cur = self.heads[self.index(key)].load(Ordering::Acquire, guard);
+        // SAFETY: hash-chain entries are loaded under `guard`; dead nodes are
+        // retired with `defer_destroy`, never freed while pinned.
         while let Some(node) = unsafe { cur.as_ref() } {
             if !node.is_dead() && node.key == *key {
                 return Some(cur);
@@ -87,6 +89,8 @@ impl<K: Element> HashTable<K> {
         // Re-scan: the key may have been inserted while we waited.
         let head = &self.heads[idx];
         let mut cur = head.load(Ordering::Acquire, guard);
+        // SAFETY: hash-chain entries are loaded under `guard`; dead nodes are
+        // retired with `defer_destroy`, never freed while pinned.
         while let Some(node) = unsafe { cur.as_ref() } {
             if !node.is_dead() && node.key == key {
                 return cur;
@@ -127,6 +131,8 @@ impl<K: Element> HashTable<K> {
         // Unlink dead prefix.
         loop {
             let first = head.load(Ordering::Acquire, guard);
+            // SAFETY: `first` was loaded under `guard`; reclamation of dead
+            // nodes is deferred past all pins.
             match unsafe { first.as_ref() } {
                 Some(node) if node.is_dead() => {
                     let next = node.chain_next.load(Ordering::Acquire, guard);
@@ -142,8 +148,12 @@ impl<K: Element> HashTable<K> {
         }
         // Unlink interior dead nodes.
         let mut prev = head.load(Ordering::Acquire, guard);
+        // SAFETY: chain entries loaded under `guard`; unlinked nodes are
+        // reclaimed only after every pin is released.
         while let Some(prev_node) = unsafe { prev.as_ref() } {
             let cur = prev_node.chain_next.load(Ordering::Acquire, guard);
+            // SAFETY: chain entries loaded under `guard`; unlinked nodes are
+            // reclaimed only after every pin is released.
             match unsafe { cur.as_ref() } {
                 Some(cur_node) if cur_node.is_dead() => {
                     let next = cur_node.chain_next.load(Ordering::Acquire, guard);
@@ -157,11 +167,42 @@ impl<K: Element> HashTable<K> {
         }
     }
 
+    /// Run the lazy tombstone collection over *every* chain (each under its
+    /// insert lock), as an insertion into each bucket would. After this
+    /// pass no dead node is reachable from any chain head; used by the
+    /// invariant audit and quiescent teardown.
+    pub fn gc_all_chains(&self, guard: &Guard) {
+        for idx in 0..self.heads.len() {
+            let _lock = self.locks[idx].lock();
+            self.collect_chain(idx, guard);
+        }
+    }
+
+    /// Number of tombstoned entries still reachable from a chain head
+    /// (diagnostics/tests; zero right after [`HashTable::gc_all_chains`]).
+    pub fn dead_reachable(&self, guard: &Guard) -> usize {
+        let mut n = 0;
+        for head in &self.heads {
+            let mut cur = head.load(Ordering::Acquire, guard);
+            // SAFETY: hash-chain entries are loaded under `guard`; dead nodes
+            // are retired with `defer_destroy`, never freed while pinned.
+            while let Some(node) = unsafe { cur.as_ref() } {
+                if node.is_dead() {
+                    n += 1;
+                }
+                cur = node.chain_next.load(Ordering::Acquire, guard);
+            }
+        }
+        n
+    }
+
     /// Number of live entries (O(buckets + entries); diagnostics/tests).
     pub fn live_count(&self, guard: &Guard) -> usize {
         let mut n = 0;
         for head in &self.heads {
             let mut cur = head.load(Ordering::Acquire, guard);
+            // SAFETY: hash-chain entries are loaded under `guard`; dead nodes
+            // are retired with `defer_destroy`, never freed while pinned.
             while let Some(node) = unsafe { cur.as_ref() } {
                 if !node.is_dead() {
                     n += 1;
@@ -176,10 +217,14 @@ impl<K: Element> HashTable<K> {
 impl<K> Drop for HashTable<K> {
     fn drop(&mut self) {
         // Exclusive access: reclaim every remaining node directly.
+        // SAFETY: `&mut self` proves no concurrent accessors or live pins
+        // remain.
         let guard = unsafe { crossbeam::epoch::unprotected() };
         for head in &self.heads {
             let mut cur = head.load(Ordering::Relaxed, guard);
             while !cur.is_null() {
+                // SAFETY: `cur` is non-null and `&mut self` excludes
+                // concurrent mutation.
                 let next = unsafe { cur.deref() }
                     .chain_next
                     .load(Ordering::Relaxed, guard);
@@ -205,6 +250,8 @@ mod tests {
         let t = table(8);
         let guard = epoch::pin();
         let n = t.lookup_or_insert(42, &guard);
+        // SAFETY: returned under the live `guard` above; nothing is reclaimed
+        // while that pin is held.
         assert_eq!(unsafe { n.deref() }.key, 42);
         let found = t.lookup(&42, &guard).expect("present");
         assert!(found == n, "same node returned");
@@ -226,6 +273,8 @@ mod tests {
         let t = table(4);
         let guard = epoch::pin();
         let n = t.lookup_or_insert(5, &guard);
+        // SAFETY: returned under the live `guard` above; nothing is reclaimed
+        // while that pin is held.
         let node = unsafe { n.deref() };
         // Busy node cannot be removed.
         node.pending.store(2, Ordering::Release);
@@ -246,6 +295,8 @@ mod tests {
             let n = t.lookup_or_insert(k, &guard);
             // immediately tombstone half of them
             if k % 2 == 0 {
+                // SAFETY: returned under the live `guard` above; nothing is
+                // reclaimed while that pin is held.
                 assert!(t.try_remove(unsafe { n.deref() }));
             }
         }
@@ -264,9 +315,13 @@ mod tests {
         let t = table(4);
         let guard = epoch::pin();
         let a = t.lookup_or_insert(9, &guard);
+        // SAFETY: returned under the live `guard` above; nothing is reclaimed
+        // while that pin is held.
         assert!(t.try_remove(unsafe { a.deref() }));
         let b = t.lookup_or_insert(9, &guard);
         assert!(a != b, "tombstoned node must not be resurrected");
+        // SAFETY: returned under the live `guard` above; nothing is reclaimed
+        // while that pin is held.
         assert_eq!(unsafe { b.deref() }.freq.load(Ordering::Relaxed), 0);
     }
 
@@ -282,6 +337,8 @@ mod tests {
                     let guard = epoch::pin();
                     for k in 0..keys {
                         let n = t.lookup_or_insert(k, &guard);
+                        // SAFETY: returned under the live `guard` above;
+                        // nothing is reclaimed while that pin is held.
                         assert_eq!(unsafe { n.deref() }.key, k);
                     }
                 })
@@ -306,6 +363,8 @@ mod tests {
                         let guard = epoch::pin();
                         let k = (tid as u64 + i) % 16;
                         let n = t.lookup_or_insert(k, &guard);
+                        // SAFETY: returned under the live `guard` above;
+                        // nothing is reclaimed while that pin is held.
                         let node = unsafe { n.deref() };
                         // Try the overwrite dance: tombstone if idle.
                         if i % 3 == 0 {

@@ -55,6 +55,7 @@
 //! * [`window`] — a jumping-window wrapper for recency-scoped queries.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bucket;
 pub mod engine;
@@ -63,6 +64,7 @@ pub mod node;
 pub mod policy;
 pub mod runtime;
 pub mod scheduler;
+pub mod sync_shim;
 pub mod window;
 
 pub use engine::CotsEngine;

@@ -10,10 +10,10 @@
 //! evicts via `Overwrite`; [`Policy::LossyRounds`] admits unconditionally
 //! and prunes the minimum bucket at every round boundary.
 
-use serde::{Deserialize, Serialize};
+use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 
 /// The frequency-counting policy run inside the CoTS framework.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Space Saving (§3.3): bounded counters, minimum-element overwrite.
     SpaceSaving,
@@ -35,6 +35,32 @@ impl Policy {
     }
 }
 
+impl ToJson for Policy {
+    fn to_json(&self) -> Json {
+        match self {
+            Policy::SpaceSaving => Json::Str("SpaceSaving".into()),
+            Policy::LossyRounds { width } => Json::Obj(vec![(
+                "LossyRounds".into(),
+                Json::obj(vec![("width", width.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Policy {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        match v {
+            Json::Str(s) if s == "SpaceSaving" => Ok(Policy::SpaceSaving),
+            Json::Obj(members) if members.len() == 1 && members[0].0 == "LossyRounds" => {
+                Ok(Policy::LossyRounds {
+                    width: u64::from_json(members[0].1.field("width")?)?,
+                })
+            }
+            _ => Err(JsonError("unknown Policy variant".into())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,10 +75,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         for p in [Policy::SpaceSaving, Policy::LossyRounds { width: 7 }] {
-            let s = serde_json::to_string(&p).unwrap();
-            let back: Policy = serde_json::from_str(&s).unwrap();
+            let s = cots_core::json::to_string(&p);
+            let back: Policy = cots_core::json::from_str(&s).unwrap();
             assert_eq!(p, back);
         }
     }

@@ -43,6 +43,8 @@ fn pending_protocol_conserves_under_eviction_churn() {
                     if i % 97 == 0 {
                         let key = x % 24;
                         if let Some(n) = t.lookup(&key, &guard) {
+                            // SAFETY: returned under the live `guard` above;
+                            // nothing is reclaimed while that pin is held.
                             let node = unsafe { n.deref() };
                             let _ = t.try_remove(node);
                         }
@@ -50,6 +52,8 @@ fn pending_protocol_conserves_under_eviction_churn() {
                     let key = x % 24;
                     loop {
                         let n = t.lookup_or_insert(key, &guard);
+                        // SAFETY: returned under the live `guard` above;
+                        // nothing is reclaimed while that pin is held.
                         let node = unsafe { n.deref() };
                         let r = node.pending.fetch_add(1, Ordering::AcqRel) + 1;
                         if r >= TOMB {
@@ -92,12 +96,17 @@ fn pending_protocol_conserves_under_eviction_churn() {
     for key in 0..24u64 {
         if let Some(n) = t.lookup(&key, &guard) {
             assert_eq!(
+                // SAFETY: returned under the live `guard` above; nothing is
+                // reclaimed while that pin is held.
                 unsafe { n.deref() }.pending.load(Ordering::Acquire),
                 0,
                 "key {key} left owned"
             );
         }
     }
+    // A GC pass must leave no tombstoned entry reachable from any chain.
+    t.gc_all_chains(&guard);
+    assert_eq!(t.dead_reachable(&guard), 0, "tombstones survive a GC pass");
 }
 
 /// Many threads insert overlapping key ranges while others tombstone:
@@ -119,10 +128,15 @@ fn no_duplicate_live_keys_under_races() {
                     match x % 3 {
                         0 => {
                             let n = t.lookup_or_insert(key, &guard);
+                            // SAFETY: returned under the live `guard` above;
+                            // nothing is reclaimed while that pin is held.
                             assert_eq!(unsafe { n.deref() }.key, key);
                         }
                         1 => {
                             if let Some(n) = t.lookup(&key, &guard) {
+                                // SAFETY: returned under the live `guard`
+                                // above; nothing is reclaimed while that pin
+                                // is held.
                                 let _ = t.try_remove(unsafe { n.deref() });
                             }
                         }
@@ -134,8 +148,11 @@ fn no_duplicate_live_keys_under_races() {
             });
         }
     });
-    // Re-insert everything; the live count must land exactly on 40.
+    // A GC pass at the barrier leaves only live nodes reachable.
     let guard = epoch::pin();
+    t.gc_all_chains(&guard);
+    assert_eq!(t.dead_reachable(&guard), 0, "tombstones survive a GC pass");
+    // Re-insert everything; the live count must land exactly on 40.
     for key in 0..40u64 {
         let _ = t.lookup_or_insert(key, &guard);
     }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use cots::{CotsEngine, RuntimeOptions};
-use cots_core::{ConcurrentCounter, CotsConfig, QueryableSummary};
+use cots_core::{CheckInvariants, ConcurrentCounter, CotsConfig, QueryableSummary};
 
 fn engine(capacity: usize) -> Arc<CotsEngine<u64>> {
     Arc::new(CotsEngine::new(CotsConfig::for_capacity(capacity).unwrap()).unwrap())
@@ -15,7 +15,9 @@ fn engine(capacity: usize) -> Arc<CotsEngine<u64>> {
 
 fn verify(e: &CotsEngine<u64>, n: u64) {
     e.finalize();
-    e.check_quiescent_invariants();
+    // The full structural audit (collects every violation; see
+    // cots_core::invariants), superset of check_quiescent_invariants.
+    e.validate();
     assert_eq!(e.processed(), n);
     let sum: u64 = e.snapshot().entries().iter().map(|x| x.count).sum();
     assert_eq!(sum, n, "count conservation");

@@ -17,6 +17,7 @@
 //!   validating the approximate algorithms against ground truth.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod io;
 pub mod partition;

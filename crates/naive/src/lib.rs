@@ -18,6 +18,7 @@
 //! framework the paper actually proposes.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod hybrid;
 pub mod independent;

@@ -14,13 +14,14 @@
 //! paper's instrumented binaries did.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
+use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 
 /// The measured phases, covering both of the paper's breakdowns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Phase {
     /// Frequency-counting work proper (Fig. 4 "Counting").
@@ -72,7 +73,7 @@ impl Phase {
 }
 
 /// Accumulated time per phase for one thread.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PhaseTimes {
     nanos: [u64; NUM_PHASES],
 }
@@ -176,7 +177,7 @@ impl PhaseTimer {
 
 /// An aggregated percentage breakdown across threads — one bar of Figure
 /// 4/5.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Breakdown {
     /// Thread count of the run the bar describes.
     pub threads: usize,
@@ -227,6 +228,72 @@ impl Breakdown {
             s.push_str(&p.label().replace(' ', "_"));
         }
         s
+    }
+}
+
+impl ToJson for Phase {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Phase::Counting => "Counting",
+                Phase::Merge => "Merge",
+                Phase::HashOps => "HashOps",
+                Phase::StructureOps => "StructureOps",
+                Phase::MinMaxLocks => "MinMaxLocks",
+                Phase::BucketLocks => "BucketLocks",
+                Phase::Rest => "Rest",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Phase {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        match v.as_str() {
+            Some("Counting") => Ok(Phase::Counting),
+            Some("Merge") => Ok(Phase::Merge),
+            Some("HashOps") => Ok(Phase::HashOps),
+            Some("StructureOps") => Ok(Phase::StructureOps),
+            Some("MinMaxLocks") => Ok(Phase::MinMaxLocks),
+            Some("BucketLocks") => Ok(Phase::BucketLocks),
+            Some("Rest") => Ok(Phase::Rest),
+            _ => Err(JsonError("unknown Phase variant".into())),
+        }
+    }
+}
+
+impl ToJson for PhaseTimes {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("nanos", self.nanos.to_json())])
+    }
+}
+
+impl FromJson for PhaseTimes {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            nanos: <[u64; NUM_PHASES]>::from_json(v.field("nanos")?)?,
+        })
+    }
+}
+
+impl ToJson for Breakdown {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("threads", self.threads.to_json()),
+            ("percent", self.percent.to_json()),
+            ("total_nanos", self.total_nanos.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Breakdown {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            threads: usize::from_json(v.field("threads")?)?,
+            percent: <[f64; NUM_PHASES]>::from_json(v.field("percent")?)?,
+            total_nanos: u64::from_json(v.field("total_nanos")?)?,
+        })
     }
 }
 
@@ -333,6 +400,27 @@ mod tests {
         let row = b.csv_row();
         assert_eq!(header.split(',').count(), row.split(',').count());
         assert!(header.starts_with("threads,Counting,Merge"));
+    }
+
+    #[test]
+    fn breakdown_json_round_trip() {
+        let mut t = PhaseTimes::default();
+        t.add(Phase::Counting, Duration::from_nanos(600));
+        t.add(Phase::Merge, Duration::from_nanos(400));
+        let b = Breakdown::aggregate(2, &[t.clone()]);
+        let back: Breakdown =
+            cots_core::json::from_str(&cots_core::json::to_string(&b)).unwrap();
+        assert_eq!(back.threads, 2);
+        assert_eq!(back.total_nanos, b.total_nanos);
+        assert_eq!(back.percent, b.percent);
+        let t2: PhaseTimes =
+            cots_core::json::from_str(&cots_core::json::to_string(&t)).unwrap();
+        assert_eq!(t2.get(Phase::Merge), Duration::from_nanos(400));
+        for p in ALL_PHASES {
+            let back: Phase =
+                cots_core::json::from_str(&cots_core::json::to_string(&p)).unwrap();
+            assert_eq!(back, p);
+        }
     }
 
     #[test]

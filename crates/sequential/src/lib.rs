@@ -20,6 +20,7 @@
 //! 1-thread reference of Figures 3, 6 and 7.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod lossy_counting;
 pub mod misra_gries;

@@ -232,41 +232,117 @@ impl<K: Element> StreamSummary<K> {
     /// # Panics
     /// On any violation.
     pub fn check_invariants(&self) {
+        let violations = self.collect_violations();
+        assert!(
+            violations.is_empty(),
+            "StreamSummary invariants violated: {}",
+            violations
+                .iter()
+                .map(|(name, detail)| format!("[{name}] {detail}"))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    /// Walk the whole structure and collect every violated invariant as a
+    /// `(name, detail)` pair. Backs both [`StreamSummary::check_invariants`]
+    /// and the feature-gated `CheckInvariants` impl.
+    fn collect_violations(&self) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
         let mut seen_nodes = 0usize;
         let mut prev_freq = 0u64;
         let mut b = self.min_bucket;
         let mut prev_b = NIL;
+        let mut hops = 0usize;
         while b != NIL {
+            if hops > self.buckets.len() {
+                out.push(("bucket-cycle", "bucket list does not terminate".into()));
+                return out;
+            }
+            hops += 1;
             let bucket = &self.buckets[b as usize];
-            assert!(bucket.freq > prev_freq, "bucket freqs strictly increase");
-            assert_eq!(bucket.prev, prev_b, "bucket back-link");
-            assert_ne!(bucket.head, NIL, "no empty buckets in the list");
+            if bucket.freq <= prev_freq {
+                out.push((
+                    "bucket-order",
+                    format!("bucket {b}: freq {} after {prev_freq}", bucket.freq),
+                ));
+            }
+            if bucket.prev != prev_b {
+                out.push((
+                    "bucket-backlink",
+                    format!("bucket {b}: prev {} ≠ {prev_b}", bucket.prev),
+                ));
+            }
+            if bucket.head == NIL {
+                out.push(("bucket-nonempty", format!("bucket {b} is empty")));
+            }
             prev_freq = bucket.freq;
             // Walk the element list.
             let mut n = bucket.head;
             let mut prev_n = NIL;
             let mut count = 0u32;
             while n != NIL {
+                if count as usize > self.nodes.len() {
+                    out.push(("node-cycle", format!("bucket {b}: element list loops")));
+                    return out;
+                }
                 let node = &self.nodes[n as usize];
-                assert_eq!(node.bucket, b, "node bucket back-pointer");
-                assert_eq!(node.prev, prev_n, "node back-link");
-                assert!(node.error <= bucket.freq, "error bounded by count");
+                if node.bucket != b {
+                    out.push((
+                        "node-backpointer",
+                        format!("node {n}: bucket {} ≠ {b}", node.bucket),
+                    ));
+                }
+                if node.prev != prev_n {
+                    out.push((
+                        "node-backlink",
+                        format!("node {n}: prev {} ≠ {prev_n}", node.prev),
+                    ));
+                }
+                if node.error > bucket.freq {
+                    out.push((
+                        "error-bound",
+                        format!("node {n}: error {} > count {}", node.error, bucket.freq),
+                    ));
+                }
                 prev_n = n;
                 n = node.next;
                 count += 1;
             }
-            assert_eq!(count, bucket.len, "bucket length field");
+            if count != bucket.len {
+                out.push((
+                    "len-field",
+                    format!("bucket {b}: len {} but {count} reachable", bucket.len),
+                ));
+            }
             seen_nodes += count as usize;
             prev_b = b;
             b = bucket.next;
         }
-        assert_eq!(prev_b, self.max_bucket, "max pointer is the list tail");
-        assert_eq!(seen_nodes, self.len, "len field matches reachable nodes");
-        assert_eq!(
-            self.nodes.len() - self.free_nodes.len(),
-            self.len,
-            "slab accounting"
-        );
+        if prev_b != self.max_bucket {
+            out.push((
+                "max-pointer",
+                format!("max_bucket {} ≠ list tail {prev_b}", self.max_bucket),
+            ));
+        }
+        if seen_nodes != self.len {
+            out.push((
+                "reachability",
+                format!("len {} but {seen_nodes} reachable nodes", self.len),
+            ));
+        }
+        if self.nodes.len() - self.free_nodes.len() != self.len {
+            out.push((
+                "slab-accounting",
+                format!(
+                    "{} allocated − {} free ≠ len {}",
+                    self.nodes.len(),
+                    self.free_nodes.len(),
+                    self.len
+                ),
+            ));
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -483,6 +559,16 @@ impl<K: Element> Iterator for AscIter<'_, K> {
         let out = (node.item, freq, node.error);
         self.node = node.next;
         Some(out)
+    }
+}
+
+#[cfg(feature = "invariants")]
+impl<K: Element> cots_core::CheckInvariants for StreamSummary<K> {
+    fn violations(&self) -> Vec<cots_core::Violation> {
+        self.collect_violations()
+            .into_iter()
+            .map(|(name, detail)| cots_core::Violation::new(name, detail))
+            .collect()
     }
 }
 

@@ -1,0 +1,153 @@
+//! Property check for the independent-structures design (§4.1): partition a
+//! stream across several *real* Space Saving instances, merge their
+//! snapshots through `cots_core::merge`, and require the merged summary to
+//! keep the Space Saving guarantee for every element of the stream:
+//!
+//! * over-estimation only: `f̂(e) ≥ f(e)`;
+//! * bounded error: `f̂(e) − f(e) ≤ min-count` of the merged summary
+//!   (and `f̂(e) − error(e) ≤ f(e)`, the per-entry refinement);
+//! * coverage: any element more frequent than the merged min-count is
+//!   monitored.
+//!
+//! Both merge shapes the naive engine uses are exercised: the flat *serial*
+//! merge (`merge_snapshots` over all partitions at once) and the
+//! *hierarchical* pairwise tree (`merge_pair` folded left and as a balanced
+//! tree), which is how `cots-naive` combines per-thread summaries.
+
+use std::collections::HashMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cots_core::merge::{merge_pair, merge_snapshots};
+use cots_core::{FrequencyCounter, QueryableSummary, Snapshot, SummaryConfig};
+use cots_sequential::SpaceSaving;
+
+/// Partition `stream` round-robin over `parts` Space Saving instances of
+/// `capacity` counters each and return their snapshots — the shared-nothing
+/// counting phase of the independent design.
+fn partition_summaries(stream: &[u64], parts: usize, capacity: usize) -> Vec<Snapshot<u64>> {
+    let mut workers: Vec<SpaceSaving<u64>> = (0..parts)
+        .map(|_| SpaceSaving::new(SummaryConfig { capacity }))
+        .collect();
+    for (i, &item) in stream.iter().enumerate() {
+        workers[i % parts].process(item);
+    }
+    workers.iter().map(|w| w.snapshot()).collect()
+}
+
+/// `f(e)` for every element of the stream.
+fn exact_counts(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut f = HashMap::new();
+    for &item in stream {
+        *f.entry(item).or_insert(0u64) += 1;
+    }
+    f
+}
+
+/// Assert the Space Saving contract of `merged` against the exact counts.
+fn assert_guarantee(merged: &Snapshot<u64>, truth: &HashMap<u64, u64>, label: &str) {
+    let min_count = merged.entries().last().map(|e| e.count).unwrap_or(0);
+    assert_eq!(
+        merged.total(),
+        truth.values().sum::<u64>(),
+        "{}: stream length conserved",
+        label
+    );
+    for (&item, &f) in truth {
+        match merged.get(&item) {
+            Some(entry) => {
+                assert!(
+                    entry.count >= f,
+                    "{}: under-estimate for {}: {} < {}",
+                    label,
+                    item,
+                    entry.count,
+                    f
+                );
+                assert!(
+                    entry.count - f <= min_count,
+                    "{}: estimate for {} off by {} > min-count {}",
+                    label,
+                    item,
+                    entry.count - f,
+                    min_count
+                );
+                assert!(
+                    entry.guaranteed() <= f,
+                    "{}: guaranteed {} > true {} for {}",
+                    label,
+                    entry.guaranteed(),
+                    f,
+                    item
+                );
+            }
+            None => {
+                // Space Saving coverage: an unmonitored element cannot be
+                // more frequent than the (merged) minimum count.
+                assert!(
+                    f <= min_count,
+                    "{}: dropped element {} with f {} > min-count {}",
+                    label,
+                    item,
+                    f,
+                    min_count
+                );
+            }
+        }
+    }
+}
+
+/// Balanced pairwise merge tree, the hierarchical shape of Fig. 4.
+fn merge_tree(snapshots: &[Snapshot<u64>], capacity: usize) -> Snapshot<u64> {
+    match snapshots {
+        [] => Snapshot::new(Vec::new(), 0),
+        [one] => one.clone(),
+        _ => {
+            let mid = snapshots.len() / 2;
+            merge_pair(
+                &merge_tree(&snapshots[..mid], capacity),
+                &merge_tree(&snapshots[mid..], capacity),
+                capacity,
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Serial path: one flat `merge_snapshots` over all partitions.
+    #[test]
+    fn serial_merge_keeps_space_saving_guarantee(
+        stream in vec(0u64..48, 1..400),
+        parts in 1usize..6,
+        capacity in 4usize..24,
+    ) {
+        let snapshots = partition_summaries(&stream, parts, capacity);
+        // Merge capacity ≥ per-partition capacity, as the naive engine
+        // does (it reuses the configured counter budget).
+        let merged = merge_snapshots(&snapshots, capacity);
+        assert_guarantee(&merged, &exact_counts(&stream), "serial");
+    }
+
+    /// Hierarchical path: balanced `merge_pair` tree, plus the degenerate
+    /// left fold, both of which the independent design's query phase uses.
+    #[test]
+    fn hierarchical_merge_keeps_space_saving_guarantee(
+        stream in vec(0u64..48, 1..400),
+        parts in 2usize..8,
+        capacity in 4usize..24,
+    ) {
+        let snapshots = partition_summaries(&stream, parts, capacity);
+        let truth = exact_counts(&stream);
+
+        let tree = merge_tree(&snapshots, capacity);
+        assert_guarantee(&tree, &truth, "tree");
+
+        let fold = snapshots[1..]
+            .iter()
+            .fold(snapshots[0].clone(), |acc, s| merge_pair(&acc, s, capacity));
+        assert_guarantee(&fold, &truth, "fold");
+    }
+}

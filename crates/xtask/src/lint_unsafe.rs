@@ -1,0 +1,529 @@
+//! The `lint-unsafe` task: every `unsafe` site must carry a justification.
+//!
+//! Policy (matching `docs/correctness.md`):
+//!
+//! * an `unsafe` **block**, `unsafe impl`, or `unsafe trait` needs a comment
+//!   containing `SAFETY:` on the same line or within the five preceding
+//!   lines;
+//! * an `unsafe fn` declaration may alternatively carry a doc comment with a
+//!   `# Safety` section (the rustdoc convention), searched in the directly
+//!   attached doc block.
+//!
+//! The scanner is lexical: it strips comments, strings, and char literals
+//! before looking for the `unsafe` keyword, so occurrences inside text never
+//! trip it, and it needs no syn/proc-macro dependency.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 5;
+
+/// Directories never scanned.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "docs"];
+
+/// Run the lint over every `.rs` file under `root`.
+pub fn run(root: &Path) -> ExitCode {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+    let mut violations = Vec::new();
+    let mut sites = 0usize;
+    for file in &files {
+        let Ok(source) = fs::read_to_string(file) else {
+            eprintln!("warning: unreadable file {}", file.display());
+            continue;
+        };
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        for site in scan(&source) {
+            sites += 1;
+            if !site.justified {
+                violations.push(format!(
+                    "{}:{}: `{}` without an adjacent SAFETY justification",
+                    rel.display(),
+                    site.line,
+                    site.kind.describe(),
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "lint-unsafe: OK ({} files, {} unsafe sites, all justified)",
+            files.len(),
+            sites
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("error: {v}");
+        }
+        eprintln!(
+            "\nlint-unsafe: {} unjustified unsafe site(s). Add a `// SAFETY: ...` \
+             comment explaining why the invariants hold (or a `# Safety` doc \
+             section for an unsafe fn).",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// What kind of unsafe site was found (affects accepted justifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `unsafe { ... }`.
+    Block,
+    /// `unsafe fn ...`.
+    Fn,
+    /// `unsafe impl ...` / `unsafe trait ...`.
+    ImplOrTrait,
+}
+
+impl SiteKind {
+    fn describe(self) -> &'static str {
+        match self {
+            SiteKind::Block => "unsafe block",
+            SiteKind::Fn => "unsafe fn",
+            SiteKind::ImplOrTrait => "unsafe impl/trait",
+        }
+    }
+}
+
+/// One `unsafe` occurrence in real code.
+#[derive(Debug)]
+pub struct Site {
+    /// 1-based line number.
+    pub line: usize,
+    /// Site classification.
+    pub kind: SiteKind,
+    /// Whether an accepted justification is present.
+    pub justified: bool,
+}
+
+/// Scan source text for unsafe sites and their justifications.
+pub fn scan(source: &str) -> Vec<Site> {
+    let lines = lex(source);
+    let mut sites = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let mut from = 0;
+        while let Some(pos) = find_word(code, "unsafe", from) {
+            from = pos + "unsafe".len();
+            // Classify by the next code token, looking ahead across lines.
+            let kind = classify(&lines, i, from);
+            // `unsafe fn` after `:`/`(`/`,`/`<`/`&` is a function-pointer
+            // *type* (e.g. `destroy: unsafe fn(*mut ())`), not an unsafe
+            // operation — a real declaration never follows those tokens.
+            if kind == SiteKind::Fn {
+                let before = code[..pos].trim_end();
+                if before.ends_with([':', '(', ',', '<', '&', '=']) {
+                    continue;
+                }
+            }
+            let justified = match kind {
+                SiteKind::Fn => {
+                    has_safety_comment(&lines, i) || has_safety_doc_section(&lines, i)
+                }
+                _ => has_safety_comment(&lines, i),
+            };
+            sites.push(Site {
+                line: i + 1,
+                kind,
+                justified,
+            });
+        }
+    }
+    sites
+}
+
+/// A source line split into its code part and its comment part.
+struct LexedLine {
+    /// The line with comments, strings and char literals blanked out.
+    code: String,
+    /// Concatenated comment text on the line (line, block, and doc).
+    comment: String,
+    /// Whether the comment is a doc comment (`///` or `//!` or `/** */`).
+    is_doc: bool,
+}
+
+/// First occurrence of `word` in `code` at or after `from`, with identifier
+/// boundaries on both sides.
+fn find_word(code: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(rel) = code.get(start..)?.find(word) {
+        let pos = start + rel;
+        let before_ok = pos == 0
+            || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+        let end = pos + word.len();
+        let after_ok = end >= bytes.len()
+            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + 1;
+    }
+    None
+}
+
+/// Determine what follows the `unsafe` keyword (skipping whitespace across
+/// lines): `fn` ⇒ Fn, `impl`/`trait` ⇒ ImplOrTrait, else a block.
+fn classify(lines: &[LexedLine], line_idx: usize, col: usize) -> SiteKind {
+    let mut idx = line_idx;
+    let mut rest = lines[idx].code[col..].to_string();
+    loop {
+        let trimmed = rest.trim_start();
+        if !trimmed.is_empty() {
+            return if trimmed.starts_with("fn")
+                || trimmed.starts_with("extern") && trimmed.contains("fn")
+            {
+                SiteKind::Fn
+            } else if trimmed.starts_with("impl") || trimmed.starts_with("trait") {
+                SiteKind::ImplOrTrait
+            } else {
+                SiteKind::Block
+            };
+        }
+        idx += 1;
+        match lines.get(idx) {
+            Some(l) => rest = l.code.clone(),
+            None => return SiteKind::Block,
+        }
+    }
+}
+
+/// A `SAFETY:` comment on the same line or in the window above.
+///
+/// Pure comment lines do not consume the window, so a multi-line
+/// justification block counts in full however long it is; only code and
+/// blank lines burn the budget.
+fn has_safety_comment(lines: &[LexedLine], line_idx: usize) -> bool {
+    if lines[line_idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut budget = SAFETY_WINDOW;
+    let mut idx = line_idx;
+    while idx > 0 && budget > 0 {
+        idx -= 1;
+        let l = &lines[idx];
+        if l.comment.contains("SAFETY:") {
+            return true;
+        }
+        // A comment-only line extends the window upward for free.
+        if !(l.code.trim().is_empty() && !l.comment.is_empty()) {
+            budget -= 1;
+        }
+    }
+    false
+}
+
+/// A doc block directly above the declaration containing `# Safety`.
+///
+/// Walks upward through attached doc comments and attributes only.
+fn has_safety_doc_section(lines: &[LexedLine], line_idx: usize) -> bool {
+    let mut idx = line_idx;
+    while idx > 0 {
+        idx -= 1;
+        let l = &lines[idx];
+        let code_trimmed = l.code.trim();
+        let is_attr = code_trimmed.starts_with('#');
+        let is_attached =
+            l.is_doc || is_attr || (code_trimmed.is_empty() && !l.comment.is_empty());
+        if !is_attached {
+            // Also allow the `pub`/`pub(crate)` qualifier split across lines.
+            if code_trimmed.is_empty() {
+                continue;
+            }
+            return false;
+        }
+        if l.is_doc && l.comment.contains("# Safety") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Strip comments, strings and char literals, keeping per-line comment text.
+fn lex(source: &str) -> Vec<LexedLine> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Normal,
+        Block { depth: u32, doc: bool },
+        Str,
+        RawStr { hashes: u32 },
+    }
+
+    let mut out = Vec::new();
+    let mut state = State::Normal;
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut is_doc = false;
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Normal => match c {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        let text: String = chars[i..].iter().collect();
+                        if text.starts_with("///") || text.starts_with("//!") {
+                            is_doc = true;
+                        }
+                        comment.push_str(&text);
+                        i = chars.len();
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        let doc = chars.get(i + 2) == Some(&'*') || chars.get(i + 2) == Some(&'!');
+                        state = State::Block { depth: 1, doc };
+                        if doc {
+                            is_doc = true;
+                        }
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    'r' if matches!(chars.get(i + 1), Some('"' | '#'))
+                        && raw_string_hashes(&chars[i + 1..]).is_some() =>
+                    {
+                        let hashes = raw_string_hashes(&chars[i + 1..]).unwrap();
+                        state = State::RawStr { hashes };
+                        code.push(' ');
+                        i += 2 + hashes as usize; // r, hashes, opening quote
+                    }
+                    'b' if chars.get(i + 1) == Some(&'"') => {
+                        state = State::Str;
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push(' ');
+                            i = (j + 1).min(chars.len());
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push(' ');
+                            i += 3;
+                        } else {
+                            // Lifetime: keep going.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    c => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::Block { depth, doc } => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        if depth == 1 {
+                            state = State::Normal;
+                        } else {
+                            state = State::Block {
+                                depth: depth - 1,
+                                doc,
+                            };
+                        }
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block {
+                            depth: depth + 1,
+                            doc,
+                        };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        if doc {
+                            is_doc = true;
+                        }
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        state = State::Normal;
+                        code.push('"');
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                State::RawStr { hashes } => {
+                    if c == '"' && closes_raw(&chars[i + 1..], hashes) {
+                        state = State::Normal;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if let State::Block { doc, .. } = state {
+            // Block comment continues onto the next line.
+            if doc {
+                is_doc = true;
+            }
+        }
+        out.push(LexedLine {
+            code,
+            comment,
+            is_doc,
+        });
+    }
+    out
+}
+
+/// For text after a leading `r`, return `Some(hash_count)` if it opens a raw
+/// string (`#*"` prefix).
+fn raw_string_hashes(after_r: &[char]) -> Option<u32> {
+    let mut hashes = 0u32;
+    for &c in after_r {
+        match c {
+            '#' => hashes += 1,
+            '"' => return Some(hashes),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Whether the chars after a `"` close a raw string with `hashes` hashes.
+fn closes_raw(after_quote: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| after_quote.get(k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unjustified(source: &str) -> Vec<usize> {
+        scan(source)
+            .into_iter()
+            .filter(|s| !s.justified)
+            .map(|s| s.line)
+            .collect()
+    }
+
+    #[test]
+    fn flags_bare_unsafe_block() {
+        let src = "fn f() {\n    let x = unsafe { *p };\n}\n";
+        assert_eq!(unjustified(src), vec![2]);
+    }
+
+    #[test]
+    fn accepts_safety_comment_above() {
+        let src = "fn f() {\n    // SAFETY: p is valid.\n    let x = unsafe { *p };\n}\n";
+        assert!(unjustified(src).is_empty());
+    }
+
+    #[test]
+    fn accepts_same_line_safety() {
+        let src = "let x = unsafe { *p }; // SAFETY: p is valid.\n";
+        assert!(unjustified(src).is_empty());
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let filler = "let a = 1;\n".repeat(SAFETY_WINDOW + 1);
+        let src = format!("// SAFETY: too far away.\n{filler}let x = unsafe {{ *p }};\n");
+        assert_eq!(unjustified(&src).len(), 1);
+    }
+
+    #[test]
+    fn ignores_unsafe_in_strings_and_comments() {
+        let src = "// this mentions unsafe code\nlet s = \"unsafe\";\nlet r = r#\"unsafe { }\"#;\nlet c = '\"'; let u = \"x\"; // unsafe\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n///\n/// Caller must own it.\npub unsafe fn f() {}\n";
+        assert!(unjustified(src).is_empty());
+        assert_eq!(scan(src)[0].kind, SiteKind::Fn);
+    }
+
+    #[test]
+    fn unsafe_fn_without_docs_flagged() {
+        let src = "pub unsafe fn f() {}\n";
+        assert_eq!(unjustified(src), vec![1]);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        let src = "unsafe impl Send for X {}\n";
+        assert_eq!(unjustified(src), vec![1]);
+        assert_eq!(scan(src)[0].kind, SiteKind::ImplOrTrait);
+        let ok = "// SAFETY: all fields are Send.\nunsafe impl Send for X {}\n";
+        assert!(unjustified(ok).is_empty());
+    }
+
+    #[test]
+    fn doc_section_does_not_justify_blocks() {
+        // `# Safety` docs justify the *declaration* of an unsafe fn, not
+        // unsafe blocks in its body.
+        let src = "/// # Safety\n/// Caller beware.\nfn f() {\n    unsafe { *p }\n}\n";
+        // Within the window the doc comment still matches nothing: it lacks
+        // `SAFETY:` and doc sections only apply to Fn sites.
+        assert_eq!(unjustified(src), vec![4]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_lexer() {
+        let src = "fn f<'g>(x: &'g str) -> &'g str { x }\nlet y = unsafe { g() };\n";
+        assert_eq!(unjustified(src), vec![2]);
+    }
+
+    #[test]
+    fn block_comments_strip() {
+        let src = "/* unsafe here */ let x = 1;\nlet y = /* SAFETY: fine */ unsafe { g() };\n";
+        assert!(unjustified(src).is_empty());
+        assert_eq!(scan(src).len(), 1);
+    }
+
+    #[test]
+    fn long_safety_comment_block_counts() {
+        let src = "// SAFETY: a justification that runs on\n// and on and on and on\n// and on and on and on\n// and on and on and on\n// and on and on and on\n// and on and on and on\n// before finally ending.\nlet x = unsafe { g() };\n";
+        assert!(unjustified(src).is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_site() {
+        let src = "struct D {\n    destroy: unsafe fn(*mut ()),\n}\ntype F = unsafe fn(u32) -> u32;\nfn apply(f: unsafe fn()) {}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn multiline_block_comment_with_unsafe_text() {
+        let src = "/*\n * unsafe unsafe unsafe\n */\nlet x = 1;\n";
+        assert!(scan(src).is_empty());
+    }
+}

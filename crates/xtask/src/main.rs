@@ -1,0 +1,46 @@
+//! Workspace automation, invoked as `cargo xtask <task>` (see the alias in
+//! `.cargo/config.toml`).
+//!
+//! Tasks:
+//!
+//! * `lint-unsafe` — walk every Rust source file in the workspace and fail
+//!   if an `unsafe` occurrence is not justified: `unsafe` blocks and
+//!   `unsafe impl`s need an adjacent `// SAFETY:` comment, `unsafe fn`
+//!   declarations need either one or a `# Safety` section in their doc
+//!   comment. The scanner is purely lexical (comments and strings are
+//!   stripped before matching), so it needs no dependencies and runs in
+//!   milliseconds.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lint_unsafe;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask <task>");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint-unsafe   require a SAFETY justification at every unsafe site");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint-unsafe") => lint_unsafe::run(&workspace_root()),
+        _ => usage(),
+    }
+}
+
+/// The workspace root: this file lives at `<root>/crates/xtask/src/main.rs`.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}

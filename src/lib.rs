@@ -6,6 +6,7 @@
 //! examples and downstream experiments can depend on a single crate.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub use cots;
 pub use cots_core as core;

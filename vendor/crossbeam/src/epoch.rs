@@ -1,0 +1,664 @@
+//! Epoch-based memory reclamation with the `crossbeam-epoch` API surface.
+//!
+//! # Scheme
+//!
+//! A global epoch counter advances through `0, 1, 2, …`. Every thread that
+//! enters a critical section ([`pin`]) announces the epoch it observed;
+//! threads announce "not pinned" when their last guard drops. An object
+//! retired at epoch `e` ([`Guard::defer_destroy`]) may be freed once the
+//! global epoch reaches `e + 2`: advancing from `e` to `e + 1` requires
+//! every pinned thread to have announced `e`, so by `e + 2` every thread
+//! that could have observed the object inside a critical section has
+//! unpinned at least once since it was unlinked.
+//!
+//! All synchronization here uses `SeqCst`; this stand-in favours being
+//! obviously correct over shaving fences (upstream crossbeam-epoch is the
+//! optimized implementation).
+//!
+//! # Differences from upstream
+//!
+//! * Participant registration and the garbage list use mutexes, so `pin`
+//!   is lock-free only on its fast path (re-entrant pin). Throughput is
+//!   adequate for the test/bench workloads in this workspace.
+//! * Pointer tag bits are not supported (the workspace does not use them).
+//! * Collection runs inside [`Guard::flush`] and periodically on unpin,
+//!   never on a background thread.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+// ---------------------------------------------------------------------------
+// Global state
+// ---------------------------------------------------------------------------
+
+/// One retired object: the erased pointer and its monomorphized destructor.
+struct Deferred {
+    ptr: *mut (),
+    destroy: unsafe fn(*mut ()),
+}
+
+// SAFETY: a `Deferred` is only created from a pointer whose ownership has
+// been transferred to the collector (the `defer_destroy` contract), so the
+// collector may run the destructor from any thread.
+unsafe impl Send for Deferred {}
+
+struct Global {
+    /// The global epoch. Monotonically increasing.
+    epoch: AtomicUsize,
+    /// Per-thread announcement slots of every live participant.
+    participants: Mutex<Vec<Arc<Participant>>>,
+    /// Retired objects tagged with the epoch at which they were retired.
+    garbage: Mutex<Vec<(usize, Deferred)>>,
+}
+
+struct Participant {
+    /// `0` when not pinned, otherwise `(epoch << 1) | 1`.
+    announced: AtomicUsize,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: std::sync::OnceLock<Global> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(0),
+        participants: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+    })
+}
+
+impl Global {
+    /// Try to advance the global epoch, then free sufficiently old garbage.
+    fn collect(&self) {
+        // Advance: only possible if every pinned participant has announced
+        // the current epoch. Skip (rather than block) under contention —
+        // a later flush will retry.
+        if let Ok(participants) = self.participants.try_lock() {
+            let current = self.epoch.load(Ordering::SeqCst);
+            let all_caught_up = participants.iter().all(|p| {
+                let a = p.announced.load(Ordering::SeqCst);
+                a & 1 == 0 || a >> 1 == current
+            });
+            if all_caught_up {
+                // A stale-epoch store racing with this is benign: `collect`
+                // runs under the participants lock, and a pin that raced
+                // past us keeps the *next* advance from freeing anything it
+                // could still observe.
+                let _ = self.epoch.compare_exchange(
+                    current,
+                    current + 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+        }
+        // Free garbage retired at least two epochs ago.
+        let ready: Vec<Deferred> = {
+            let mut garbage = match self.garbage.try_lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            let current = self.epoch.load(Ordering::SeqCst);
+            let mut ready = Vec::new();
+            garbage.retain_mut(|(e, d)| {
+                if *e + 2 <= current {
+                    ready.push(Deferred {
+                        ptr: d.ptr,
+                        destroy: d.destroy,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for d in ready {
+            // SAFETY: the object was retired at least two epoch advances
+            // ago, so no thread can still hold a guard-protected reference
+            // to it (see the module-level scheme description). Ownership
+            // was transferred to the collector at `defer_destroy` time and
+            // each entry is freed exactly once (it was removed from the
+            // garbage list above).
+            unsafe { (d.destroy)(d.ptr) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread handle
+// ---------------------------------------------------------------------------
+
+struct Handle {
+    participant: Arc<Participant>,
+    pin_count: Cell<usize>,
+    /// Unpins since the last periodic collection.
+    unpins: Cell<usize>,
+}
+
+impl Handle {
+    fn new() -> Self {
+        let participant = Arc::new(Participant {
+            announced: AtomicUsize::new(0),
+        });
+        global()
+            .participants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(participant.clone());
+        Self {
+            participant,
+            pin_count: Cell::new(0),
+            unpins: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        // Deregister this thread so a dead thread can never block epoch
+        // advancement.
+        let mut participants = global()
+            .participants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        participants.retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static HANDLE: Handle = Handle::new();
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------------
+
+/// A pinned critical section. While any guard exists on a thread, no object
+/// retired during the guard's lifetime will be freed.
+pub struct Guard {
+    unprotected: bool,
+    /// Guards are tied to the thread that created them (the thread-local
+    /// pin count); keep them `!Send`.
+    _not_send: PhantomData<*const ()>,
+}
+
+// SAFETY: every method on `&Guard` either touches only global state
+// (`defer_destroy`, `flush`) or reads the immutable `unprotected` flag, so
+// sharing references across threads is sound; only moving a guard (and
+// dropping it on the wrong thread) is ruled out, via `!Send` above. A
+// shared reference is exactly what `unprotected()` hands out.
+unsafe impl Sync for Guard {}
+
+impl Guard {
+    /// Schedule `ptr` for destruction once no pinned thread can reach it.
+    ///
+    /// # Safety
+    ///
+    /// The caller must own `ptr` (it must have been unlinked from every
+    /// shared structure so that no *new* reference can be created), it must
+    /// not be null, and it must not be passed to `defer_destroy` again.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let raw = ptr.as_raw() as *mut T;
+        debug_assert!(!raw.is_null(), "defer_destroy(null)");
+        // SAFETY: callers must pass a `Box::into_raw`-produced pointer whose
+        // ownership was transferred to the collector (inherited from the
+        // `defer_destroy` contract above).
+        unsafe fn destroy<T>(p: *mut ()) {
+            // SAFETY: `p` was produced by `Box::into_raw` (see `Owned`) and
+            // the `defer_destroy` contract passed ownership to us.
+            drop(unsafe { Box::from_raw(p as *mut T) });
+        }
+        if self.unprotected {
+            // No other thread can observe the object (the `unprotected`
+            // contract): free immediately.
+            // SAFETY: as above, plus the caller's `unprotected` guarantee.
+            unsafe { destroy::<T>(raw as *mut ()) };
+            return;
+        }
+        let epoch = global().epoch.load(Ordering::SeqCst);
+        global()
+            .garbage
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((
+                epoch,
+                Deferred {
+                    ptr: raw as *mut (),
+                    destroy: destroy::<T>,
+                },
+            ));
+    }
+
+    /// Attempt to advance the epoch and run ready destructions now.
+    pub fn flush(&self) {
+        global().collect();
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.unprotected {
+            return;
+        }
+        HANDLE.with(|h| {
+            let n = h.pin_count.get();
+            debug_assert!(n > 0, "guard dropped while not pinned");
+            h.pin_count.set(n.saturating_sub(1));
+            if n <= 1 {
+                h.participant.announced.store(0, Ordering::SeqCst);
+                // Periodic collection so quiescent workloads still reclaim.
+                let u = h.unpins.get().wrapping_add(1);
+                h.unpins.set(u);
+                if u % 64 == 0 {
+                    global().collect();
+                }
+            }
+        });
+    }
+}
+
+/// Pin the current thread, entering a critical section.
+pub fn pin() -> Guard {
+    HANDLE.with(|h| {
+        let n = h.pin_count.get();
+        if n == 0 {
+            let e = global().epoch.load(Ordering::SeqCst);
+            h.participant.announced.store(e << 1 | 1, Ordering::SeqCst);
+            std::sync::atomic::fence(Ordering::SeqCst);
+        }
+        h.pin_count.set(n + 1);
+    });
+    Guard {
+        unprotected: false,
+        _not_send: PhantomData,
+    }
+}
+
+/// A guard that performs no pinning and frees deferred objects immediately.
+///
+/// # Safety
+///
+/// The caller must guarantee that no other thread is concurrently accessing
+/// any data structure touched through this guard (typically: inside `Drop`
+/// of the owning structure, or single-threaded setup/teardown).
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard {
+        unprotected: true,
+        _not_send: PhantomData,
+    };
+    &UNPROTECTED
+}
+
+// ---------------------------------------------------------------------------
+// Pointer types
+// ---------------------------------------------------------------------------
+
+/// An owned, heap-allocated value, like `Box<T>`, convertible into a
+/// [`Shared`] for publication.
+pub struct Owned<T> {
+    raw: *mut T,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: `Owned` is a uniquely-owning pointer exactly like `Box<T>`;
+// transferring it between threads transfers the `T`.
+unsafe impl<T: Send> Send for Owned<T> {}
+
+impl<T> Owned<T> {
+    /// Allocate `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Self {
+            raw: Box::into_raw(Box::new(value)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Convert into a [`Shared`] bound to `guard`'s critical section,
+    /// relinquishing ownership.
+    #[allow(clippy::wrong_self_convention)] // upstream crossbeam-epoch name
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let raw = self.raw;
+        std::mem::forget(self);
+        Shared {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Consume and return the boxed value.
+    pub fn into_box(self) -> Box<T> {
+        let raw = self.raw;
+        std::mem::forget(self);
+        // SAFETY: `raw` came from `Box::into_raw` in `Owned::new` and
+        // ownership is surrendered above.
+        unsafe { Box::from_raw(raw) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: an `Owned` that was never converted still uniquely owns
+        // its allocation.
+        drop(unsafe { Box::from_raw(self.raw) });
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: `Owned` uniquely owns a valid allocation.
+        unsafe { &*self.raw }
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: `Owned` uniquely owns a valid allocation.
+        unsafe { &mut *self.raw }
+    }
+}
+
+/// A pointer valid for the lifetime `'g` of the guard it was loaded under.
+pub struct Shared<'g, T> {
+    raw: *const T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.raw, other.raw)
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+impl<'g, T> From<*const T> for Shared<'g, T> {
+    fn from(raw: *const T) -> Self {
+        Self {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self {
+            raw: std::ptr::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether this is null.
+    pub fn is_null(&self) -> bool {
+        self.raw.is_null()
+    }
+
+    /// The raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        self.raw
+    }
+
+    /// Dereference.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null, and the pointee must not have been
+    /// destroyed (it is protected for `'g` only if it was reachable when
+    /// loaded under the guard).
+    pub unsafe fn deref(&self) -> &'g T {
+        debug_assert!(!self.raw.is_null(), "deref of null Shared");
+        // SAFETY: forwarded to the caller (see above).
+        unsafe { &*self.raw }
+    }
+
+    /// Dereference, mapping null to `None`.
+    ///
+    /// # Safety
+    ///
+    /// Same as [`Shared::deref`], minus the non-null requirement.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        if self.raw.is_null() {
+            None
+        } else {
+            // SAFETY: forwarded to the caller; non-null was just checked.
+            Some(unsafe { &*self.raw })
+        }
+    }
+
+    /// Reclaim exclusive ownership of the pointee.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no other thread holds or can obtain a
+    /// reference to the pointee (typically inside `Drop` of the owning
+    /// structure, under [`unprotected`]).
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.raw.is_null(), "into_owned of null Shared");
+        Owned {
+            raw: self.raw as *mut T,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:p})", self.raw)
+    }
+}
+
+/// Types that can be stored into an [`Atomic`]: [`Owned`] and [`Shared`].
+pub trait Pointer<T> {
+    /// Surrender the pointer value.
+    fn into_ptr(self) -> *mut T;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(self) -> *mut T {
+        let raw = self.raw;
+        std::mem::forget(self);
+        raw
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_ptr(self) -> *mut T {
+        self.raw as *mut T
+    }
+}
+
+/// An atomic pointer to a heap object, managed under epoch reclamation.
+///
+/// Dropping an `Atomic` does **not** drop the pointee (matching upstream):
+/// the owner is responsible for reclaiming via [`Shared::into_owned`] or
+/// [`Guard::defer_destroy`].
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+// SAFETY: `Atomic<T>` hands out `&T` across threads (via `Shared::deref`)
+// and moves `T` between threads when ownership is reclaimed, so it is
+// `Send`/`Sync` exactly when `T` is both — the same bounds as upstream.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null pointer.
+    pub fn null() -> Self {
+        Self {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Allocate `value` and point at it.
+    pub fn new(value: T) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// Load the current pointer under `guard`.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Store a new pointer. The previous pointee is *not* reclaimed.
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.ptr.store(new.into_ptr(), ord);
+    }
+
+    /// Atomically swap, returning the previous pointer.
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.swap(new.into_ptr(), ord),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(owned.into_ptr()),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn deferred_destruction_runs_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a: Atomic<DropCounter> = Atomic::new(DropCounter(drops.clone()));
+        {
+            let guard = pin();
+            let s = a.load(Ordering::SeqCst, &guard);
+            a.store(Shared::null(), Ordering::SeqCst);
+            // SAFETY: unlinked above; sole owner.
+            unsafe { guard.defer_destroy(s) };
+        }
+        // Drive the epoch forward until collection happens.
+        for _ in 0..16 {
+            pin().flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pinned_readers_block_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a: Atomic<DropCounter> = Atomic::new(DropCounter(drops.clone()));
+
+        let outer = pin();
+        let s = a.load(Ordering::SeqCst, &outer);
+        a.store(Shared::null(), Ordering::SeqCst);
+        // SAFETY: unlinked above; sole owner.
+        unsafe { outer.defer_destroy(s) };
+        // While `outer` is live, flushing from other threads must not free.
+        for _ in 0..8 {
+            std::thread::spawn(|| pin().flush()).join().unwrap();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "freed under a live pin");
+        drop(outer);
+        for _ in 0..16 {
+            pin().flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unprotected_frees_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a: Atomic<DropCounter> = Atomic::new(DropCounter(drops.clone()));
+        // SAFETY: single-threaded test; no concurrent access.
+        let guard = unsafe { unprotected() };
+        let s = a.load(Ordering::SeqCst, guard);
+        a.store(Shared::null(), Ordering::SeqCst);
+        // SAFETY: unlinked above; no other thread exists.
+        unsafe { guard.defer_destroy(s) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_churn_is_safe() {
+        // Swap a shared pointer under load while readers deref it; run
+        // under ASan/Miri-style checkers this would catch use-after-free.
+        let a = Arc::new(Atomic::new(0u64));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    let guard = pin();
+                    let new = Owned::new(t * 1_000_000 + i).into_shared(&guard);
+                    let old = a.swap(new, Ordering::SeqCst, &guard);
+                    if !old.is_null() {
+                        // SAFETY: `old` was just unlinked by the swap and
+                        // this thread is its unique retiring owner.
+                        unsafe { guard.defer_destroy(old) };
+                    }
+                    // SAFETY: loaded under the same guard.
+                    let cur = a.load(Ordering::SeqCst, &guard);
+                    if let Some(v) = unsafe { cur.as_ref() } {
+                        assert!(*v < 4_000_000);
+                    }
+                    if i % 512 == 0 {
+                        guard.flush();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Final cleanup of the last value.
+        // SAFETY: all threads joined; no concurrent access remains.
+        let guard = unsafe { unprotected() };
+        let last = a.load(Ordering::SeqCst, guard);
+        if !last.is_null() {
+            // SAFETY: sole owner after join.
+            drop(unsafe { last.into_owned() });
+        }
+    }
+}

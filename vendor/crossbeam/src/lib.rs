@@ -1,0 +1,26 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! This workspace builds in environments without a crates.io mirror, so the
+//! real crossbeam cannot be fetched. This crate re-implements the two
+//! submodules the workspace uses:
+//!
+//! * [`epoch`] — epoch-based memory reclamation with the `crossbeam-epoch`
+//!   API (`Atomic`, `Owned`, `Shared`, `Guard`, `pin`, `unprotected`). This
+//!   is a *real* (if simple) three-epoch EBR implementation, not a no-op:
+//!   deferred destructions are only executed once every thread pinned at
+//!   the deferring epoch has unpinned.
+//! * [`queue`] — [`queue::SegQueue`] with the upstream API. Internally a
+//!   mutexed `VecDeque` rather than a lock-free segment list; linearizable
+//!   and `Sync`, but without upstream's lock-freedom. The ablation
+//!   benchmark that compares `SegQueue` against a mutexed `VecDeque` will
+//!   therefore show no separation under this stand-in.
+//!
+//! To switch back to upstream, point the `crossbeam` entry of
+//! `[workspace.dependencies]` at the registry version; no workspace code
+//! needs to change.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod queue;

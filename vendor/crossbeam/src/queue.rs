@@ -1,0 +1,123 @@
+//! Concurrent queues with the `crossbeam::queue` API surface.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// An unbounded MPMC FIFO queue with the `crossbeam::queue::SegQueue` API.
+///
+/// Internally a mutexed `VecDeque` — linearizable and `Sync`, but **not**
+/// lock-free like upstream. Every workspace use treats the queue as an
+/// opaque MPMC channel, so only the API and linearizability matter for
+/// correctness; see the crate docs for the benchmarking caveat.
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Push onto the back of the queue.
+    pub fn push(&self, value: T) {
+        self.lock().push_back(value);
+    }
+
+    /// Pop from the front of the queue.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Number of elements currently queued (racy by nature, like upstream).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue is empty (racy by nature, like upstream).
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SegQueue {{ len: {} }}", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 100);
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn mpmc_conserves_mass() {
+        let q = Arc::new(SegQueue::new());
+        let popped = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    q.push(t * 10_000 + i);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let q = q.clone();
+            let popped = popped.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut local = 0u64;
+                let mut misses = 0;
+                while misses < 1_000 {
+                    match q.pop() {
+                        Some(_) => {
+                            local += 1;
+                            misses = 0;
+                        }
+                        None => {
+                            misses += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                popped.fetch_add(local, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        while q.pop().is_some() {
+            popped.fetch_add(1, Ordering::SeqCst);
+        }
+        assert_eq!(popped.load(Ordering::SeqCst), 40_000);
+    }
+}

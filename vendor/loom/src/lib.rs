@@ -1,0 +1,336 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! Real loom exhaustively enumerates thread interleavings of a bounded
+//! model under the C11 memory model. That engine cannot be vendored here,
+//! so this stand-in keeps loom's API shape while checking models by
+//! **randomized-schedule stressing**:
+//!
+//! * [`model`] runs the closure `LOOM_ITERS` times (default 200, env
+//!   override) instead of once per distinct interleaving;
+//! * the atomics in [`sync::atomic`] inject randomized scheduler yields
+//!   before and after every operation, seeded per iteration, so distinct
+//!   iterations explore distinct interleavings;
+//! * [`thread::spawn`] spawns real OS threads.
+//!
+//! This finds real protocol bugs in practice (it is a focused, seeded
+//! version of the hammer-test approach) but is **probabilistic, not
+//! exhaustive**: a passing model is strong evidence, not proof. The model
+//! code in this workspace is written against the real loom API, so
+//! swapping the `loom` entry of `[workspace.dependencies]` to the registry
+//! version upgrades the same models to exhaustive checking — see
+//! `docs/correctness.md`.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Global iteration seed, re-set by [`model`] for each iteration.
+static MODEL_SEED: StdAtomicU64 = StdAtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread scheduler-perturbation RNG state.
+    static SCHED_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn sched_next() -> u64 {
+    SCHED_RNG.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // Derive a per-thread stream from the iteration seed and a
+            // unique per-thread address.
+            let tid = &x as *const u64 as u64;
+            x = MODEL_SEED
+                .load(StdOrdering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ tid.rotate_left(17)
+                | 1;
+        }
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        s.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Inject a scheduling perturbation point: ~25% of calls yield the CPU,
+/// a smaller fraction sleep, forcing descheduling windows long enough for
+/// other threads to interleave.
+pub(crate) fn preemption_point() {
+    let r = sched_next();
+    match r % 16 {
+        0..=2 => std::thread::yield_now(),
+        3 => std::thread::sleep(std::time::Duration::from_micros(r % 50)),
+        _ => {}
+    }
+}
+
+/// Run `f` under randomized-schedule stress (see the crate docs; real loom
+/// would enumerate interleavings exhaustively instead).
+pub fn model<F: Fn() + Sync + Send + 'static>(f: F) {
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for i in 0..iters {
+        MODEL_SEED.store(i.wrapping_mul(0x9E37_79B9).wrapping_add(1), StdOrdering::Relaxed);
+        SCHED_RNG.with(|s| s.set(0));
+        f();
+    }
+}
+
+/// Thread spawning with preemption on entry, mirroring `loom::thread`.
+pub mod thread {
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawn a model thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle {
+            inner: std::thread::spawn(move || {
+                super::SCHED_RNG.with(|s| s.set(0));
+                super::preemption_point();
+                f()
+            }),
+        }
+    }
+
+    /// Yield the scheduler.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Synchronization primitives that inject scheduling perturbation points,
+/// mirroring `loom::sync`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Atomics whose every operation is a preemption point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_stub {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Perturbation-injecting wrapper over the std atomic.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Create with an initial value.
+                    pub fn new(v: $prim) -> Self {
+                        Self { inner: <$std>::new(v) }
+                    }
+
+                    /// Atomic load.
+                    pub fn load(&self, ord: Ordering) -> $prim {
+                        crate::preemption_point();
+                        let v = self.inner.load(ord);
+                        crate::preemption_point();
+                        v
+                    }
+
+                    /// Atomic store.
+                    pub fn store(&self, v: $prim, ord: Ordering) {
+                        crate::preemption_point();
+                        self.inner.store(v, ord);
+                        crate::preemption_point();
+                    }
+
+                    /// Atomic swap.
+                    pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                        crate::preemption_point();
+                        let r = self.inner.swap(v, ord);
+                        crate::preemption_point();
+                        r
+                    }
+
+                    /// Atomic compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::preemption_point();
+                        let r = self.inner.compare_exchange(current, new, success, failure);
+                        crate::preemption_point();
+                        r
+                    }
+
+                    /// Atomic fetch-update loop.
+                    pub fn fetch_update<F>(
+                        &self,
+                        set_order: Ordering,
+                        fetch_order: Ordering,
+                        f: F,
+                    ) -> Result<$prim, $prim>
+                    where
+                        F: FnMut($prim) -> Option<$prim>,
+                    {
+                        crate::preemption_point();
+                        let r = self.inner.fetch_update(set_order, fetch_order, f);
+                        crate::preemption_point();
+                        r
+                    }
+                }
+            };
+        }
+
+        atomic_stub!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_stub!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        impl AtomicU64 {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+                crate::preemption_point();
+                let r = self.inner.fetch_add(v, ord);
+                crate::preemption_point();
+                r
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: u64, ord: Ordering) -> u64 {
+                crate::preemption_point();
+                let r = self.inner.fetch_sub(v, ord);
+                crate::preemption_point();
+                r
+            }
+        }
+
+        impl AtomicUsize {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+                crate::preemption_point();
+                let r = self.inner.fetch_add(v, ord);
+                crate::preemption_point();
+                r
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+                crate::preemption_point();
+                let r = self.inner.fetch_sub(v, ord);
+                crate::preemption_point();
+                r
+            }
+        }
+
+        /// Perturbation-injecting boolean atomic.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Create with an initial value.
+            pub fn new(v: bool) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> bool {
+                crate::preemption_point();
+                let v = self.inner.load(ord);
+                crate::preemption_point();
+                v
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: bool, ord: Ordering) {
+                crate::preemption_point();
+                self.inner.store(v, ord);
+                crate::preemption_point();
+            }
+
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                crate::preemption_point();
+                let r = self.inner.compare_exchange(current, new, success, failure);
+                crate::preemption_point();
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_repeats_and_interleaves() {
+        std::env::set_var("LOOM_ITERS", "20");
+        super::model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let a = a.clone();
+                    super::thread::spawn(move || {
+                        for _ in 0..100 {
+                            a.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 300);
+        });
+    }
+
+    #[test]
+    fn cas_contention_single_winner() {
+        std::env::set_var("LOOM_ITERS", "50");
+        super::model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let winners = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = a.clone();
+                    let w = winners.clone();
+                    super::thread::spawn(move || {
+                        if a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            w.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(winners.load(Ordering::SeqCst), 1);
+        });
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`] macro with `#![proptest_config(...)]`, integer/float
+//! range strategies, tuples, [`strategy::Just`], `prop_map`,
+//! [`prop_oneof!`], [`collection::vec`], [`option::of`],
+//! [`arbitrary::any`], and the `prop_assert*` macros.
+//!
+//! # Differences from upstream
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (via the enclosing test's assertion), but is not
+//!   minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so runs are reproducible; `proptest-regressions` files
+//!   are not read or written.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning `Err(TestCaseError)`.
+//!
+//! To switch back to upstream, point the `proptest` entry of
+//! `[workspace.dependencies]` at the registry version; the test code in
+//! this workspace is written against the upstream API.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property; panics (no shrink) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property; panics (no shrink) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a property; panics (no shrink) on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+///
+/// Upstream's `weight => strategy` arms are not supported — every listed
+/// strategy is equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Mirrors upstream's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in vec(any::<u64>(), 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (@munch ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let _ = case;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &$strategy,
+                        &mut rng,
+                    );
+                )+
+                $body
+            }
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (@munch ($config:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @munch ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            a in 3u64..17,
+            b in 0.25f64..0.75,
+            c in 1usize..=4,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.25..0.75).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            pairs in vec((0u64..10, 1u64..5), 0..20),
+        ) {
+            prop_assert!(pairs.len() < 20);
+            for (x, y) in pairs {
+                prop_assert!(x < 10 && (1..5).contains(&y));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(
+            v in prop_oneof![
+                (0u64..5).prop_map(|x| x * 2),
+                Just(99u64),
+            ],
+        ) {
+            prop_assert!(v == 99 || v % 2 == 0);
+        }
+
+        #[test]
+        fn optional_values(o in crate::option::of(1u64..10)) {
+            if let Some(v) = o {
+                prop_assert!((1..10).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = crate::test_runner::TestRng::deterministic("both");
+        let strat = crate::option::of(0u64..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+
+    #[test]
+    fn any_covers_wide_range() {
+        let mut rng = crate::test_runner::TestRng::deterministic("any");
+        let strat = any::<u64>();
+        let mut high = false;
+        for _ in 0..100 {
+            if strat.generate(&mut rng) > u64::MAX / 2 {
+                high = true;
+            }
+        }
+        assert!(high, "any::<u64>() never produced a high value");
+    }
+}
