@@ -5,7 +5,7 @@ use std::sync::Arc;
 use cots::{CotsEngine, RuntimeOptions};
 use cots_core::{CotsConfig, FrequencyCounter, QueryableSummary, RunStats, SummaryConfig};
 use cots_naive::independent::{IndependentSpaceSaving, MergeStrategy};
-use cots_naive::runner::run_concurrent;
+use cots_naive::runner::{run_concurrent, run_concurrent_batched};
 use cots_naive::{LockKind, SharedSpaceSaving};
 use cots_profiling::PhaseTimes;
 use cots_sequential::SpaceSaving;
@@ -66,6 +66,54 @@ pub fn run_independent(
     (out.stats, out.phase_times)
 }
 
+/// The shared locked design driven through `ingest_batch` — the
+/// batch-for-batch counterpart of [`run_shared`], used wherever CoTS's
+/// batched ingest is on the other side of the comparison.
+pub fn run_shared_batched(
+    stream: &[u64],
+    threads: usize,
+    kind: LockKind,
+    batch: usize,
+) -> RunStats {
+    let engine =
+        SharedSpaceSaving::<u64>::new(SummaryConfig::with_capacity(CAPACITY).unwrap(), kind)
+            .unwrap();
+    let stats = run_concurrent_batched(&engine, stream, threads, batch).unwrap();
+    let sum: u64 = engine.snapshot().entries().iter().map(|e| e.count).sum();
+    assert_eq!(sum, stream.len() as u64, "shared engine lost counts");
+    stats
+}
+
+/// The CoTS framework with explicit control over the combining front-end
+/// and counter budget (perf-gate ablations). Returns the run stats and the
+/// engine itself so callers can compare finalize-time estimates.
+pub fn run_cots_frontend(
+    stream: &[u64],
+    threads: usize,
+    capacity: usize,
+    combiner: bool,
+    batch: usize,
+) -> (RunStats, Arc<CotsEngine<u64>>) {
+    let mut cfg = CotsConfig::for_capacity(capacity).unwrap();
+    if !combiner {
+        cfg = cfg.without_combiner();
+    }
+    let engine = Arc::new(CotsEngine::<u64>::new(cfg).unwrap());
+    let stats = cots::run(
+        &engine,
+        stream,
+        RuntimeOptions {
+            threads,
+            batch,
+            adaptive: false,
+        },
+    )
+    .unwrap();
+    let sum: u64 = engine.snapshot().entries().iter().map(|e| e.count).sum();
+    assert_eq!(sum, stream.len() as u64, "cots engine lost counts");
+    (stats, engine)
+}
+
 /// The CoTS framework (§5).
 pub fn run_cots(stream: &[u64], threads: usize) -> RunStats {
     let engine =
@@ -101,5 +149,14 @@ mod tests {
         assert_eq!(ind.elements, 20_000);
         let cots = run_cots(&stream, 2);
         assert_eq!(cots.elements, 20_000);
+        let shb = run_shared_batched(&stream, 2, LockKind::Mutex, 512);
+        assert_eq!(shb.elements, 20_000);
+        let (on, e_on) = run_cots_frontend(&stream, 2, CAPACITY, true, 512);
+        let (off, e_off) = run_cots_frontend(&stream, 2, CAPACITY, false, 512);
+        assert_eq!(on.elements, 20_000);
+        assert_eq!(off.elements, 20_000);
+        assert!(on.work.combiner_flushes > 0);
+        assert_eq!(off.work.combiner_flushes, 0);
+        drop((e_on, e_off));
     }
 }

@@ -59,6 +59,11 @@ pub struct CotsConfig {
     /// Optional adaptive thread scheduling thresholds (§5.2.3). `None`
     /// disables adaptation — the configuration the paper's experiments use.
     pub adaptive: Option<AdaptiveConfig>,
+    /// Slots in the per-thread combining front-end that pre-aggregates
+    /// `(key, count)` pairs inside `delegate_batch` before they touch the
+    /// shared search structure. Must be a power of two; `0` disables the
+    /// front-end (every occurrence then pays its own table operation).
+    pub combiner_slots: usize,
 }
 
 /// Queue-occupancy thresholds for dynamic auto configuration (§5.2.3).
@@ -73,9 +78,14 @@ pub struct AdaptiveConfig {
 }
 
 impl CotsConfig {
+    /// Default capacity of the combining front-end: large enough to hold
+    /// the hot head of a skewed stream, small enough to stay L1-resident
+    /// (128 slots ≈ 3 KiB of scratch for `u64` keys).
+    pub const DEFAULT_COMBINER_SLOTS: usize = 128;
+
     /// A reasonable configuration for the given counter budget: table sized
     /// to the next power of two at least `2 * capacity`, 4-entry blocks,
-    /// no adaptation.
+    /// no adaptation, combining front-end on.
     pub fn for_capacity(capacity: usize) -> Result<Self> {
         let summary = SummaryConfig::with_capacity(capacity)?;
         let hash_bits = (2 * capacity.max(2)).next_power_of_two().trailing_zeros();
@@ -84,12 +94,30 @@ impl CotsConfig {
             hash_bits,
             block_entries: 4,
             adaptive: None,
+            combiner_slots: Self::DEFAULT_COMBINER_SLOTS,
         })
     }
 
     /// Enable adaptive scheduling with the given thresholds.
     pub fn with_adaptive(mut self, sigma: usize, rho: usize) -> Self {
         self.adaptive = Some(AdaptiveConfig { sigma, rho });
+        self
+    }
+
+    /// Set the combining front-end capacity (rounded up to a power of two;
+    /// `0` disables the front-end).
+    pub fn with_combiner_slots(mut self, slots: usize) -> Self {
+        self.combiner_slots = if slots == 0 {
+            0
+        } else {
+            slots.next_power_of_two()
+        };
+        self
+    }
+
+    /// Disable the combining front-end (ablation / strict paper mode).
+    pub fn without_combiner(mut self) -> Self {
+        self.combiner_slots = 0;
         self
     }
 
@@ -112,6 +140,17 @@ impl CotsConfig {
                     "adaptive thresholds must be positive".into(),
                 ));
             }
+        }
+        if self.combiner_slots != 0 && !self.combiner_slots.is_power_of_two() {
+            return Err(CotsError::InvalidConfig(format!(
+                "combiner_slots must be 0 or a power of two, got {}",
+                self.combiner_slots
+            )));
+        }
+        if self.combiner_slots > 1 << 20 {
+            return Err(CotsError::InvalidConfig(
+                "combiner_slots above 2^20 would thrash the cache it exists to protect".into(),
+            ));
         }
         Ok(())
     }
@@ -161,6 +200,7 @@ impl ToJson for CotsConfig {
             ("hash_bits", self.hash_bits.to_json()),
             ("block_entries", self.block_entries.to_json()),
             ("adaptive", self.adaptive.to_json()),
+            ("combiner_slots", self.combiner_slots.to_json()),
         ])
     }
 }
@@ -172,6 +212,12 @@ impl FromJson for CotsConfig {
             hash_bits: u32::from_json(v.field("hash_bits")?)?,
             block_entries: usize::from_json(v.field("block_entries")?)?,
             adaptive: Option::from_json(v.field("adaptive")?)?,
+            // Absent in configs serialized before the combining front-end
+            // existed; those streams ran without one.
+            combiner_slots: match v.field("combiner_slots") {
+                Ok(f) => usize::from_json(f)?,
+                Err(_) => 0,
+            },
         })
     }
 }
@@ -217,6 +263,33 @@ mod tests {
         assert!(c.validate().is_err());
         let c = CotsConfig::for_capacity(10).unwrap().with_adaptive(64, 8);
         assert!(c.validate().is_ok());
+        let mut c = CotsConfig::for_capacity(10).unwrap();
+        c.combiner_slots = 100; // not a power of two
+        assert!(c.validate().is_err());
+        c.combiner_slots = 1 << 21; // absurdly large
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn combiner_defaults_and_builders() {
+        let c = CotsConfig::for_capacity(100).unwrap();
+        assert_eq!(c.combiner_slots, CotsConfig::DEFAULT_COMBINER_SLOTS);
+        let c = c.with_combiner_slots(100); // rounds up to a power of two
+        assert_eq!(c.combiner_slots, 128);
+        c.validate().unwrap();
+        let c = c.without_combiner();
+        assert_eq!(c.combiner_slots, 0);
+        c.validate().unwrap();
+        let c = c.with_combiner_slots(0);
+        assert_eq!(c.combiner_slots, 0);
+    }
+
+    #[test]
+    fn combiner_slots_json_defaults_when_absent() {
+        // Configs serialized before the front-end existed parse as "off".
+        let legacy = r#"{"summary":{"capacity":10},"hash_bits":5,"block_entries":4,"adaptive":null}"#;
+        let c: CotsConfig = crate::json::from_str(legacy).unwrap();
+        assert_eq!(c.combiner_slots, 0);
     }
 
     #[test]

@@ -26,9 +26,21 @@ pub struct WorkCounters {
     /// exclusive rights on an element (CoTS) or entered the summary under
     /// locks (naive shared).
     pub boundary_crossings: u64,
-    /// Increments absorbed into someone else's boundary crossing via
-    /// element-level delegation (CoTS) — the "bulk increment" mass.
+    /// Delegation actions that logged mass with the element's current
+    /// owner instead of crossing the boundary (CoTS) — the "bulk
+    /// increment" sources. A combining-front-end flush logs its whole
+    /// aggregate as *one* action; the occurrences beyond the first are
+    /// counted in [`WorkCounters::combined_increments`], so
+    /// `boundary_crossings + delegated_increments + combined_increments`
+    /// partitions `elements` exactly.
     pub delegated_increments: u64,
+    /// Stream occurrences absorbed by the thread-local combining front-end
+    /// before ever touching the shared search structure (occurrences beyond
+    /// the first per distinct key per flush window).
+    pub combined_increments: u64,
+    /// Aggregated `(key, count)` flushes the combining front-end pushed
+    /// through the delegation protocol.
+    pub combiner_flushes: u64,
     /// Requests delegated at bucket level (enqueued for another owner).
     pub delegated_requests: u64,
     /// Lock acquisitions (naive shared design; hash-bucket insert locks in
@@ -62,6 +74,16 @@ impl WorkCounters {
         self.elements as f64 / self.boundary_crossings as f64
     }
 
+    /// Boundary crossings per processed element — the shared-structure
+    /// pressure each stream element exerts; the inverse of the combining
+    /// factor, and the primary metric the perf gate tracks.
+    pub fn crossings_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            return 0.0;
+        }
+        self.boundary_crossings as f64 / self.elements as f64
+    }
+
     /// Summary operations per processed element — the work the summary
     /// structure actually absorbed.
     pub fn summary_ops_per_element(&self) -> f64 {
@@ -77,6 +99,8 @@ impl WorkCounters {
         self.summary_ops += other.summary_ops;
         self.boundary_crossings += other.boundary_crossings;
         self.delegated_increments += other.delegated_increments;
+        self.combined_increments += other.combined_increments;
+        self.combiner_flushes += other.combiner_flushes;
         self.delegated_requests += other.delegated_requests;
         self.lock_acquisitions += other.lock_acquisitions;
         self.lock_contentions += other.lock_contentions;
@@ -100,6 +124,8 @@ pub struct WorkTally {
     summary_ops: AtomicU64,
     boundary_crossings: AtomicU64,
     delegated_increments: AtomicU64,
+    combined_increments: AtomicU64,
+    combiner_flushes: AtomicU64,
     delegated_requests: AtomicU64,
     lock_acquisitions: AtomicU64,
     lock_contentions: AtomicU64,
@@ -134,6 +160,8 @@ impl WorkTally {
         summary_ops,
         boundary_crossings,
         delegated_increments,
+        combined_increments,
+        combiner_flushes,
         delegated_requests,
         lock_acquisitions,
         lock_contentions,
@@ -152,6 +180,8 @@ impl WorkTally {
             summary_ops: self.summary_ops.load(Ordering::Relaxed),
             boundary_crossings: self.boundary_crossings.load(Ordering::Relaxed),
             delegated_increments: self.delegated_increments.load(Ordering::Relaxed),
+            combined_increments: self.combined_increments.load(Ordering::Relaxed),
+            combiner_flushes: self.combiner_flushes.load(Ordering::Relaxed),
             delegated_requests: self.delegated_requests.load(Ordering::Relaxed),
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
             lock_contentions: self.lock_contentions.load(Ordering::Relaxed),
@@ -227,6 +257,8 @@ counters_json!(
     summary_ops,
     boundary_crossings,
     delegated_increments,
+    combined_increments,
+    combiner_flushes,
     delegated_requests,
     lock_acquisitions,
     lock_contentions,

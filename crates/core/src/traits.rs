@@ -43,6 +43,19 @@ pub trait ConcurrentCounter<K: Element>: Send + Sync {
         }
     }
 
+    /// Ingest a batch of stream elements as one unit of work.
+    ///
+    /// This is the batch entry point drivers should call: engines that can
+    /// amortize fixed per-element costs over the batch (epoch pins, shared
+    /// counter updates, thread-local pre-aggregation) override it, so
+    /// batch-vs-batch comparisons between engines measure the algorithms
+    /// rather than the call protocol. The default forwards to
+    /// [`ConcurrentCounter::process_slice`]; semantics are identical to
+    /// processing each element individually.
+    fn ingest_batch(&self, items: &[K]) {
+        self.process_slice(items);
+    }
+
     /// Total elements processed across all threads.
     ///
     /// Only required to be exact at quiescence (no in-flight `process`).
@@ -164,6 +177,26 @@ mod tests {
         e.process_slice(&[5, 5, 6]);
         assert_eq!(e.processed(), 3);
         assert_eq!(e.snapshot().get(&5).unwrap().count, 2);
+    }
+
+    #[test]
+    fn ingest_batch_default_matches_per_element() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Default)]
+        struct Tally {
+            total: AtomicU64,
+        }
+        impl ConcurrentCounter<u64> for Tally {
+            fn process(&self, _item: u64) {
+                self.total.fetch_add(1, Ordering::Relaxed);
+            }
+            fn processed(&self) -> u64 {
+                self.total.load(Ordering::Relaxed)
+            }
+        }
+        let t = Tally::default();
+        t.ingest_batch(&[1, 2, 2, 3]);
+        assert_eq!(t.processed(), 4);
     }
 
     #[test]

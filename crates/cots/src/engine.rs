@@ -44,11 +44,12 @@ use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 
 use cots_core::report::WorkTally;
 use cots_core::{
-    ConcurrentCounter, CotsConfig, CotsError, CounterEntry, Element, QueryableSummary, Result,
-    Snapshot, WorkCounters,
+    ConcurrentCounter, CotsConfig, CotsError, CounterEntry, Element, MulHash, QueryableSummary,
+    Result, Snapshot, WorkCounters,
 };
 
 use crate::bucket::{Bucket, Request};
+use crate::combiner::BatchCombiner;
 use crate::hashtable::HashTable;
 use crate::node::{Node, NodePtr, TOMB};
 use crate::policy::Policy;
@@ -84,6 +85,16 @@ mod destroy_registry {
     pub fn forget(ptr: usize) {
         set().lock().unwrap().remove(&ptr);
     }
+}
+
+/// Per-batch work-counter accumulators, folded into the shared
+/// [`WorkTally`] once per batch.
+#[derive(Default)]
+struct BatchCounters {
+    crossings: u64,
+    delegated: u64,
+    combined: u64,
+    flushes: u64,
 }
 
 /// Outcome of processing one request.
@@ -126,6 +137,8 @@ pub struct CotsEngine<K: Element> {
     total: AtomicU64,
     tally: Arc<WorkTally>,
     adaptive: Option<cots_core::config::AdaptiveConfig>,
+    /// Capacity of the batch-scoped combining front-end (0 = disabled).
+    combiner_slots: usize,
     hook: OnceLock<Arc<dyn SchedulerHook>>,
     /// After draining a bucket, scan successors for unowned pending work
     /// (§5.2.3 neighbour checking).
@@ -164,6 +177,7 @@ impl<K: Element> CotsEngine<K> {
             total: AtomicU64::new(0),
             tally,
             adaptive: config.adaptive,
+            combiner_slots: config.combiner_slots,
             hook: OnceLock::new(),
             scan_neighbors: true,
         })
@@ -222,44 +236,27 @@ impl<K: Element> CotsEngine<K> {
         let after = before + items.len() as u64;
         self.tally.elements(items.len() as u64);
         let guard = epoch::pin();
-        let mut crossings = 0u64;
-        let mut delegated = 0u64;
-        for &item in items {
-            loop {
-                let node_sh = self.table.lookup_or_insert(item, &guard);
-                // SAFETY: `lookup_or_insert` returned this pointer under
-                // `guard`; tombstoned nodes are retired with `defer_destroy`,
-                // never freed while pinned.
-                let node = unsafe { node_sh.deref() };
-                let r = node.pending.fetch_add(1, Ordering::AcqRel) + 1;
-                if r >= TOMB {
-                    // The node was tombstoned under us; undo and retry with
-                    // a fresh entry.
-                    node.pending.fetch_sub(1, Ordering::AcqRel);
-                    continue;
+        let mut c = BatchCounters::default();
+        if self.combiner_slots != 0 && items.len() > 1 {
+            self.delegate_batch_combined(items, before, &mut c, &guard);
+        } else {
+            for &item in items {
+                self.flush_mass(item, MulHash::hash(&item), 1, &mut c, &guard);
+            }
+            // Lossy Counting round boundaries crossed by this batch (§5.3):
+            // replace Overwrite with a minimum-bucket prune.
+            if let Policy::LossyRounds { width } = self.policy {
+                let first_round = before / width;
+                let last_round = after / width;
+                for round in (first_round + 1)..=last_round {
+                    self.enqueue_head(Request::PruneMin { threshold: round }, &guard);
                 }
-                if r == 1 {
-                    crossings += 1;
-                    self.cross_boundary(node, 1, &guard);
-                } else {
-                    // Logged: some other thread will fold this increment
-                    // into a bulk request.
-                    delegated += 1;
-                }
-                break;
             }
         }
-        self.tally.boundary_crossings(crossings);
-        self.tally.delegated_increments(delegated);
-        // Lossy Counting round boundaries crossed by this batch (§5.3):
-        // replace Overwrite with a minimum-bucket prune.
-        if let Policy::LossyRounds { width } = self.policy {
-            let first_round = before / width;
-            let last_round = after / width;
-            for round in (first_round + 1)..=last_round {
-                self.enqueue_head(Request::PruneMin { threshold: round }, &guard);
-            }
-        }
+        self.tally.boundary_crossings(c.crossings);
+        self.tally.delegated_increments(c.delegated);
+        self.tally.combined_increments(c.combined);
+        self.tally.combiner_flushes(c.flushes);
         // Migrate this thread's deferred-destruction bag to the global
         // epoch queue and help collect it. Bucket churn retires roughly one
         // bucket (and its ~1 KiB queue block) per summary operation;
@@ -271,6 +268,120 @@ impl<K: Element> CotsEngine<K> {
         drop(guard);
         for _ in 0..4 {
             epoch::pin().flush();
+        }
+    }
+
+    /// The combining front-end path of [`CotsEngine::delegate_batch`]: a
+    /// batch-scoped open-addressing buffer pre-aggregates occurrences, and
+    /// every aggregated `(key, count)` pair reaches the delegation
+    /// protocol as one `pending.fetch_add(count)` — one table operation
+    /// and at most one boundary crossing per distinct hot key per batch.
+    ///
+    /// Under the Lossy policy the batch is processed in round-sized
+    /// segments: the buffer is drained *before* each round-boundary prune
+    /// is enqueued, so no pre-boundary mass hides in private state when
+    /// the prune inspects the summary (same visibility a per-element run
+    /// would give the prune).
+    fn delegate_batch_combined(
+        &self,
+        items: &[K],
+        before: u64,
+        c: &mut BatchCounters,
+        guard: &Guard,
+    ) {
+        let mut combiner = BatchCombiner::new(self.combiner_slots);
+        match self.policy {
+            Policy::SpaceSaving => {
+                self.combine_segment(items, &mut combiner, c, guard);
+                self.flush_combiner(&mut combiner, c, guard);
+            }
+            Policy::LossyRounds { width } => {
+                let mut offset = 0usize;
+                let mut pos = before;
+                while offset < items.len() {
+                    let until_boundary = (width - pos % width) as usize;
+                    let take = until_boundary.min(items.len() - offset);
+                    self.combine_segment(&items[offset..offset + take], &mut combiner, c, guard);
+                    offset += take;
+                    pos += take as u64;
+                    if pos.is_multiple_of(width) {
+                        self.flush_combiner(&mut combiner, c, guard);
+                        self.enqueue_head(Request::PruneMin { threshold: pos / width }, guard);
+                    }
+                }
+                self.flush_combiner(&mut combiner, c, guard);
+            }
+        }
+    }
+
+    /// Feed a segment through the combiner, flushing evicted victims
+    /// immediately so no occurrence is ever dropped.
+    fn combine_segment(
+        &self,
+        seg: &[K],
+        combiner: &mut BatchCombiner<K>,
+        c: &mut BatchCounters,
+        guard: &Guard,
+    ) {
+        for &item in seg {
+            let hash = MulHash::hash(&item);
+            if let Some((key, key_hash, count)) = combiner.add(item, hash) {
+                self.flush_mass(key, key_hash, count, c, guard);
+            }
+        }
+    }
+
+    /// Drain the combiner through the delegation protocol.
+    fn flush_combiner(&self, combiner: &mut BatchCombiner<K>, c: &mut BatchCounters, guard: &Guard) {
+        combiner.drain(|key, hash, count| self.flush_mass(key, hash, count, c, guard));
+    }
+
+    /// Algorithm 2's delegate step for `count` occurrences of `key` at
+    /// once: one `fetch_add(count)` on the element's `pending`. A prior
+    /// value of 0 makes this thread the element owner (boundary crossing
+    /// with the whole aggregated amount); otherwise the mass is logged for
+    /// the current owner's relinquish to fold into a bulk increment.
+    fn flush_mass(&self, key: K, hash: u64, count: u64, c: &mut BatchCounters, guard: &Guard) {
+        debug_assert!(count > 0);
+        loop {
+            let node_sh = self.table.lookup_or_insert_hashed(key, hash, guard);
+            // SAFETY: `lookup_or_insert_hashed` returned this pointer under
+            // `guard`; tombstoned nodes are retired with `defer_destroy`,
+            // never freed while pinned.
+            let node = unsafe { node_sh.deref() };
+            let prev = node.pending.fetch_add(count, Ordering::AcqRel);
+            if prev >= TOMB {
+                // The node was tombstoned under us; undo and retry with a
+                // fresh entry.
+                node.pending.fetch_sub(count, Ordering::AcqRel);
+                continue;
+            }
+            // Tally partition: every occurrence is accounted exactly once
+            // — the flush's own delegation action (one crossing or one
+            // logged increment) plus `count - 1` front-end absorptions.
+            if count > 1 {
+                c.combined += count - 1;
+                c.flushes += 1;
+            }
+            if prev == 0 {
+                if count > 1 {
+                    // This thread owns the element and carries the whole
+                    // aggregated mass in its request, so it must hold
+                    // exactly ONE unit of `pending` (units beyond the
+                    // owner's are the *logged* mass relinquish converts to
+                    // a bulk increment — leaving ours in would double-count
+                    // it). `pending >= 1` throughout, so no tombstone can
+                    // sneak in; concurrent logs just stack on top.
+                    node.pending.fetch_sub(count - 1, Ordering::AcqRel);
+                }
+                c.crossings += 1;
+                self.cross_boundary(node, count, guard);
+            } else {
+                // Logged: the current owner folds this mass into a bulk
+                // request at relinquish time.
+                c.delegated += 1;
+            }
+            return;
         }
     }
 
@@ -1294,6 +1405,14 @@ impl<K: Element> ConcurrentCounter<K> for CotsEngine<K> {
         self.delegate(item);
     }
 
+    fn process_slice(&self, items: &[K]) {
+        self.delegate_batch(items);
+    }
+
+    fn ingest_batch(&self, items: &[K]) {
+        self.delegate_batch(items);
+    }
+
     fn processed(&self) -> u64 {
         self.total.load(Ordering::Acquire)
     }
@@ -1562,6 +1681,81 @@ mod tests {
         assert_eq!(e.kth_frequency(4), Some(2));
         assert_eq!(e.kth_frequency(5), None);
         assert_eq!(e.kth_frequency(0), None);
+    }
+
+    #[test]
+    fn combined_batches_match_per_element_no_eviction() {
+        // Alphabet fits the budget, so nothing is ever evicted and the
+        // front-end must reproduce the per-element run exactly.
+        let cfg = CotsConfig::for_capacity(64).unwrap();
+        let on = CotsEngine::<u64>::new(cfg).unwrap();
+        let off = CotsEngine::<u64>::new(cfg.without_combiner()).unwrap();
+        let mut x = 3u64;
+        let stream: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x % 48
+            })
+            .collect();
+        for chunk in stream.chunks(512) {
+            on.delegate_batch(chunk);
+            off.delegate_batch(chunk);
+        }
+        on.finalize();
+        off.finalize();
+        on.check_quiescent_invariants();
+        off.check_quiescent_invariants();
+        assert_eq!(on.processed(), off.processed());
+        for k in 0..48u64 {
+            assert_eq!(on.estimate_point(&k), off.estimate_point(&k), "key {k}");
+        }
+        let (w_on, w_off) = (on.work(), off.work());
+        assert!(w_on.combiner_flushes > 0, "front-end never engaged");
+        assert!(w_on.combined_increments > 0);
+        assert_eq!(w_off.combined_increments, 0);
+        assert!(
+            w_on.boundary_crossings < w_off.boundary_crossings,
+            "combining must reduce crossings: {} vs {}",
+            w_on.boundary_crossings,
+            w_off.boundary_crossings
+        );
+        // Every occurrence is accounted for exactly once.
+        assert_eq!(w_on.elements, 10_000);
+        assert_eq!(w_off.boundary_crossings + w_off.delegated_increments, 10_000);
+    }
+
+    #[test]
+    fn combined_lossy_matches_per_element() {
+        // Single-threaded Lossy runs are deterministic: segment-wise
+        // flushing before each round prune must reproduce the per-element
+        // run exactly, evictions included.
+        let cfg = CotsConfig::for_capacity(512).unwrap();
+        let width = 16u64;
+        let on =
+            CotsEngine::<u64>::with_policy(cfg, Policy::LossyRounds { width }).unwrap();
+        let off = CotsEngine::<u64>::with_policy(
+            cfg.without_combiner(),
+            Policy::LossyRounds { width },
+        )
+        .unwrap();
+        let mut x = 11u64;
+        let stream: Vec<u64> = (0..4_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x % 64).min(x % 8)
+            })
+            .collect();
+        for chunk in stream.chunks(100) {
+            // Odd chunk size: segments straddle round boundaries.
+            on.delegate_batch(chunk);
+            off.delegate_batch(chunk);
+        }
+        on.finalize();
+        off.finalize();
+        assert_eq!(on.monitored(), off.monitored());
+        for k in 0..64u64 {
+            assert_eq!(on.estimate_point(&k), off.estimate_point(&k), "key {k}");
+        }
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //! * **Locks serialize only insertions** to the same hash bucket; with
 //!   multiplicative hashing two concurrent writers rarely collide, making
 //!   the design "mostly wait free".
+//!
+//! ## Cache-conscious layout
+//!
+//! Each hash bucket's chain head and insert lock live together in one
+//! 64-byte-aligned [`Stripe`], so (a) a lookup that misses in the chain
+//! head and an insert that takes the lock touch the same cache line, and
+//! (b) writers hammering *different* buckets never false-share a line the
+//! way the previous parallel `Vec<Atomic>`/`Vec<Mutex>` layout invited.
+//! Every [`Node`] additionally caches its key's 64-bit hash, so chain
+//! walks reject colliding neighbours on one integer compare and chain
+//! maintenance (`collect_chain`, `gc_all_chains`) never rehashes a key.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -24,11 +35,29 @@ use cots_core::{Element, MulHash};
 
 use crate::node::{Node, TOMB};
 
+/// One hash bucket: chain head + insert lock, padded to a cache line so
+/// neighbouring buckets never false-share.
+#[repr(align(64))]
+struct Stripe<K> {
+    head: crossbeam::epoch::Atomic<Node<K>>,
+    /// Serializes insertions (and lazy chain GC) for this bucket only.
+    lock: Mutex<()>,
+}
+
+impl<K> Default for Stripe<K> {
+    fn default() -> Self {
+        Self {
+            head: crossbeam::epoch::Atomic::null(),
+            lock: Mutex::new(()),
+        }
+    }
+}
+
 /// The delegation hash table.
 pub struct HashTable<K> {
-    heads: Vec<crossbeam::epoch::Atomic<Node<K>>>,
-    /// Insert locks, one per hash bucket.
-    locks: Vec<Mutex<()>>,
+    /// `1 << hash_bits` cache-line stripes, pre-sized at construction (the
+    /// paper sizes the table so it never resizes).
+    stripes: Box<[Stripe<K>]>,
     hash_bits: u32,
     tally: Arc<WorkTally>,
 }
@@ -38,25 +67,37 @@ impl<K: Element> HashTable<K> {
     pub fn new(hash_bits: u32, tally: Arc<WorkTally>) -> Self {
         let n = 1usize << hash_bits;
         Self {
-            heads: (0..n).map(|_| crossbeam::epoch::Atomic::null()).collect(),
-            locks: (0..n).map(|_| Mutex::new(())).collect(),
+            stripes: (0..n).map(|_| Stripe::default()).collect(),
             hash_bits,
             tally,
         }
     }
 
     #[inline]
-    fn index(&self, key: &K) -> usize {
-        MulHash::index(MulHash::hash(key), self.hash_bits)
+    fn index_of(&self, hash: u64) -> usize {
+        MulHash::index(hash, self.hash_bits)
     }
 
     /// Lock-free lookup of the live node for `key`.
     pub fn lookup<'g>(&self, key: &K, guard: &'g Guard) -> Option<Shared<'g, Node<K>>> {
-        let mut cur = self.heads[self.index(key)].load(Ordering::Acquire, guard);
+        self.lookup_hashed(key, MulHash::hash(key), guard)
+    }
+
+    /// [`HashTable::lookup`] with the key's hash already computed (the
+    /// combining front-end caches hashes across its buffer).
+    pub fn lookup_hashed<'g>(
+        &self,
+        key: &K,
+        hash: u64,
+        guard: &'g Guard,
+    ) -> Option<Shared<'g, Node<K>>> {
+        let mut cur = self.stripes[self.index_of(hash)]
+            .head
+            .load(Ordering::Acquire, guard);
         // SAFETY: hash-chain entries are loaded under `guard`; dead nodes are
         // retired with `defer_destroy`, never freed while pinned.
         while let Some(node) = unsafe { cur.as_ref() } {
-            if !node.is_dead() && node.key == *key {
+            if node.hash == hash && !node.is_dead() && node.key == *key {
                 return Some(cur);
             }
             cur = node.chain_next.load(Ordering::Acquire, guard);
@@ -70,35 +111,45 @@ impl<K: Element> HashTable<K> {
     /// The returned node may be tombstoned by a concurrent overwrite at any
     /// moment; callers detect this through the `pending` protocol and retry.
     pub fn lookup_or_insert<'g>(&self, key: K, guard: &'g Guard) -> Shared<'g, Node<K>> {
+        self.lookup_or_insert_hashed(key, MulHash::hash(&key), guard)
+    }
+
+    /// [`HashTable::lookup_or_insert`] with the key's hash already computed.
+    pub fn lookup_or_insert_hashed<'g>(
+        &self,
+        key: K,
+        hash: u64,
+        guard: &'g Guard,
+    ) -> Shared<'g, Node<K>> {
         // Fast path: lock-free hit.
-        if let Some(found) = self.lookup(&key, guard) {
+        if let Some(found) = self.lookup_hashed(&key, hash, guard) {
             return found;
         }
         // Slow path: serialize inserts to this bucket.
-        let idx = self.index(&key);
+        let idx = self.index_of(hash);
         self.tally.lock_acquisitions(1);
-        let lock = match self.locks[idx].try_lock() {
+        let lock = match self.stripes[idx].lock.try_lock() {
             Some(g) => g,
             None => {
                 self.tally.lock_contentions(1);
-                self.locks[idx].lock()
+                self.stripes[idx].lock.lock()
             }
         };
         // Garbage-collect tombstoned entries while we hold the insert lock.
         self.collect_chain(idx, guard);
         // Re-scan: the key may have been inserted while we waited.
-        let head = &self.heads[idx];
+        let head = &self.stripes[idx].head;
         let mut cur = head.load(Ordering::Acquire, guard);
         // SAFETY: hash-chain entries are loaded under `guard`; dead nodes are
         // retired with `defer_destroy`, never freed while pinned.
         while let Some(node) = unsafe { cur.as_ref() } {
-            if !node.is_dead() && node.key == key {
+            if node.hash == hash && !node.is_dead() && node.key == key {
                 return cur;
             }
             cur = node.chain_next.load(Ordering::Acquire, guard);
         }
         // Publish a fresh node at the chain head.
-        let new = Owned::new(Node::new(key));
+        let new = Owned::new(Node::with_hash(key, hash));
         new.chain_next
             .store(head.load(Ordering::Acquire, guard), Ordering::Relaxed);
         let shared = new.into_shared(guard);
@@ -125,9 +176,10 @@ impl<K: Element> HashTable<K> {
     }
 
     /// Unlink dead entries from a chain and retire them. Caller holds the
-    /// bucket's insert lock.
+    /// bucket's insert lock. Walks links only — cached hashes mean no key
+    /// is ever rehashed here.
     fn collect_chain(&self, idx: usize, guard: &Guard) {
-        let head = &self.heads[idx];
+        let head = &self.stripes[idx].head;
         // Unlink dead prefix.
         loop {
             let first = head.load(Ordering::Acquire, guard);
@@ -172,8 +224,8 @@ impl<K: Element> HashTable<K> {
     /// pass no dead node is reachable from any chain head; used by the
     /// invariant audit and quiescent teardown.
     pub fn gc_all_chains(&self, guard: &Guard) {
-        for idx in 0..self.heads.len() {
-            let _lock = self.locks[idx].lock();
+        for idx in 0..self.stripes.len() {
+            let _lock = self.stripes[idx].lock.lock();
             self.collect_chain(idx, guard);
         }
     }
@@ -182,8 +234,8 @@ impl<K: Element> HashTable<K> {
     /// (diagnostics/tests; zero right after [`HashTable::gc_all_chains`]).
     pub fn dead_reachable(&self, guard: &Guard) -> usize {
         let mut n = 0;
-        for head in &self.heads {
-            let mut cur = head.load(Ordering::Acquire, guard);
+        for stripe in &self.stripes {
+            let mut cur = stripe.head.load(Ordering::Acquire, guard);
             // SAFETY: hash-chain entries are loaded under `guard`; dead nodes
             // are retired with `defer_destroy`, never freed while pinned.
             while let Some(node) = unsafe { cur.as_ref() } {
@@ -199,8 +251,8 @@ impl<K: Element> HashTable<K> {
     /// Number of live entries (O(buckets + entries); diagnostics/tests).
     pub fn live_count(&self, guard: &Guard) -> usize {
         let mut n = 0;
-        for head in &self.heads {
-            let mut cur = head.load(Ordering::Acquire, guard);
+        for stripe in &self.stripes {
+            let mut cur = stripe.head.load(Ordering::Acquire, guard);
             // SAFETY: hash-chain entries are loaded under `guard`; dead nodes
             // are retired with `defer_destroy`, never freed while pinned.
             while let Some(node) = unsafe { cur.as_ref() } {
@@ -220,8 +272,8 @@ impl<K> Drop for HashTable<K> {
         // SAFETY: `&mut self` proves no concurrent accessors or live pins
         // remain.
         let guard = unsafe { crossbeam::epoch::unprotected() };
-        for head in &self.heads {
-            let mut cur = head.load(Ordering::Relaxed, guard);
+        for stripe in &self.stripes {
+            let mut cur = stripe.head.load(Ordering::Relaxed, guard);
             while !cur.is_null() {
                 // SAFETY: `cur` is non-null and `&mut self` excludes
                 // concurrent mutation.

@@ -44,7 +44,9 @@
 //! * [`node`] — the shared node (hash entry + summary element) and the
 //!   `pending` delegation counter of Algorithm 2.
 //! * [`hashtable`] — the lock-free-read, insert-locked, lazily-deleted
-//!   search structure (§5.2.1).
+//!   search structure (§5.2.1), laid out as cache-line stripes.
+//! * [`combiner`] — the batch-scoped combining front-end that
+//!   pre-aggregates a batch's occurrences before they touch the table.
 //! * [`bucket`] — frequency buckets with per-bucket request queues
 //!   (§5.2.2, Fig. 10).
 //! * [`engine`] — the request state machine (Algorithms 3–6), garbage
@@ -58,6 +60,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bucket;
+pub mod combiner;
 pub mod engine;
 pub mod hashtable;
 pub mod node;

@@ -43,6 +43,10 @@ pub const TOMB: u64 = 1 << 62;
 pub struct Node<K> {
     /// The monitored element.
     pub key: K,
+    /// The key's full 64-bit hash, computed once at insertion. Chain walks
+    /// compare this word before touching `key` (cheap rejection of
+    /// colliding-bucket neighbours) and chain maintenance never rehashes.
+    pub hash: u64,
     /// Ownership / delegation counter (see module docs).
     pub pending: AtomicU64,
     /// Current frequency estimate. `0` means "not yet admitted to the
@@ -68,11 +72,21 @@ pub struct Node<K> {
     pub list_next: Atomic<Node<K>>,
 }
 
-impl<K> Node<K> {
-    /// Fresh node for `key`, not yet in the summary.
+impl<K: std::hash::Hash> Node<K> {
+    /// Fresh node for `key`, not yet in the summary, hashing the key with
+    /// the table's hash function.
     pub fn new(key: K) -> Self {
+        let hash = cots_core::MulHash::hash(&key);
+        Self::with_hash(key, hash)
+    }
+}
+
+impl<K> Node<K> {
+    /// Fresh node for `key` whose hash the caller already computed.
+    pub fn with_hash(key: K, hash: u64) -> Self {
         Self {
             key,
+            hash,
             pending: AtomicU64::new(0),
             freq: AtomicU64::new(0),
             error: AtomicU64::new(0),
@@ -142,6 +156,14 @@ mod tests {
         assert_eq!(n.pending.load(Ordering::Relaxed), 0);
         assert_eq!(n.freq.load(Ordering::Relaxed), 0);
         assert!(!n.is_dead());
+        assert_eq!(n.hash, cots_core::MulHash::hash(&7u64));
+    }
+
+    #[test]
+    fn with_hash_stores_caller_hash() {
+        let n = Node::with_hash(9u64, 0xDEAD_BEEF);
+        assert_eq!(n.hash, 0xDEAD_BEEF);
+        assert_eq!(n.key, 9);
     }
 
     #[test]

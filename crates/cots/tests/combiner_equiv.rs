@@ -1,0 +1,115 @@
+//! Property tests: the combining front-end is an *optimization*, not a
+//! semantic change.
+//!
+//! Two regimes, two guarantees:
+//!
+//! * **No eviction** (alphabet fits the counter budget): a single-threaded
+//!   batched run is deterministic, so totals, per-element estimates and
+//!   error terms must be *bit-identical* with the front-end on vs. off.
+//! * **Eviction churn** (alphabet larger than the budget): batching
+//!   reorders occurrences within a batch, so individual estimates may
+//!   differ — but count conservation (`Σ counts == N`), the Space Saving
+//!   overestimate property (`f ≤ f̂`) and the guarantee bound
+//!   (`f̂ − ε ≤ f`) must hold for both runs against ground truth.
+
+use std::collections::HashMap;
+
+use cots::CotsEngine;
+use cots_core::{ConcurrentCounter, CotsConfig, QueryableSummary};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn run(cfg: CotsConfig, stream: &[u64], batch: usize) -> CotsEngine<u64> {
+    let e = CotsEngine::new(cfg).unwrap();
+    for chunk in stream.chunks(batch) {
+        e.delegate_batch(chunk);
+    }
+    e.finalize();
+    e.check_quiescent_invariants();
+    e
+}
+
+fn ground_truth(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut t = HashMap::new();
+    for &k in stream {
+        *t.entry(k).or_insert(0u64) += 1;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn front_end_is_exact_when_nothing_evicts(
+        stream in vec(0u64..64, 1..2_000),
+        batch in 1usize..512,
+    ) {
+        let cfg = CotsConfig::for_capacity(64).unwrap();
+        let on = run(cfg, &stream, batch);
+        let off = run(cfg.without_combiner(), &stream, batch);
+        prop_assert_eq!(on.processed(), off.processed());
+        prop_assert_eq!(on.monitored(), off.monitored());
+        let truth = ground_truth(&stream);
+        for k in 0..64u64 {
+            prop_assert_eq!(
+                on.estimate_point(&k),
+                off.estimate_point(&k),
+                "estimate diverged for key {}", k
+            );
+            // And both are exact: no eviction means zero error.
+            prop_assert_eq!(
+                on.estimate_point(&k),
+                truth.get(&k).map(|&c| (c, 0)),
+                "estimate wrong for key {}", k
+            );
+        }
+    }
+
+    #[test]
+    fn front_end_preserves_bounds_under_eviction(
+        stream in vec(0u64..256, 1..2_000),
+        batch in 1usize..512,
+    ) {
+        let cfg = CotsConfig::for_capacity(16).unwrap();
+        let on = run(cfg, &stream, batch);
+        let off = run(cfg.without_combiner(), &stream, batch);
+        let n = stream.len() as u64;
+        let truth = ground_truth(&stream);
+        for (label, e) in [("on", &on), ("off", &off)] {
+            prop_assert_eq!(e.processed(), n, "total ({})", label);
+            let snap = e.snapshot();
+            let sum: u64 = snap.entries().iter().map(|x| x.count).sum();
+            prop_assert_eq!(sum, n, "count conservation ({})", label);
+            for entry in snap.entries() {
+                let f = truth.get(&entry.item).copied().unwrap_or(0);
+                prop_assert!(
+                    entry.count >= f,
+                    "({}) overestimate property: {:?} vs truth {}", label, entry, f
+                );
+                prop_assert!(
+                    entry.count - entry.error <= f,
+                    "({}) guarantee bound: {:?} vs truth {}", label, entry, f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_end_counters_account_for_every_occurrence(
+        stream in vec(0u64..32, 2..2_000),
+        batch in 2usize..512,
+    ) {
+        // Single-threaded: every occurrence either crosses the boundary,
+        // is logged for an owner, or was absorbed by the front-end.
+        let cfg = CotsConfig::for_capacity(32).unwrap();
+        let e = run(cfg, &stream, batch);
+        let w = e.work();
+        prop_assert_eq!(w.elements, stream.len() as u64);
+        prop_assert_eq!(
+            w.boundary_crossings + w.delegated_increments + w.combined_increments,
+            w.elements,
+            "work counters must partition the stream"
+        );
+    }
+}

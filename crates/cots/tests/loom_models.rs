@@ -1,4 +1,4 @@
-//! Model checks for the two riskiest delegation protocols, written against
+//! Model checks for the riskiest delegation protocols, written against
 //! [`cots::sync_shim`] so the same code runs two ways:
 //!
 //! * plain `cargo test` — each model executes once with real threads (a
@@ -126,6 +126,106 @@ fn pending_tombstone_protocol_conserves_mass() {
             applied.load(Ordering::Acquire),
             2 * UNITS_PER_THREAD,
             "delegated mass lost or duplicated"
+        );
+        let gen0 = generations[0].pending.load(Ordering::Acquire);
+        if tombstoned {
+            assert!(generations[0].dead.load(Ordering::Acquire));
+            assert_eq!(gen0, TOMB, "tombstoned entry must drain to exactly TOMB");
+        } else {
+            assert_eq!(gen0, 0, "live entry must drain to zero");
+        }
+        assert_eq!(generations[1].pending.load(Ordering::Acquire), 0);
+    });
+}
+
+// =====================================================================
+// Model 1b: the combined-flush variant of the `pending` protocol — the
+// combining front-end's `fetch_add(count)` with the owner keeping exactly
+// one pending unit (the aggregate rides in the request), racing the
+// `0 → TOMB` tombstone CAS. Mirrors `CotsEngine::flush_mass`.
+// =====================================================================
+
+/// `CotsEngine::flush_mass` for an aggregated `count`: log the whole mass
+/// with one `fetch_add(count)`; on a tombstoned entry undo and retry on
+/// the successor generation; on winning ownership (`prev == 0`) drop back
+/// to exactly one held unit — the aggregate is applied via the request —
+/// and run the relinquish loop. Returns the mass this call applied.
+fn flush_mass(generations: &[Entry], count: u64) -> u64 {
+    for entry in generations {
+        let prev = entry.pending.fetch_add(count, Ordering::AcqRel);
+        if prev >= TOMB {
+            // Tombstoned under us: undo the whole aggregate, next
+            // generation.
+            entry.pending.fetch_sub(count, Ordering::AcqRel);
+            continue;
+        }
+        if prev > 0 {
+            // Delegated: all `count` units are logged mass for the owner.
+            return 0;
+        }
+        // Owner. Keep ONE unit of `pending`; the other `count - 1` would
+        // otherwise be re-applied by relinquish as logged mass
+        // (double-count). `pending >= 1` throughout, so the tombstone CAS
+        // cannot land in between.
+        if count > 1 {
+            entry.pending.fetch_sub(count - 1, Ordering::AcqRel);
+        }
+        let mut consumed = count;
+        loop {
+            if entry
+                .pending
+                .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return consumed;
+            }
+            let s = entry.pending.swap(1, Ordering::AcqRel);
+            consumed += s - 1;
+        }
+    }
+    panic!("all generations tombstoned — model sized too small");
+}
+
+/// Two combined flushers (different aggregate sizes) race one evictor.
+/// Checked invariants:
+///
+/// * **mass conservation** — every aggregated occurrence is applied
+///   exactly once: no `count - 1` double-count when a flusher wins
+///   ownership, no loss when its mass is absorbed as logged units or
+///   bounced off a tombstone onto the next generation;
+/// * **tombstone finality** — a dead generation drains to exactly `TOMB`.
+#[test]
+fn combined_flush_tombstone_conserves_mass() {
+    model(|| {
+        let generations: Arc<[Entry; 2]> = Arc::new([Entry::default(), Entry::default()]);
+        let applied = Arc::new(AtomicU64::new(0));
+
+        let mut handles = Vec::new();
+        for counts in [[3u64, 1], [2, 2]] {
+            let generations = generations.clone();
+            let applied = applied.clone();
+            handles.push(thread::spawn(move || {
+                for count in counts {
+                    let mass = flush_mass(&generations[..], count);
+                    if mass > 0 {
+                        applied.fetch_add(mass, Ordering::AcqRel);
+                    }
+                }
+            }));
+        }
+        let evictor = {
+            let generations = generations.clone();
+            thread::spawn(move || try_remove(&generations[0]))
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let tombstoned = evictor.join().unwrap();
+
+        assert_eq!(
+            applied.load(Ordering::Acquire),
+            3 + 1 + 2 + 2,
+            "aggregated mass lost or duplicated"
         );
         let gen0 = generations[0].pending.load(Ordering::Acquire);
         if tombstoned {

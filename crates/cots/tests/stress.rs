@@ -209,3 +209,45 @@ fn multiple_runs_accumulate() {
     }
     verify(&e, total);
 }
+
+/// Batched ingestion with the combining front-end enabled (the default
+/// config) under eviction churn: aggregated multi-unit flushes race
+/// tombstones, overwrite deferrals and bucket retirement, and the whole
+/// aggregate must bounce to a fresh entry when its node dies mid-flush.
+#[test]
+fn combined_batches_survive_eviction_churn() {
+    let e = engine(16);
+    let threads = 8;
+    let per = 6_000usize;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let e = e.clone();
+            s.spawn(move || {
+                let mut x = 0x243F_6A88_85A3_08D3u64 ^ t as u64;
+                let mut buf = Vec::with_capacity(64);
+                for i in 0..per {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    // Hot head (combines) + wide cold tail (churns
+                    // overwrites against the 16-counter budget).
+                    buf.push(if x & 3 != 0 {
+                        x % 8
+                    } else {
+                        (1 << 40) | (x % 50_000)
+                    });
+                    if buf.len() == 64 || i + 1 == per {
+                        e.ingest_batch(&buf);
+                        buf.clear();
+                    }
+                }
+            });
+        }
+    });
+    verify(&e, (threads * per) as u64);
+    let w = e.work();
+    assert!(w.combiner_flushes > 0, "front-end never engaged");
+    assert!(w.combined_increments > 0);
+    assert!(w.overwrites > 0, "no eviction churn exercised");
+    // The hot keys absorb most of the stream; combining must show up as
+    // fewer crossings than elements.
+    assert!(w.boundary_crossings < w.elements);
+}

@@ -9,7 +9,7 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use cots_core::{CotsError, Element, Result, RunStats, WorkCounters};
+use cots_core::{ConcurrentCounter, CotsError, Element, Result, RunStats, WorkCounters};
 use cots_datagen::partition::chunked;
 use cots_profiling::{Phase, PhaseTimer, PhaseTimes};
 
@@ -118,6 +118,55 @@ pub fn run_concurrent<K: Element, E: ProfiledCounter<K>>(
     })
 }
 
+/// Drive `engine` over `stream` with `threads` workers feeding fixed-size
+/// batches through [`ConcurrentCounter::ingest_batch`].
+///
+/// This is the batch-for-batch counterpart of [`run_concurrent`]: CoTS
+/// ingests through `delegate_batch`, so comparing it against a baseline
+/// driven per-element would conflate the algorithms with the call
+/// protocol. Phase profiling is not supported on this path (batch entry
+/// points own their timers).
+pub fn run_concurrent_batched<K, E>(
+    engine: &E,
+    stream: &[K],
+    threads: usize,
+    batch: usize,
+) -> Result<RunStats>
+where
+    K: Element,
+    E: ProfiledCounter<K> + ConcurrentCounter<K>,
+{
+    if threads == 0 {
+        return Err(CotsError::InvalidRun("threads must be positive".into()));
+    }
+    if batch == 0 {
+        return Err(CotsError::InvalidRun("batch must be positive".into()));
+    }
+    if stream.is_empty() {
+        return Err(CotsError::InvalidRun("stream must be non-empty".into()));
+    }
+    let chunks = chunked(stream, threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in &chunks {
+            let engine = &engine;
+            scope.spawn(move || {
+                for b in chunk.chunks(batch) {
+                    engine.ingest_batch(b);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    Ok(RunStats {
+        engine: engine.label(),
+        threads,
+        elements: stream.len() as u64,
+        elapsed,
+        work: ProfiledCounter::work(engine),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +205,22 @@ mod tests {
             .iter()
             .any(|t| t.get(Phase::HashOps) > std::time::Duration::ZERO);
         assert!(any_hash);
+    }
+
+    #[test]
+    fn batched_runner_matches_per_element_totals() {
+        let stream = StreamSpec::zipf(8_000, 150, 1.8, 9).generate();
+        let engine = SharedSpaceSaving::<u64>::new(
+            SummaryConfig::with_capacity(64).unwrap(),
+            LockKind::Mutex,
+        )
+        .unwrap();
+        let stats = run_concurrent_batched(&engine, &stream, 4, 256).unwrap();
+        assert_eq!(stats.elements, 8_000);
+        assert_eq!(stats.work.elements, 8_000);
+        let sum: u64 = engine.snapshot().entries().iter().map(|e| e.count).sum();
+        assert_eq!(sum, 8_000);
+        assert!(run_concurrent_batched(&engine, &stream, 4, 0).is_err());
     }
 
     #[test]

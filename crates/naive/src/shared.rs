@@ -400,6 +400,20 @@ impl<K: Element> ConcurrentCounter<K> for SharedSpaceSaving<K> {
         self.process_profiled(item, &mut timer);
     }
 
+    fn process_slice(&self, items: &[K]) {
+        // One (disabled) timer hoisted across the batch instead of one per
+        // element; the summary work itself is deliberately unchanged — the
+        // naive design has no batch-level shortcut to measure.
+        let mut timer = PhaseTimer::disabled();
+        for &item in items {
+            self.process_profiled(item, &mut timer);
+        }
+    }
+
+    fn ingest_batch(&self, items: &[K]) {
+        self.process_slice(items);
+    }
+
     fn processed(&self) -> u64 {
         self.total.load(Ordering::Acquire)
     }

@@ -298,6 +298,65 @@ impl FromJson for Breakdown {
 }
 
 /// Render a set of breakdowns (one per thread count) as the paper's stacked
+/// Advisory wall-clock summary over repeated runs of one configuration.
+///
+/// Perf gates must key on *deterministic* work counters; wall clock on a
+/// shared CI runner is weather, so it is summarized here and reported,
+/// never gated on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputSummary {
+    /// Median of the observed wall-clock times, in seconds.
+    pub median_secs: f64,
+    /// Fastest observed run, in seconds.
+    pub min_secs: f64,
+    /// Slowest observed run, in seconds.
+    pub max_secs: f64,
+}
+
+impl ThroughputSummary {
+    /// Summarize a set of wall-clock observations (`None` when empty).
+    pub fn from_durations(runs: &[Duration]) -> Option<Self> {
+        if runs.is_empty() {
+            return None;
+        }
+        let mut secs: Vec<f64> = runs.iter().map(Duration::as_secs_f64).collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        Some(Self {
+            median_secs: secs[secs.len() / 2],
+            min_secs: secs[0],
+            max_secs: secs[secs.len() - 1],
+        })
+    }
+
+    /// Median throughput in million elements per second.
+    pub fn meps(&self, elements: u64) -> f64 {
+        if self.median_secs <= 0.0 {
+            return 0.0;
+        }
+        elements as f64 / self.median_secs / 1e6
+    }
+}
+
+impl ToJson for ThroughputSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("median_secs", self.median_secs.to_json()),
+            ("min_secs", self.min_secs.to_json()),
+            ("max_secs", self.max_secs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ThroughputSummary {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            median_secs: f64::from_json(v.field("median_secs")?)?,
+            min_secs: f64::from_json(v.field("min_secs")?)?,
+            max_secs: f64::from_json(v.field("max_secs")?)?,
+        })
+    }
+}
+
 /// percentage table, restricted to the phases that are non-zero anywhere.
 pub fn render_breakdown_table(breakdowns: &[Breakdown]) -> String {
     let used: Vec<Phase> = ALL_PHASES
@@ -318,6 +377,38 @@ pub fn render_breakdown_table(breakdowns: &[Breakdown]) -> String {
         out.push('\n');
     }
     out
+}
+
+#[cfg(test)]
+mod throughput_tests {
+    use super::*;
+
+    #[test]
+    fn summary_orders_and_converts() {
+        let runs = [
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        ];
+        let t = ThroughputSummary::from_durations(&runs).unwrap();
+        assert!((t.median_secs - 0.020).abs() < 1e-9);
+        assert!((t.min_secs - 0.010).abs() < 1e-9);
+        assert!((t.max_secs - 0.030).abs() < 1e-9);
+        assert!((t.meps(2_000_000) - 100.0).abs() < 1e-6);
+        assert!(ThroughputSummary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_json_round_trip() {
+        let t = ThroughputSummary {
+            median_secs: 0.5,
+            min_secs: 0.25,
+            max_secs: 1.0,
+        };
+        let s = cots_core::json::to_string(&t);
+        let back: ThroughputSummary = cots_core::json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
 }
 
 #[cfg(test)]
