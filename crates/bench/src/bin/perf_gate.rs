@@ -25,13 +25,26 @@
 //!
 //! Exit status 0 iff every check passes.
 //!
-//! ## Scaling
+//! ## Scaling and reproducibility
 //!
 //! `PERF_GATE_SCALE` multiplies the stream length (default 1.0 →
 //! 400 000 elements — small enough for a CI smoke job, large enough that
 //! the counters stabilize; the committed baseline uses the same default,
 //! so CI compares apples to apples). `REPRO_REPEATS` controls wall-clock
 //! repeats (default 3).
+//!
+//! The stream seed and the CoTS thread counts are configurable so CI and
+//! local runs reproduce byte-for-byte:
+//!
+//! ```text
+//! perf-gate [--seed S] [--threads T1,T2,...]
+//! ```
+//!
+//! with `PERF_GATE_SEED` / `PERF_GATE_THREADS` as env-var equivalents
+//! (CLI wins over env, env over the defaults 42 and 1,4). The baseline
+//! comparison only fires when the baseline file was recorded with the
+//! same seed *and* stream length; anything else is not comparable and is
+//! ignored.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -54,7 +67,68 @@ const TOLERANCE: f64 = 0.10;
 /// interleaving noise.
 const ABS_SLACK: f64 = 0.005;
 const BATCH: usize = 2048;
-const SEED: u64 = 42;
+const DEFAULT_SEED: u64 = 42;
+const DEFAULT_THREADS: &[usize] = &[1, 4];
+
+/// Runtime knobs: CLI flags win over env vars, env vars over defaults.
+struct GateArgs {
+    seed: u64,
+    threads: Vec<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf-gate [--seed S] [--threads T1,T2,...]");
+    eprintln!("env: PERF_GATE_SEED, PERF_GATE_THREADS, PERF_GATE_SCALE, REPRO_REPEATS");
+    std::process::exit(2);
+}
+
+/// Parse a comma-separated thread list: positive, deduped, ascending.
+fn parse_threads(raw: &str) -> Option<Vec<usize>> {
+    let mut out = raw
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().ok().filter(|&t| t > 0))
+        .collect::<Option<Vec<_>>>()?;
+    out.sort_unstable();
+    out.dedup();
+    (!out.is_empty()).then_some(out)
+}
+
+fn gate_args() -> GateArgs {
+    let mut seed = std::env::var("PERF_GATE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let mut threads = std::env::var("PERF_GATE_THREADS")
+        .ok()
+        .and_then(|v| parse_threads(&v))
+        .unwrap_or_else(|| DEFAULT_THREADS.to_vec());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer value");
+                    usage();
+                })
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| parse_threads(&v))
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a comma-separated list of positive integers");
+                        usage();
+                    })
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    GateArgs { seed, threads }
+}
 
 struct GateCheck {
     name: String,
@@ -179,13 +253,17 @@ fn repeat(reps: usize, mut f: impl FnMut() -> RunStats) -> (RunStats, Throughput
 
 /// Load `{key -> crossings_per_element}` from a previous BENCH_ingest.json.
 ///
-/// Crossings/element depends on the stream length (longer streams amortize
-/// first-occurrence crossings differently), so a baseline recorded at a
-/// different `n` is not comparable and is ignored.
-fn load_baseline(path: &Path, n: usize) -> Option<Vec<(String, f64)>> {
+/// Crossings/element depends on the stream itself — both its length
+/// (longer streams amortize first-occurrence crossings differently) and
+/// its seed — so a baseline recorded at a different `n` or seed is not
+/// comparable and is ignored.
+fn load_baseline(path: &Path, n: usize, seed: u64) -> Option<Vec<(String, f64)>> {
     let text = std::fs::read_to_string(path).ok()?;
     let v: Json = cots_core::json::from_str(&text).ok()?;
     if v.get("n")?.as_f64()? as usize != n {
+        return None;
+    }
+    if v.get("seed")?.as_u64()? != seed {
         return None;
     }
     let runs = v.get("runs")?.as_arr()?;
@@ -199,13 +277,16 @@ fn load_baseline(path: &Path, n: usize) -> Option<Vec<(String, f64)>> {
 }
 
 fn main() {
+    let GateArgs { seed, threads } = gate_args();
     let n = stream_len();
     let reps = repeats();
     let alphabet = (n / 20).max(100);
+    let shared_threads = *threads.iter().max().expect("thread list is non-empty");
     let out_path = repo_root().join("BENCH_ingest.json");
-    let baseline = load_baseline(&out_path, n);
+    let baseline = load_baseline(&out_path, n, seed);
     println!(
-        "perf-gate: n={n} alphabet={alphabet} capacity={CAPACITY} repeats={reps} baseline={}",
+        "perf-gate: n={n} alphabet={alphabet} capacity={CAPACITY} repeats={reps} seed={seed} \
+         threads={threads:?} baseline={}",
         if baseline.is_some() { "loaded" } else { "none" }
     );
 
@@ -213,7 +294,7 @@ fn main() {
     let mut checks: Vec<GateCheck> = Vec::new();
 
     for alpha in [1.5f64, 2.5] {
-        let stream = StreamSpec::zipf(n, alphabet, alpha, SEED).generate();
+        let stream = StreamSpec::zipf(n, alphabet, alpha, seed).generate();
 
         // Baselines: sequential, shared-batched at the top thread count.
         let (seq, seq_wall) = repeat(reps, || run_sequential(&stream));
@@ -227,20 +308,20 @@ fn main() {
             work: seq.work,
         });
         let (sh, sh_wall) = repeat(reps, || {
-            run_shared_batched(&stream, 4, LockKind::Mutex, BATCH)
+            run_shared_batched(&stream, shared_threads, LockKind::Mutex, BATCH)
         });
         records.push(RunRecord {
             engine: "shared",
             frontend: None,
             alpha,
-            threads: 4,
+            threads: shared_threads,
             elements: sh.elements,
             wall: sh_wall,
             work: sh.work,
         });
 
         // CoTS, front-end on vs off, across thread counts.
-        for threads in [1usize, 4] {
+        for &threads in &threads {
             let mut cpe = [0.0f64; 2];
             for (slot, frontend) in [(0usize, true), (1, false)] {
                 let (stats, wall) = repeat(reps, || {
@@ -272,7 +353,7 @@ fn main() {
     // Counts are exact in this regime regardless of interleaving, so the
     // front-end must reproduce the off run's estimates bit for bit.
     {
-        let stream = StreamSpec::zipf(n, CAPACITY, 1.5, SEED).generate();
+        let stream = StreamSpec::zipf(n, CAPACITY, 1.5, seed).generate();
         let (on_stats, e_on) = run_cots_frontend(&stream, 4, CAPACITY, true, BATCH);
         let (off_stats, e_off) = run_cots_frontend(&stream, 4, CAPACITY, false, BATCH);
         let mut mismatches = 0usize;
@@ -328,7 +409,8 @@ fn main() {
         ("alphabet", alphabet.to_json()),
         ("capacity", CAPACITY.to_json()),
         ("repeats", reps.to_json()),
-        ("seed", SEED.to_json()),
+        ("seed", seed.to_json()),
+        ("threads", Json::Arr(threads.iter().map(ToJson::to_json).collect())),
         ("batch", BATCH.to_json()),
         (
             "note",

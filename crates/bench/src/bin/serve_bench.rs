@@ -1,0 +1,282 @@
+//! `serve-bench` — end-to-end wire-path benchmark for `cots-serve`.
+//!
+//! Measures ingest throughput over real loopback TCP twice — once with no
+//! queries in flight and once with a steady query rate — and writes
+//! `BENCH_serve.json` at the repo root. The paper's claim under test is
+//! that queries ride a published snapshot and therefore never block
+//! ingestion: the queried run should stay within ~10% of the quiet run.
+//!
+//! ```text
+//! serve-bench [--items N] [--shards S] [--qps Q] [--seed SEED]
+//!             [--alphabet A] [--capacity C] [--connections K]
+//!             [--repeats R] [--strict]
+//! ```
+//!
+//! Each pass starts a fresh in-process server on an ephemeral loopback
+//! port, replays the same deterministic Zipf(1.5) stream through
+//! `cots-load`'s engine, waits for full application (staleness 0), and
+//! verifies answers against exact ground truth. With `--repeats R > 1`
+//! the best wall-clock of R runs is kept per mode, which filters scheduler
+//! noise out of the interference ratio. Exit status is non-zero if any
+//! answer violates the Space Saving guarantee, or — with `--strict` —
+//! if the queried run falls more than 10% below the quiet run.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use cots_core::json::{Json, ToJson};
+use cots_serve::loadgen::{self, LoadConfig};
+use cots_serve::{Client, LoadReport, Server, ServiceConfig};
+
+/// Queried-run throughput must reach this fraction of the quiet run.
+const INTERFERENCE_FLOOR: f64 = 0.90;
+
+struct BenchArgs {
+    items: u64,
+    shards: usize,
+    qps: u64,
+    seed: u64,
+    alphabet: usize,
+    capacity: usize,
+    connections: usize,
+    repeats: usize,
+    strict: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            items: 10_000_000,
+            shards: 4,
+            qps: 8,
+            seed: 42,
+            alphabet: 100_000,
+            capacity: 1_000,
+            connections: 2,
+            repeats: 1,
+            strict: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve-bench [--items N] [--shards S] [--qps Q] [--seed SEED] \
+         [--alphabet A] [--capacity C] [--connections K] [--repeats R] [--strict]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{raw}`");
+        usage();
+    })
+}
+
+fn bench_args() -> BenchArgs {
+    let mut a = BenchArgs::default();
+    if let Some(items) = std::env::var("SERVE_BENCH_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        a.items = items;
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--items" => a.items = parse("--items", args.next()),
+            "--shards" => a.shards = parse("--shards", args.next()),
+            "--qps" => a.qps = parse("--qps", args.next()),
+            "--seed" => a.seed = parse("--seed", args.next()),
+            "--alphabet" => a.alphabet = parse("--alphabet", args.next()),
+            "--capacity" => a.capacity = parse("--capacity", args.next()),
+            "--connections" => a.connections = parse("--connections", args.next()),
+            "--repeats" => a.repeats = parse("--repeats", args.next()),
+            "--strict" => a.strict = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if a.items == 0 || a.shards == 0 || a.capacity == 0 || a.connections == 0 || a.repeats == 0 {
+        eprintln!("--items, --shards, --capacity, --connections and --repeats must be positive");
+        usage();
+    }
+    a
+}
+
+/// The repo root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the repo root")
+        .to_path_buf()
+}
+
+/// One full server lifecycle: bind, replay the stream, drain, shut down.
+fn run_pass(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            shards: a.shards,
+            capacity: a.capacity,
+            refresh: Duration::from_millis(20),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let result = loadgen::run(&LoadConfig {
+        addr: addr.clone(),
+        items: a.items,
+        alphabet: a.alphabet,
+        alpha: 1.5,
+        seed: a.seed,
+        batch: 8_192,
+        connections: a.connections,
+        qps,
+        phi: 0.01,
+        check,
+    });
+
+    let stop = Client::connect(&addr)
+        .map_err(cots_core::CotsError::from)
+        .and_then(|mut c| c.shutdown());
+    let joined = server_thread.join();
+    let report = result.map_err(|e| format!("load: {e}"))?;
+    stop.map_err(|e| format!("shutdown: {e}"))?;
+    match joined {
+        Ok(Ok(())) => Ok(report),
+        Ok(Err(e)) => Err(format!("server: {e}")),
+        Err(_) => Err("server thread panicked".into()),
+    }
+}
+
+/// Best-of-`repeats` by throughput: scheduler noise only ever slows a run
+/// down, so the fastest repeat is the cleanest estimate of each mode.
+fn best_of(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> {
+    let mut best: Option<LoadReport> = None;
+    let mut checked = None;
+    for rep in 0..a.repeats {
+        // Only the last repeat pays for the exact-truth check.
+        let mut report = run_pass(a, qps, check && rep + 1 == a.repeats)?;
+        println!(
+            "  qps={qps} repeat {}/{}: {:.2} M items/s ({:.2}s, {} retries, {} queries)",
+            rep + 1,
+            a.repeats,
+            report.meps,
+            report.elapsed_secs,
+            report.overload_retries,
+            report.queries_issued
+        );
+        if let Some(c) = report.check.take() {
+            checked = Some(c);
+        }
+        if best.as_ref().map_or(true, |b| report.meps > b.meps) {
+            best = Some(report);
+        }
+    }
+    let mut best = best.ok_or_else(|| String::from("repeats >= 1"))?;
+    best.check = checked;
+    Ok(best)
+}
+
+fn main() {
+    let a = bench_args();
+    println!(
+        "serve-bench: items={} shards={} qps={} seed={} alphabet={} capacity={} connections={}",
+        a.items, a.shards, a.qps, a.seed, a.alphabet, a.capacity, a.connections
+    );
+
+    println!("quiet pass (no queries):");
+    let quiet = match best_of(&a, 0, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-bench: quiet pass failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("queried pass ({} QPS, checked against exact truth):", a.qps);
+    let queried = match best_of(&a, a.qps, true) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-bench: queried pass failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let check_passed = queried.check.as_ref().is_some_and(|c| c.passed);
+    let ratio = if quiet.meps > 0.0 {
+        queried.meps / quiet.meps
+    } else {
+        0.0
+    };
+    let within = ratio >= INTERFERENCE_FLOOR;
+
+    let report = Json::obj(vec![
+        ("items", a.items.to_json()),
+        ("alphabet", a.alphabet.to_json()),
+        ("alpha", 1.5f64.to_json()),
+        ("seed", a.seed.to_json()),
+        ("shards", a.shards.to_json()),
+        ("capacity", a.capacity.to_json()),
+        ("connections", a.connections.to_json()),
+        ("qps", a.qps.to_json()),
+        ("repeats", a.repeats.to_json()),
+        ("quiet", quiet.to_json()),
+        ("queried", queried.to_json()),
+        (
+            "interference",
+            Json::obj(vec![
+                ("quiet_meps", quiet.meps.to_json()),
+                ("queried_meps", queried.meps.to_json()),
+                ("ratio", ratio.to_json()),
+                ("floor", INTERFERENCE_FLOOR.to_json()),
+                ("within_floor", within.to_json()),
+            ]),
+        ),
+        ("check_passed", check_passed.to_json()),
+    ]);
+    let out_path = repo_root().join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&out_path, report.pretty()) {
+        eprintln!("serve-bench: cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+    println!(
+        "quiet {:.2} M items/s, queried {:.2} M items/s, ratio {:.3} (floor {INTERFERENCE_FLOOR}) => {}",
+        quiet.meps,
+        queried.meps,
+        ratio,
+        if within { "OK" } else { "BELOW FLOOR" }
+    );
+    if let Some(check) = &queried.check {
+        println!(
+            "check: threshold={} truly_frequent={} reported={} missed={} bound_violations={} => {}",
+            check.threshold,
+            check.truly_frequent,
+            check.reported,
+            check.missed,
+            check.bound_violations,
+            if check.passed { "PASS" } else { "FAIL" }
+        );
+    }
+    if !check_passed {
+        eprintln!("serve-bench: served answers violated the Space Saving guarantee");
+        std::process::exit(1);
+    }
+    if a.strict && !within {
+        eprintln!("serve-bench: query interference exceeded the strict floor");
+        std::process::exit(1);
+    }
+}

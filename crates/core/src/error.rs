@@ -12,6 +12,9 @@ pub enum CotsError {
     /// Report serialization / IO failure (message only; the harness maps
     /// `std::io::Error` into this).
     Report(String),
+    /// A wire-protocol violation: malformed frame, oversized payload, or a
+    /// request/response body that does not decode (`cots-serve`).
+    Protocol(String),
 }
 
 impl fmt::Display for CotsError {
@@ -20,6 +23,7 @@ impl fmt::Display for CotsError {
             CotsError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             CotsError::InvalidRun(m) => write!(f, "invalid run request: {m}"),
             CotsError::Report(m) => write!(f, "report error: {m}"),
+            CotsError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -46,6 +50,9 @@ mod tests {
             .contains("x"));
         assert!(CotsError::InvalidRun("y".into()).to_string().contains("y"));
         assert!(CotsError::Report("z".into()).to_string().contains("z"));
+        assert!(CotsError::Protocol("bad frame".into())
+            .to_string()
+            .contains("bad frame"));
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub use hash::MulHash;
 pub use invariants::{CheckInvariants, Violation};
 pub use json::{FromJson, Json, ToJson};
 pub use query::{PointQuery, QueryAnswer, SetQuery, Threshold};
-pub use report::{RunStats, WorkCounters};
+pub use report::{RunStats, ServiceReport, ShardReport, WorkCounters};
 pub use traits::{ConcurrentCounter, FrequencyCounter, QueryableSummary};

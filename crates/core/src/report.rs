@@ -270,6 +270,105 @@ counters_json!(
     overwrite_deferrals,
 );
 
+/// Per-shard ingest progress of the `cots-serve` pipeline, reported in
+/// `STATS` responses and the service benchmark artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Ingest batches drained from this shard's queues.
+    pub batches: u64,
+    /// Keys applied to the backend by this shard's worker.
+    pub keys: u64,
+    /// High-water mark of queued batches observed by the worker.
+    pub max_queue_depth: u64,
+    /// Times the worker parked because every queue was empty.
+    pub idle_parks: u64,
+}
+
+/// Aggregate service-level statistics for a `cots-serve` instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceReport {
+    /// Keys accepted into shard queues (enqueued; may exceed applied).
+    pub ingested_keys: u64,
+    /// INGEST frames accepted.
+    pub ingest_frames: u64,
+    /// INGEST frames rejected with OVERLOADED (backpressure).
+    pub rejected_frames: u64,
+    /// QUERY frames answered.
+    pub queries: u64,
+    /// Epoch of the currently published snapshot.
+    pub snapshot_epoch: u64,
+    /// Items applied to the backend after the published snapshot was
+    /// captured (staleness bound for query answers).
+    pub staleness: u64,
+    /// Counters monitored by the backend summary.
+    pub monitored: usize,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServiceReport {
+    /// Keys applied to the backend across all shards.
+    pub fn applied_keys(&self) -> u64 {
+        self.shards.iter().map(|s| s.keys).sum()
+    }
+}
+
+impl ToJson for ShardReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("shard", self.shard.to_json()),
+            ("batches", self.batches.to_json()),
+            ("keys", self.keys.to_json()),
+            ("max_queue_depth", self.max_queue_depth.to_json()),
+            ("idle_parks", self.idle_parks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ShardReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            shard: usize::from_json(v.field("shard")?)?,
+            batches: u64::from_json(v.field("batches")?)?,
+            keys: u64::from_json(v.field("keys")?)?,
+            max_queue_depth: u64::from_json(v.field("max_queue_depth")?)?,
+            idle_parks: u64::from_json(v.field("idle_parks")?)?,
+        })
+    }
+}
+
+impl ToJson for ServiceReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ingested_keys", self.ingested_keys.to_json()),
+            ("ingest_frames", self.ingest_frames.to_json()),
+            ("rejected_frames", self.rejected_frames.to_json()),
+            ("queries", self.queries.to_json()),
+            ("snapshot_epoch", self.snapshot_epoch.to_json()),
+            ("staleness", self.staleness.to_json()),
+            ("monitored", self.monitored.to_json()),
+            ("shards", self.shards.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServiceReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            ingested_keys: u64::from_json(v.field("ingested_keys")?)?,
+            ingest_frames: u64::from_json(v.field("ingest_frames")?)?,
+            rejected_frames: u64::from_json(v.field("rejected_frames")?)?,
+            queries: u64::from_json(v.field("queries")?)?,
+            snapshot_epoch: u64::from_json(v.field("snapshot_epoch")?)?,
+            staleness: u64::from_json(v.field("staleness")?)?,
+            monitored: usize::from_json(v.field("monitored")?)?,
+            shards: Vec::<ShardReport>::from_json(v.field("shards")?)?,
+        })
+    }
+}
+
 impl ToJson for RunStats {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -375,6 +474,39 @@ mod tests {
         };
         assert_eq!(fast.throughput(), 1_000_000.0);
         assert_eq!(fast.speedup_vs(&base), 2.0);
+    }
+
+    #[test]
+    fn service_report_json_round_trip() {
+        let r = ServiceReport {
+            ingested_keys: 1_000,
+            ingest_frames: 10,
+            rejected_frames: 2,
+            queries: 7,
+            snapshot_epoch: 5,
+            staleness: 128,
+            monitored: 100,
+            shards: vec![
+                ShardReport {
+                    shard: 0,
+                    batches: 6,
+                    keys: 600,
+                    max_queue_depth: 3,
+                    idle_parks: 9,
+                },
+                ShardReport {
+                    shard: 1,
+                    batches: 4,
+                    keys: 400,
+                    max_queue_depth: 1,
+                    idle_parks: 2,
+                },
+            ],
+        };
+        assert_eq!(r.applied_keys(), 1_000);
+        let json = crate::json::to_string(&r);
+        let back: ServiceReport = crate::json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! * [`scheduler`] — the thread pool gate with σ/ρ thresholds (§5.2.3).
 //! * [`runtime`] — the measurement driver.
 //! * [`window`] — a jumping-window wrapper for recency-scoped queries.
+//! * [`publish`] — epoch-stamped snapshot publishing for live serving.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -65,6 +66,7 @@ pub mod engine;
 pub mod hashtable;
 pub mod node;
 pub mod policy;
+pub mod publish;
 pub mod runtime;
 pub mod scheduler;
 pub mod sync_shim;
@@ -72,6 +74,7 @@ pub mod window;
 
 pub use engine::CotsEngine;
 pub use policy::Policy;
+pub use publish::{SnapshotPublisher, StampedSnapshot};
 pub use runtime::{run, RuntimeOptions};
 pub use scheduler::{SchedulerHook, ThreadGate};
-pub use window::JumpingWindow;
+pub use window::{JumpingWindow, WindowSnapshot};

@@ -23,6 +23,32 @@ use cots_core::{CotsConfig, CotsError, Element, Result, Snapshot};
 
 use crate::engine::CotsEngine;
 
+/// A window snapshot stamped with the rotation count it was taken at, so
+/// clients polling the window can detect turnover between two reads.
+///
+/// Derefs to the underlying [`Snapshot`], so all query helpers
+/// (`get`, `entries`, `frequent`, `top_k`, …) work directly on it.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot<K: Element> {
+    /// The merged previous+current sub-window summary.
+    pub snapshot: Snapshot<K>,
+    /// Rotations completed when this snapshot was captured.
+    pub rotations: u64,
+    /// Whether the rotation count was unchanged across the capture — a
+    /// `stable` snapshot is guaranteed to merge one consistent engine pair;
+    /// an unstable one may straddle a rotation (still a valid summary of
+    /// recent traffic, just with a fuzzier cut).
+    pub stable: bool,
+}
+
+impl<K: Element> std::ops::Deref for WindowSnapshot<K> {
+    type Target = Snapshot<K>;
+
+    fn deref(&self) -> &Snapshot<K> {
+        &self.snapshot
+    }
+}
+
 /// A jumping window of (at most) `window` elements over a CoTS engine pair.
 ///
 /// # Example
@@ -118,18 +144,52 @@ impl<K: Element> JumpingWindow<K> {
         self.fill.store(0, Ordering::Release);
     }
 
+    /// Process a slice of elements into the window (rotating as sub-windows
+    /// fill). Convenience wrapper over [`process`](Self::process) for batch
+    /// ingest paths such as `cots-serve`.
+    pub fn process_slice(&self, items: &[K]) {
+        for item in items {
+            self.process(*item);
+        }
+    }
+
     /// Snapshot covering the window: the merge of the previous and current
-    /// sub-windows (between `W/2` and `W` most-recent elements).
+    /// sub-windows (between `W/2` and `W` most-recent elements), stamped
+    /// with the rotation count so clients can detect window turnover.
     ///
     /// Like every query in the suite this is best-effort while producers
     /// are running and exact at quiescence (after all `process` calls have
-    /// returned).
-    pub fn snapshot(&self) -> Snapshot<K> {
+    /// returned). The capture retries once if a rotation lands mid-merge;
+    /// if rotations are arriving faster than the merge completes it gives
+    /// up and marks the result `stable: false`.
+    pub fn snapshot(&self) -> WindowSnapshot<K> {
+        for _ in 0..2 {
+            let before = self.rotations.load(Ordering::Acquire);
+            let snapshot = self.capture();
+            let after = self.rotations.load(Ordering::Acquire);
+            if before == after {
+                return WindowSnapshot {
+                    snapshot,
+                    rotations: after,
+                    stable: true,
+                };
+            }
+        }
+        let rotations = self.rotations.load(Ordering::Acquire);
+        WindowSnapshot {
+            snapshot: self.capture(),
+            rotations,
+            stable: false,
+        }
+    }
+
+    /// Merge the active engine pair into one summary.
+    fn capture(&self) -> Snapshot<K> {
         let engines = self.engines.read();
         let (prev, cur) = (engines[0].clone(), engines[1].clone());
         drop(engines);
         // Apply any logged-but-unapplied requests so quiescent snapshots
-        // are exact. `finalize` is safe (and cheap) concurrently with
+        // are exact. `drain_pending` is safe (and cheap) concurrently with
         // producers; it simply drains whatever is queued at this moment.
         prev.drain_pending();
         cur.drain_pending();
@@ -202,6 +262,23 @@ mod tests {
         // After two forced rotations everything has aged out.
         assert_eq!(w.snapshot().entries().len(), 0);
         assert_eq!(w.processed(), 30);
+    }
+
+    #[test]
+    fn snapshot_carries_rotation_stamp() {
+        let w = window(16, 100);
+        let s0 = w.snapshot();
+        assert_eq!(s0.rotations, 0);
+        assert!(s0.stable);
+        w.process_slice(&[1u64; 120]);
+        let s1 = w.snapshot();
+        assert!(s1.rotations >= 2, "120 items over W=100 must rotate twice");
+        assert!(s1.stable, "no producers running: capture must be stable");
+        // A client comparing stamps detects the turnover.
+        assert_ne!(s0.rotations, s1.rotations);
+        // Deref gives full Snapshot access.
+        assert!(s1.get(&1).is_some());
+        assert_eq!(s1.rotations, w.rotations());
     }
 
     #[test]

@@ -72,6 +72,88 @@ pub fn load_stream(path: &Path) -> io::Result<Vec<u64>> {
         .collect())
 }
 
+/// Incremental reader over a `COTSSTRM` file: yields the stream in
+/// bounded chunks so replay tools (`cots-load`) can stream multi-gigabyte
+/// files over the wire without materializing them in memory.
+///
+/// Iterates `io::Result<Vec<u64>>`; every chunk except possibly the last
+/// has exactly `chunk_len` items. Truncated files surface an error on the
+/// chunk where the shortfall is discovered.
+pub struct StreamChunks {
+    reader: BufReader<File>,
+    remaining: u64,
+    chunk_len: usize,
+    failed: bool,
+}
+
+impl StreamChunks {
+    /// Open `path` and validate the header; items are yielded in chunks of
+    /// `chunk_len` (> 0).
+    pub fn open(path: &Path, chunk_len: usize) -> io::Result<Self> {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a CoTS stream file (bad magic)",
+            ));
+        }
+        let mut version = [0u8; 4];
+        reader.read_exact(&mut version)?;
+        let version = u32::from_le_bytes(version);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported stream file version {version}"),
+            ));
+        }
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count)?;
+        Ok(Self {
+            reader,
+            remaining: u64::from_le_bytes(count),
+            chunk_len,
+            failed: false,
+        })
+    }
+
+    /// Items not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Iterator for StreamChunks {
+    type Item = io::Result<Vec<u64>>;
+
+    fn next(&mut self) -> Option<io::Result<Vec<u64>>> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        let take = (self.remaining).min(self.chunk_len as u64) as usize;
+        let mut raw = vec![0u8; take * 8];
+        if let Err(e) = self.reader.read_exact(&mut raw) {
+            self.failed = true;
+            let e = if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("stream file truncated with {} items unread", self.remaining),
+                )
+            } else {
+                e
+            };
+            return Some(Err(e));
+        }
+        self.remaining -= take as u64;
+        Some(Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +202,42 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
         let err = load_stream(&path).unwrap_err();
         assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn chunked_reader_matches_bulk_load() {
+        let stream = StreamSpec::zipf(10_007, 300, 1.5, 11).generate();
+        let path = tmp("chunked.stream");
+        save_stream(&path, &stream).unwrap();
+        let mut chunks = StreamChunks::open(&path, 1_000).unwrap();
+        assert_eq!(chunks.remaining(), 10_007);
+        let mut rebuilt = Vec::new();
+        let mut sizes = Vec::new();
+        for chunk in &mut chunks {
+            let chunk = chunk.unwrap();
+            sizes.push(chunk.len());
+            rebuilt.extend_from_slice(&chunk);
+        }
+        assert_eq!(rebuilt, stream);
+        assert_eq!(sizes.len(), 11);
+        assert!(sizes[..10].iter().all(|&s| s == 1_000));
+        assert_eq!(sizes[10], 7);
+        assert_eq!(chunks.remaining(), 0);
+    }
+
+    #[test]
+    fn chunked_reader_surfaces_truncation() {
+        let stream: Vec<u64> = (0..100).collect();
+        let path = tmp("chunked_truncated.stream");
+        save_stream(&path, &stream).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        let mut chunks = StreamChunks::open(&path, 64).unwrap();
+        let first = chunks.next().unwrap().unwrap();
+        assert_eq!(first.len(), 64);
+        let err = chunks.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+        assert!(chunks.next().is_none(), "iterator fuses after failure");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod stream;
 pub mod truth;
 pub mod zipf;
 
+pub use io::StreamChunks;
 pub use stream::{Distribution, StreamSpec};
 pub use truth::{AccuracyReport, ExactCounter};
 pub use zipf::{AliasTable, Zipf};

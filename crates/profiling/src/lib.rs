@@ -16,6 +16,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod service;
+
+pub use service::{IngestTally, ShardTally};
+
 use std::time::{Duration, Instant};
 
 use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};

@@ -1,0 +1,71 @@
+//! `cots-serve` — the CoTS frequency-counting service.
+//!
+//! ```text
+//! cots-serve [--addr 127.0.0.1:4040] [--shards 4] [--capacity 1000]
+//!            [--window W] [--refresh-ms 20] [--queue-batches 64]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (scripts wait for this line),
+//! serves until a `SHUTDOWN` request arrives, drains, and exits 0.
+
+use std::time::Duration;
+
+use cots_serve::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cots-serve [--addr HOST:PORT] [--shards N] [--capacity M] \
+         [--window W] [--refresh-ms MS] [--queue-batches Q]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{raw}`");
+        usage();
+    })
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4040".to_string();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse("--addr", args.next()),
+            "--shards" => config.shards = parse("--shards", args.next()),
+            "--capacity" => config.capacity = parse("--capacity", args.next()),
+            "--window" => config.window = Some(parse("--window", args.next())),
+            "--refresh-ms" => {
+                config.refresh = Duration::from_millis(parse("--refresh-ms", args.next()))
+            }
+            "--queue-batches" => config.queue_batches = parse("--queue-batches", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if config.shards == 0 || config.capacity == 0 || config.queue_batches == 0 {
+        eprintln!("--shards, --capacity and --queue-batches must be positive");
+        usage();
+    }
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cots-serve: cannot start on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("cots-serve: {e}");
+        std::process::exit(1);
+    }
+}

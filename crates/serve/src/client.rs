@@ -1,0 +1,123 @@
+//! A blocking client for the framed protocol.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cots_core::{CotsError, CounterEntry, Result, ServiceReport};
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{decode, encode, QueryReq, QueryStamp, Request, Response};
+
+/// One connection to a `cots-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:4040`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Set the read timeout for responses (`None` blocks forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one request without waiting for its response (pipelining).
+    pub fn send(&mut self, request: &Request) -> Result<()> {
+        write_frame(&mut self.writer, &encode(request))?;
+        Ok(())
+    }
+
+    /// Receive the next response in FIFO order.
+    pub fn recv(&mut self) -> Result<Response> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => decode(&payload),
+            None => Err(CotsError::Protocol(
+                "connection closed mid-conversation".into(),
+            )),
+        }
+    }
+
+    /// Send a request and wait for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Ingest a batch, retrying with backoff while the server reports
+    /// `OVERLOADED`. Returns the number of retries taken.
+    pub fn ingest(&mut self, keys: &[u64]) -> Result<u64> {
+        let request = Request::Ingest {
+            keys: keys.to_vec(),
+        };
+        let mut retries = 0;
+        loop {
+            match self.call(&request)? {
+                Response::IngestAck { enqueued } => {
+                    if enqueued != keys.len() as u64 {
+                        return Err(CotsError::Protocol(format!(
+                            "acked {enqueued} of {} keys",
+                            keys.len()
+                        )));
+                    }
+                    return Ok(retries);
+                }
+                Response::Overloaded => {
+                    retries += 1;
+                    // Linear backoff capped at 5 ms.
+                    std::thread::sleep(Duration::from_micros((50 * retries).min(5_000)));
+                }
+                other => {
+                    return Err(CotsError::Protocol(format!(
+                        "unexpected ingest response: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Service statistics.
+    pub fn stats(&mut self) -> Result<ServiceReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(CotsError::Protocol(format!(
+                "unexpected stats response: {other:?}"
+            ))),
+        }
+    }
+
+    /// One query, unwrapped to `(entries, total, stamp)`.
+    pub fn query(&mut self, q: QueryReq) -> Result<(Vec<CounterEntry<u64>>, u64, QueryStamp)> {
+        match self.call(&Request::Query(q))? {
+            Response::Answer {
+                entries,
+                total,
+                stamp,
+            } => Ok((entries, total, stamp)),
+            Response::Error { message } => Err(CotsError::Protocol(message)),
+            other => Err(CotsError::Protocol(format!(
+                "unexpected query response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(CotsError::Protocol(format!(
+                "unexpected shutdown response: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Length-prefixed framing for the wire protocol.
+//!
+//! Every message on a connection — request or response — is one *frame*:
+//!
+//! ```text
+//! length  4 bytes   little-endian u32, byte length of the payload
+//! payload length bytes, UTF-8 JSON (see [`crate::protocol`])
+//! ```
+//!
+//! Frames are capped at [`MAX_FRAME`] bytes so a corrupt or hostile length
+//! prefix cannot make the server allocate unbounded memory. Decoding is
+//! total: truncated, oversized, or garbage input yields an error, never a
+//! panic, and the connection is closed in response.
+
+use std::io::{self, Read, Write};
+
+/// Maximum payload size in bytes (16 MiB). A 16 Ki-key ingest batch
+/// encodes to well under 400 KiB of JSON, so this leaves two orders of
+/// magnitude of headroom while still bounding per-connection memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the announced payload (streaming decoders
+    /// treat this as "wait for more bytes"; blocking readers as EOF).
+    Incomplete,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The payload is not valid UTF-8.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Incomplete => write!(f, "frame truncated"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode a payload into a self-contained frame.
+///
+/// Panics if the payload exceeds [`MAX_FRAME`]; callers produce payloads
+/// they sized themselves.
+pub fn encode_frame(payload: &str) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME, "payload exceeds MAX_FRAME");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Decode one frame from the front of `buf`.
+///
+/// Returns the payload and the number of bytes consumed. Errors are total:
+/// any byte sequence either decodes, reports [`FrameError::Incomplete`]
+/// (more bytes needed), or is rejected.
+pub fn decode_frame(buf: &[u8]) -> Result<(String, usize), FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Err(FrameError::Incomplete);
+    }
+    let payload = std::str::from_utf8(&buf[4..4 + len])
+        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?
+        .to_string();
+    Ok((payload, 4 + len))
+}
+
+/// Write one frame to a blocking stream.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            FrameError::TooLarge(payload.len()).to_string(),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// True for the error kinds a read timeout surfaces as (platform
+/// dependent: `WouldBlock` on Unix, `TimedOut` on Windows).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fill `buf` completely, retrying on read timeouts once the frame has
+/// started (a frame, once started, is finished). Returns how many bytes
+/// were read before a clean EOF or a permitted initial timeout.
+fn read_full(r: &mut impl Read, buf: &mut [u8], allow_initial_timeout: bool) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            // A timeout before the frame's first byte belongs to the
+            // caller (idle-poll); mid-frame we keep waiting so a slow
+            // sender cannot desynchronize the framing.
+            Err(e) if is_timeout(&e) && allow_initial_timeout && filled == 0 => return Err(e),
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Read one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on clean EOF (connection closed between frames);
+/// EOF mid-frame and protocol violations surface as `InvalidData` errors.
+/// A read timeout before the frame's first byte propagates as-is (check
+/// with [`is_timeout`]); a timeout mid-frame keeps waiting.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "closed between frames" from "closed mid-prefix".
+    let filled = read_full(r, &mut len_buf, true)?;
+    if filled == 0 {
+        return Ok(None);
+    }
+    if filled < 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::Incomplete.to_string(),
+        ));
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::TooLarge(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if read_full(r, &mut payload, false)? < len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::Incomplete.to_string(),
+        ));
+    }
+    let payload = String::from_utf8(payload).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::Malformed(format!("payload is not UTF-8: {e}")).to_string(),
+        )
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = encode_frame("{\"Stats\":null}");
+        let (payload, used) = decode_frame(&frame).unwrap();
+        assert_eq!(payload, "{\"Stats\":null}");
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let frame = encode_frame("");
+        let (payload, used) = decode_frame(&frame).unwrap();
+        assert_eq!(payload, "");
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn truncated_inputs_are_incomplete() {
+        let frame = encode_frame("hello");
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_frame(&frame[..cut]).unwrap_err(),
+                FrameError::Incomplete,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(b"junk");
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            FrameError::TooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_malformed() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&2u32.to_le_bytes());
+        frame.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn stream_round_trip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "one").unwrap();
+        write_frame(&mut buf, "two").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("one"));
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("two"));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn stream_eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # cots-serve
+//!
+//! A network-facing streaming ingest + live-query service over the CoTS
+//! engine: the deployment shape the paper's line-rate argument is about.
+//! Clients stream batched keys over TCP and ask `frequent(φ)` / top-k /
+//! point-frequency questions of the live summary without ever stopping
+//! ingestion.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! client ──frames──▶ connection thread ──SPSC rings──▶ shard workers
+//!                        │    ▲                            │
+//!                      QUERY  │ answer               delegate_batch
+//!                        ▼    │                            ▼
+//!                   SnapshotPublisher ◀──capture──── CotsEngine / JumpingWindow
+//! ```
+//!
+//! * **Wire protocol** ([`frame`], [`protocol`]): length-prefixed frames
+//!   carrying externally-tagged JSON (`cots_core::json`): `INGEST`,
+//!   `QUERY`, `STATS`, `SNAPSHOT`, `SHUTDOWN`.
+//! * **Sharded ingest** ([`spsc`], [`shard`]): per-(connection, shard)
+//!   bounded SPSC rings feed workers that call
+//!   `CotsEngine::delegate_batch`; full rings answer `OVERLOADED`
+//!   (backpressure) instead of buffering unboundedly, and shutdown drains
+//!   every ring before the engine finalizes.
+//! * **Live queries** ([`service`], `cots::publish`): an epoch-stamped
+//!   snapshot publisher refreshes a consistent [`cots_core::Snapshot`]
+//!   off the hot path; every answer reports its epoch and staleness
+//!   bound.
+//! * **Binaries**: `cots-serve` (the server) and `cots-load` (replay a
+//!   `datagen` Zipf stream over the wire and check answers against exact
+//!   ground truth).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod shard;
+pub mod spsc;
+
+pub use client::Client;
+pub use frame::{FrameError, MAX_FRAME};
+pub use loadgen::{LoadConfig, LoadReport};
+pub use protocol::{QueryReq, QueryStamp, Request, Response};
+pub use server::Server;
+pub use service::{Service, ServiceConfig};
+pub use shard::{Backend, SendOutcome, ShardPool, ShardSender};

@@ -1,0 +1,331 @@
+//! The load generator behind `cots-load` and the service benchmark:
+//! replays a deterministic Zipf stream over the wire, optionally fires
+//! concurrent queries, and checks answers against exact ground truth.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cots_core::json::{FromJson, Json, JsonResult, ToJson};
+use cots_core::{CotsError, Result, Threshold};
+use cots_datagen::{ExactCounter, StreamSpec};
+
+use crate::client::Client;
+use crate::protocol::QueryReq;
+
+/// What to replay and how hard.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:4040`.
+    pub addr: String,
+    /// Stream length.
+    pub items: u64,
+    /// Distinct-key alphabet size.
+    pub alphabet: usize,
+    /// Zipf skew.
+    pub alpha: f64,
+    /// Stream seed (byte-for-byte reproducible).
+    pub seed: u64,
+    /// Keys per `INGEST` frame.
+    pub batch: usize,
+    /// Parallel ingest connections.
+    pub connections: usize,
+    /// Background `frequent(phi)` queries per second (0 = none).
+    pub qps: u64,
+    /// Support fraction for queries and `--check`.
+    pub phi: f64,
+    /// Verify answers against exact ground truth after quiescence.
+    pub check: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4040".into(),
+            items: 1_000_000,
+            alphabet: 100_000,
+            alpha: 1.5,
+            seed: 42,
+            batch: 8_192,
+            connections: 2,
+            qps: 0,
+            phi: 0.01,
+            check: false,
+        }
+    }
+}
+
+/// Result of the answer check against exact truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// Support fraction checked.
+    pub phi: f64,
+    /// Resolved count threshold (`ceil(phi × items)`).
+    pub threshold: u64,
+    /// Keys whose true count meets the threshold.
+    pub truly_frequent: usize,
+    /// Entries the server reported for `frequent(phi)`.
+    pub reported: usize,
+    /// Truly frequent keys missing from the answer (must be 0: Space
+    /// Saving guarantees recall 1.0 at quiescence).
+    pub missed: usize,
+    /// Reported entries violating `count ≥ true ≥ count − error`.
+    pub bound_violations: usize,
+    /// All of the above held.
+    pub passed: bool,
+}
+
+/// Everything one load run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Items streamed.
+    pub items: u64,
+    /// Wall-clock seconds from first frame to all items applied.
+    pub elapsed_secs: f64,
+    /// Million items per second over the wire path.
+    pub meps: f64,
+    /// `OVERLOADED` responses absorbed by retry (backpressure working).
+    pub overload_retries: u64,
+    /// Background queries answered during ingest.
+    pub queries_issued: u64,
+    /// Answer verification, when requested.
+    pub check: Option<CheckReport>,
+}
+
+impl ToJson for CheckReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("phi", self.phi.to_json()),
+            ("threshold", self.threshold.to_json()),
+            ("truly_frequent", self.truly_frequent.to_json()),
+            ("reported", self.reported.to_json()),
+            ("missed", self.missed.to_json()),
+            ("bound_violations", self.bound_violations.to_json()),
+            ("passed", self.passed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CheckReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            phi: f64::from_json(v.field("phi")?)?,
+            threshold: u64::from_json(v.field("threshold")?)?,
+            truly_frequent: usize::from_json(v.field("truly_frequent")?)?,
+            reported: usize::from_json(v.field("reported")?)?,
+            missed: usize::from_json(v.field("missed")?)?,
+            bound_violations: usize::from_json(v.field("bound_violations")?)?,
+            passed: bool::from_json(v.field("passed")?)?,
+        })
+    }
+}
+
+impl ToJson for LoadReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("items", self.items.to_json()),
+            ("elapsed_secs", self.elapsed_secs.to_json()),
+            ("meps", self.meps.to_json()),
+            ("overload_retries", self.overload_retries.to_json()),
+            ("queries_issued", self.queries_issued.to_json()),
+            ("check", self.check.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LoadReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            items: u64::from_json(v.field("items")?)?,
+            elapsed_secs: f64::from_json(v.field("elapsed_secs")?)?,
+            meps: f64::from_json(v.field("meps")?)?,
+            overload_retries: u64::from_json(v.field("overload_retries")?)?,
+            queries_issued: u64::from_json(v.field("queries_issued")?)?,
+            check: Option::<CheckReport>::from_json(v.field("check")?)?,
+        })
+    }
+}
+
+/// Replay the configured stream against the server and report.
+///
+/// Drives `connections` parallel ingest connections over disjoint slices
+/// of the same deterministic stream, plus (with `qps > 0`) one query
+/// connection firing `frequent(phi)` at the requested rate. Returns once
+/// every item is *applied* (not merely acked) and, if `check` is set,
+/// after verifying the frequent-set answer against exact truth.
+pub fn run(config: &LoadConfig) -> Result<LoadReport> {
+    if config.items == 0 || config.batch == 0 || config.connections == 0 {
+        return Err(CotsError::InvalidRun(
+            "items, batch and connections must be positive".into(),
+        ));
+    }
+    let stream = StreamSpec::zipf(
+        config.items as usize,
+        config.alphabet,
+        config.alpha,
+        config.seed,
+    )
+    .generate();
+
+    let start = Instant::now();
+    let ingest_done = Arc::new(AtomicBool::new(false));
+    let retries = AtomicU64::new(0);
+    let queries = AtomicU64::new(0);
+
+    std::thread::scope(|s| -> Result<()> {
+        let mut handles = Vec::new();
+        let per = stream.len().div_ceil(config.connections);
+        for slice in stream.chunks(per.max(1)) {
+            let retries = &retries;
+            handles.push(s.spawn(move || -> Result<()> {
+                let mut client = Client::connect(&config.addr)?;
+                for batch in slice.chunks(config.batch) {
+                    let r = client.ingest(batch)?;
+                    retries.fetch_add(r, Ordering::Relaxed);
+                }
+                Ok(())
+            }));
+        }
+        let query_handle = (config.qps > 0).then(|| {
+            let ingest_done = ingest_done.clone();
+            let queries = &queries;
+            let gap = Duration::from_nanos(1_000_000_000 / config.qps);
+            s.spawn(move || -> Result<()> {
+                let mut client = Client::connect(&config.addr)?;
+                while !ingest_done.load(Ordering::Acquire) {
+                    client.query(QueryReq::Frequent { phi: config.phi })?;
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(gap);
+                }
+                Ok(())
+            })
+        });
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.join().expect("ingest thread panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+        ingest_done.store(true, Ordering::Release);
+        if let Some(h) = query_handle {
+            if let Err(e) = h.join().expect("query thread panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+
+    // Acks mean "enqueued"; wait until the shard workers applied
+    // everything and the publisher has seen the quiescent state.
+    let mut client = Client::connect(&config.addr)?;
+    await_quiescence(&mut client, config.items)?;
+    let elapsed = start.elapsed();
+
+    let check = if config.check {
+        Some(check_answers(&mut client, config, &stream)?)
+    } else {
+        None
+    };
+
+    let elapsed_secs = elapsed.as_secs_f64();
+    Ok(LoadReport {
+        items: config.items,
+        elapsed_secs,
+        meps: config.items as f64 / elapsed_secs.max(1e-9) / 1e6,
+        overload_retries: retries.into_inner(),
+        queries_issued: queries.into_inner(),
+        check,
+    })
+}
+
+/// Poll STATS until `items` are applied and the published snapshot has
+/// zero staleness.
+pub fn await_quiescence(client: &mut Client, items: u64) -> Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = client.stats()?;
+        if stats.applied_keys() >= items && stats.staleness == 0 {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(CotsError::Protocol(format!(
+                "server did not quiesce: {} of {items} applied, staleness {}",
+                stats.applied_keys(),
+                stats.staleness
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Verify the server's `frequent(phi)` answer against exact truth: full
+/// recall of the truly frequent set and the Space Saving bound
+/// `count ≥ true ≥ count − error` for every reported entry.
+fn check_answers(client: &mut Client, config: &LoadConfig, stream: &[u64]) -> Result<CheckReport> {
+    let truth = ExactCounter::from_stream(stream);
+    let threshold = Threshold::Fraction(config.phi).resolve(config.items);
+    let truly: Vec<(u64, u64)> = truth.frequent(Threshold::Count(threshold));
+
+    let (entries, total, stamp) = client.query(QueryReq::Frequent { phi: config.phi })?;
+    if total != config.items || stamp.staleness != 0 {
+        return Err(CotsError::Protocol(format!(
+            "check ran against a stale snapshot: total {total}, staleness {}",
+            stamp.staleness
+        )));
+    }
+    let missed = truly
+        .iter()
+        .filter(|(k, _)| !entries.iter().any(|e| e.item == *k))
+        .count();
+    let bound_violations = entries
+        .iter()
+        .filter(|e| {
+            let t = truth.count(&e.item);
+            !(e.count >= t && e.count - e.error <= t)
+        })
+        .count();
+    Ok(CheckReport {
+        phi: config.phi,
+        threshold,
+        truly_frequent: truly.len(),
+        reported: entries.len(),
+        missed,
+        bound_violations,
+        passed: missed == 0 && bound_violations == 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_round_trip_json() {
+        let r = LoadReport {
+            items: 10,
+            elapsed_secs: 0.5,
+            meps: 0.02,
+            overload_retries: 3,
+            queries_issued: 8,
+            check: Some(CheckReport {
+                phi: 0.01,
+                threshold: 1,
+                truly_frequent: 4,
+                reported: 5,
+                missed: 0,
+                bound_violations: 0,
+                passed: true,
+            }),
+        };
+        let back: LoadReport =
+            cots_core::json::from_str(&cots_core::json::to_string(&r)).unwrap();
+        assert_eq!(back, r);
+        let none = LoadReport { check: None, ..r };
+        let back: LoadReport =
+            cots_core::json::from_str(&cots_core::json::to_string(&none)).unwrap();
+        assert_eq!(back.check, None);
+    }
+}

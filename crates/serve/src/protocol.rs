@@ -1,0 +1,336 @@
+//! The request/response vocabulary of the wire protocol.
+//!
+//! Payloads are externally-tagged JSON, following the convention of
+//! `cots_core::json`: a unit variant serializes as its bare name
+//! (`"Stats"`), a data variant as a one-entry object
+//! (`{"Ingest": {"keys": [1, 2]}}`). Every query answer carries a
+//! [`QueryStamp`] so the client knows which published snapshot epoch it
+//! was served from and how many items the backend had applied beyond it.
+
+use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};
+use cots_core::{CotsError, CounterEntry, ServiceReport, Snapshot};
+
+/// Decompose an externally-tagged enum value: `"Variant"` or
+/// `{"Variant": payload}`.
+fn variant(v: &Json) -> JsonResult<(&str, Option<&Json>)> {
+    match v {
+        Json::Str(name) => Ok((name, None)),
+        Json::Obj(members) if members.len() == 1 => {
+            Ok((members[0].0.as_str(), Some(&members[0].1)))
+        }
+        _ => Err(JsonError("expected an enum variant".into())),
+    }
+}
+
+fn tagged(name: &str, payload: Json) -> Json {
+    Json::Obj(vec![(name.to_string(), payload)])
+}
+
+/// A query against the live summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryReq {
+    /// Estimated frequency of one key.
+    Point {
+        /// The key to look up.
+        key: u64,
+    },
+    /// All keys with estimated frequency ≥ `phi` × total (Query 1/3 of
+    /// the paper, as a set).
+    Frequent {
+        /// Support fraction in (0, 1).
+        phi: f64,
+    },
+    /// The `k` heaviest keys.
+    TopK {
+        /// How many entries to return.
+        k: usize,
+    },
+}
+
+/// One client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Feed a batch of keys into the stream.
+    Ingest {
+        /// The keys, in stream order.
+        keys: Vec<u64>,
+    },
+    /// Ask a question of the published snapshot.
+    Query(QueryReq),
+    /// Service statistics (ingest/query counters, staleness, shards).
+    Stats,
+    /// The full published snapshot.
+    Snapshot,
+    /// Begin graceful shutdown: stop accepting, drain queues, exit.
+    Shutdown,
+}
+
+/// Provenance stamp on every answer: which snapshot it came from and how
+/// stale that snapshot was at answer time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStamp {
+    /// Publisher epoch of the snapshot the answer was computed from.
+    pub epoch: u64,
+    /// Backend items applied when the snapshot was captured.
+    pub captured_total: u64,
+    /// Items applied after capture (staleness bound: the answer may miss
+    /// at most this many most-recent items).
+    pub staleness: u64,
+    /// Window rotation count at capture (`None` on the unwindowed path).
+    pub rotations: Option<u64>,
+}
+
+/// One server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The ingest batch was accepted into the shard queues (not yet
+    /// necessarily applied; see `Stats` for applied counts).
+    IngestAck {
+        /// Keys enqueued.
+        enqueued: u64,
+    },
+    /// The shard queues are full; the client should back off and resend.
+    Overloaded,
+    /// Entries answering a [`QueryReq`], heaviest first.
+    Answer {
+        /// Matching entries (singleton or empty for `Point`).
+        entries: Vec<CounterEntry<u64>>,
+        /// Stream total the answer was computed against.
+        total: u64,
+        /// Snapshot provenance.
+        stamp: QueryStamp,
+    },
+    /// Service statistics.
+    Stats(ServiceReport),
+    /// The full published snapshot.
+    Snapshot {
+        /// The summary view.
+        snapshot: Snapshot<u64>,
+        /// Snapshot provenance.
+        stamp: QueryStamp,
+    },
+    /// Graceful shutdown has begun.
+    ShuttingDown,
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl ToJson for QueryReq {
+    fn to_json(&self) -> Json {
+        match self {
+            QueryReq::Point { key } => {
+                tagged("Point", Json::obj(vec![("key", key.to_json())]))
+            }
+            QueryReq::Frequent { phi } => {
+                tagged("Frequent", Json::obj(vec![("phi", phi.to_json())]))
+            }
+            QueryReq::TopK { k } => tagged("TopK", Json::obj(vec![("k", k.to_json())])),
+        }
+    }
+}
+
+impl FromJson for QueryReq {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        match variant(v)? {
+            ("Point", Some(p)) => Ok(QueryReq::Point {
+                key: u64::from_json(p.field("key")?)?,
+            }),
+            ("Frequent", Some(p)) => Ok(QueryReq::Frequent {
+                phi: f64::from_json(p.field("phi")?)?,
+            }),
+            ("TopK", Some(p)) => Ok(QueryReq::TopK {
+                k: usize::from_json(p.field("k")?)?,
+            }),
+            (name, _) => Err(JsonError(format!("unknown QueryReq variant `{name}`"))),
+        }
+    }
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Ingest { keys } => {
+                tagged("Ingest", Json::obj(vec![("keys", keys.to_json())]))
+            }
+            Request::Query(q) => tagged("Query", q.to_json()),
+            Request::Stats => Json::Str("Stats".into()),
+            Request::Snapshot => Json::Str("Snapshot".into()),
+            Request::Shutdown => Json::Str("Shutdown".into()),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        match variant(v)? {
+            ("Ingest", Some(p)) => Ok(Request::Ingest {
+                keys: Vec::<u64>::from_json(p.field("keys")?)?,
+            }),
+            ("Query", Some(p)) => Ok(Request::Query(QueryReq::from_json(p)?)),
+            ("Stats", None) => Ok(Request::Stats),
+            ("Snapshot", None) => Ok(Request::Snapshot),
+            ("Shutdown", None) => Ok(Request::Shutdown),
+            (name, _) => Err(JsonError(format!("unknown Request variant `{name}`"))),
+        }
+    }
+}
+
+impl ToJson for QueryStamp {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("epoch", self.epoch.to_json()),
+            ("captured_total", self.captured_total.to_json()),
+            ("staleness", self.staleness.to_json()),
+            ("rotations", self.rotations.to_json()),
+        ])
+    }
+}
+
+impl FromJson for QueryStamp {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            epoch: u64::from_json(v.field("epoch")?)?,
+            captured_total: u64::from_json(v.field("captured_total")?)?,
+            staleness: u64::from_json(v.field("staleness")?)?,
+            rotations: Option::<u64>::from_json(v.field("rotations")?)?,
+        })
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::IngestAck { enqueued } => {
+                tagged("IngestAck", Json::obj(vec![("enqueued", enqueued.to_json())]))
+            }
+            Response::Overloaded => Json::Str("Overloaded".into()),
+            Response::Answer {
+                entries,
+                total,
+                stamp,
+            } => tagged(
+                "Answer",
+                Json::obj(vec![
+                    ("entries", entries.to_json()),
+                    ("total", total.to_json()),
+                    ("stamp", stamp.to_json()),
+                ]),
+            ),
+            Response::Stats(report) => tagged("Stats", report.to_json()),
+            Response::Snapshot { snapshot, stamp } => tagged(
+                "Snapshot",
+                Json::obj(vec![
+                    ("snapshot", snapshot.to_json()),
+                    ("stamp", stamp.to_json()),
+                ]),
+            ),
+            Response::ShuttingDown => Json::Str("ShuttingDown".into()),
+            Response::Error { message } => {
+                tagged("Error", Json::obj(vec![("message", message.to_json())]))
+            }
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        match variant(v)? {
+            ("IngestAck", Some(p)) => Ok(Response::IngestAck {
+                enqueued: u64::from_json(p.field("enqueued")?)?,
+            }),
+            ("Overloaded", None) => Ok(Response::Overloaded),
+            ("Answer", Some(p)) => Ok(Response::Answer {
+                entries: Vec::<CounterEntry<u64>>::from_json(p.field("entries")?)?,
+                total: u64::from_json(p.field("total")?)?,
+                stamp: QueryStamp::from_json(p.field("stamp")?)?,
+            }),
+            ("Stats", Some(p)) => Ok(Response::Stats(ServiceReport::from_json(p)?)),
+            ("Snapshot", Some(p)) => Ok(Response::Snapshot {
+                snapshot: Snapshot::<u64>::from_json(p.field("snapshot")?)?,
+                stamp: QueryStamp::from_json(p.field("stamp")?)?,
+            }),
+            ("ShuttingDown", None) => Ok(Response::ShuttingDown),
+            ("Error", Some(p)) => Ok(Response::Error {
+                message: String::from_json(p.field("message")?)?,
+            }),
+            (name, _) => Err(JsonError(format!("unknown Response variant `{name}`"))),
+        }
+    }
+}
+
+/// Encode a message for the wire.
+pub fn encode<T: ToJson>(msg: &T) -> String {
+    cots_core::json::to_string(msg)
+}
+
+/// Decode a message from a frame payload, mapping parse failures into
+/// [`CotsError::Protocol`].
+pub fn decode<T: FromJson>(payload: &str) -> Result<T, CotsError> {
+    cots_core::json::from_str(payload).map_err(|e| CotsError::Protocol(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(r: Request) {
+        let back: Request = decode(&encode(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    fn round_trip_response(r: Response) {
+        let back: Response = decode(&encode(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ingest {
+            keys: vec![1, 2, 3, u64::MAX],
+        });
+        round_trip_request(Request::Ingest { keys: vec![] });
+        round_trip_request(Request::Query(QueryReq::Point { key: 9 }));
+        round_trip_request(Request::Query(QueryReq::Frequent { phi: 0.01 }));
+        round_trip_request(Request::Query(QueryReq::TopK { k: 25 }));
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Snapshot);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let stamp = QueryStamp {
+            epoch: 3,
+            captured_total: 100,
+            staleness: 7,
+            rotations: Some(2),
+        };
+        round_trip_response(Response::IngestAck { enqueued: 4096 });
+        round_trip_response(Response::Overloaded);
+        round_trip_response(Response::Answer {
+            entries: vec![CounterEntry::new(5u64, 10, 1)],
+            total: 100,
+            stamp,
+        });
+        round_trip_response(Response::Stats(ServiceReport::default()));
+        round_trip_response(Response::Snapshot {
+            snapshot: Snapshot::new(vec![CounterEntry::new(1u64, 2, 0)], 2),
+            stamp: QueryStamp::default(),
+        });
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Error {
+            message: "no".into(),
+        });
+    }
+
+    #[test]
+    fn garbage_decodes_to_protocol_error() {
+        for garbage in ["", "{", "42", "\"NoSuchVariant\"", "{\"Ingest\":{}}"] {
+            let err = decode::<Request>(garbage).unwrap_err();
+            assert!(matches!(err, CotsError::Protocol(_)), "input: {garbage}");
+        }
+    }
+}

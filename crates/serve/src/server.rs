@@ -1,0 +1,139 @@
+//! The TCP front-end: accept loop and per-connection threads.
+//!
+//! Connections speak the framed protocol of [`crate::frame`] /
+//! [`crate::protocol`]. Each connection thread decodes requests, hands
+//! them to the shared [`Service`], and writes the response back; ingest
+//! batches flow into the connection's own SPSC rings, so connection
+//! threads never contend with each other on the ingest path.
+//!
+//! Shutdown: a `SHUTDOWN` request flips the service flag. The acceptor
+//! (polling with a short timeout) stops accepting; connection threads
+//! notice the flag at their next read timeout, close, and thereby close
+//! their rings; shard workers drain and exit; the server returns.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::frame::{is_timeout, read_frame, write_frame};
+use crate::protocol::{decode, encode, Request, Response};
+use crate::service::{Service, ServiceConfig};
+
+/// How long a connection read blocks before re-checking the shutdown
+/// flag, and how long the acceptor sleeps between polls.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A bound server, ready to run.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the service behind it.
+    pub fn bind(addr: &str, config: ServiceConfig) -> io::Result<Self> {
+        let service = Service::start(config)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            service: Arc::new(service),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle to the service, e.g. for in-process inspection in tests.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Accept and serve until a `SHUTDOWN` request arrives, then drain
+    /// and return. Consumes the server.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut connections = Vec::new();
+        while !self.service.shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = self.service.clone();
+                    connections.push(
+                        std::thread::Builder::new()
+                            .name("cots-conn".into())
+                            .spawn(move || serve_connection(stream, &service))?,
+                    );
+                }
+                Err(e) if is_timeout(&e) => std::thread::sleep(POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(self.listener);
+        for c in connections {
+            let _ = c.join();
+        }
+        // All connection threads (and their rings) are gone; drain the
+        // shard workers and quiesce.
+        match Arc::try_unwrap(self.service) {
+            Ok(service) => service.drain(),
+            Err(service) => {
+                // A caller still holds a handle; drain via the flag only.
+                service.begin_shutdown();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection until EOF, a protocol violation, or shutdown.
+fn serve_connection(stream: TcpStream, service: &Service) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => io::BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = io::BufWriter::new(stream);
+    let mut sender = service.connect();
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(e) if is_timeout(&e) => {
+                if service.shutdown_requested() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => {
+                // Framing violation: answer if the socket still works,
+                // then drop the connection (resync is impossible).
+                let resp = Response::Error {
+                    message: "malformed frame".into(),
+                };
+                let _ = write_frame(&mut writer, &encode(&resp));
+                return;
+            }
+        };
+        let response = match decode::<Request>(&payload) {
+            Ok(request) => service.handle(request, &mut sender),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        if write_frame(&mut writer, &encode(&response)).is_err() {
+            return;
+        }
+        if matches!(response, Response::ShuttingDown) {
+            return;
+        }
+    }
+}

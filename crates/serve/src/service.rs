@@ -1,0 +1,376 @@
+//! The service: one backend, one shard pool, one snapshot publisher, and
+//! the request → response logic shared by the TCP server and in-process
+//! tests.
+//!
+//! Queries never touch the counting structures: they are answered from
+//! the most recently *published* snapshot, so a query burst cannot block
+//! ingestion (and vice versa — the publisher thread is the only reader
+//! doing capture work). Every answer carries the snapshot's epoch and a
+//! staleness bound: the number of items applied since that snapshot was
+//! captured.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cots::{CotsEngine, JumpingWindow, SnapshotPublisher};
+use cots_core::{CotsConfig, CotsError, Result, ServiceReport, Threshold};
+use cots_profiling::IngestTally;
+
+use crate::protocol::{QueryReq, QueryStamp, Request, Response};
+use crate::shard::{Backend, SendOutcome, ShardPool, ShardSender};
+
+/// Service deployment knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Shard worker threads.
+    pub shards: usize,
+    /// Counter budget of the summary (`m`).
+    pub capacity: usize,
+    /// `Some(w)` serves a jumping window of `w` elements instead of the
+    /// full history.
+    pub window: Option<u64>,
+    /// Snapshot publish cadence.
+    pub refresh: Duration,
+    /// Ring capacity per (connection, shard), in batches.
+    pub queue_batches: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            capacity: 1_000,
+            window: None,
+            refresh: Duration::from_millis(20),
+            queue_batches: 64,
+        }
+    }
+}
+
+/// A running service instance (workers + publisher thread).
+pub struct Service {
+    backend: Backend,
+    pool: Arc<ShardPool>,
+    publisher: Arc<SnapshotPublisher<u64>>,
+    tally: Arc<IngestTally>,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Build the backend, spawn shard workers and the publisher thread.
+    pub fn start(config: ServiceConfig) -> Result<Self> {
+        let engine_config = CotsConfig::for_capacity(config.capacity)?;
+        let backend = match config.window {
+            None => Backend::Engine(Arc::new(CotsEngine::new(engine_config)?)),
+            Some(w) => Backend::Window(Arc::new(JumpingWindow::new(engine_config, w)?)),
+        };
+        let pool = ShardPool::new(config.shards, config.queue_batches);
+        let workers = pool.spawn_workers(&backend);
+        let publisher = Arc::new(SnapshotPublisher::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let refresher = {
+            let backend = backend.clone();
+            let publisher = publisher.clone();
+            let shutdown = shutdown.clone();
+            let refresh = config.refresh;
+            std::thread::Builder::new()
+                .name("cots-publisher".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        let (snapshot, total, rotations) = backend.capture();
+                        publisher.publish(snapshot, total, rotations);
+                        std::thread::sleep(refresh);
+                    }
+                    // One final publish so post-drain queries see the
+                    // quiescent state with zero staleness.
+                    let (snapshot, total, rotations) = backend.capture();
+                    publisher.publish(snapshot, total, rotations);
+                })
+                .map_err(|e| CotsError::Report(format!("spawn publisher: {e}")))?
+        };
+        Ok(Self {
+            backend,
+            pool,
+            publisher,
+            tally: Arc::new(IngestTally::new()),
+            shutdown,
+            workers,
+            refresher: Some(refresher),
+        })
+    }
+
+    /// Register a new connection with the shard pool.
+    pub fn connect(&self) -> ShardSender {
+        self.pool.connect()
+    }
+
+    /// Whether graceful shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Request graceful shutdown (idempotent). Connections observe it via
+    /// [`Service::shutdown_requested`] and close; closing their rings
+    /// lets the (also signalled) shard workers drain and exit.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.pool.begin_shutdown();
+    }
+
+    /// Handle one request on behalf of a connection.
+    pub fn handle(&self, request: Request, sender: &mut ShardSender) -> Response {
+        match request {
+            Request::Ingest { keys } => match sender.send(&keys) {
+                SendOutcome::Enqueued => {
+                    self.tally.ingest(keys.len() as u64);
+                    Response::IngestAck {
+                        enqueued: keys.len() as u64,
+                    }
+                }
+                SendOutcome::Overloaded => {
+                    self.tally.reject();
+                    Response::Overloaded
+                }
+            },
+            Request::Query(q) => {
+                self.tally.query();
+                self.answer(q)
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Snapshot => {
+                let (snap, stamp) = self.published();
+                Response::Snapshot {
+                    snapshot: snap.snapshot.clone(),
+                    stamp,
+                }
+            }
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// Answer a query from the published snapshot.
+    fn answer(&self, q: QueryReq) -> Response {
+        let (snap, stamp) = self.published();
+        let entries = match q {
+            QueryReq::Point { key } => snap.get(&key).into_iter().copied().collect(),
+            QueryReq::Frequent { phi } => {
+                if !(phi > 0.0 && phi < 1.0) {
+                    return Response::Error {
+                        message: format!("phi must be in (0, 1), got {phi}"),
+                    };
+                }
+                snap.frequent(Threshold::Fraction(phi))
+            }
+            QueryReq::TopK { k } => snap.top_k(k),
+        };
+        Response::Answer {
+            entries,
+            total: snap.total(),
+            stamp,
+        }
+    }
+
+    /// The current published snapshot plus its provenance stamp.
+    fn published(&self) -> (Arc<cots::StampedSnapshot<u64>>, QueryStamp) {
+        let snap = self.publisher.current();
+        let stamp = QueryStamp {
+            epoch: snap.epoch,
+            captured_total: snap.captured_total,
+            staleness: self.backend.processed().saturating_sub(snap.captured_total),
+            rotations: snap.rotations,
+        };
+        (snap, stamp)
+    }
+
+    /// Current service statistics.
+    pub fn stats(&self) -> ServiceReport {
+        let snap = self.publisher.current();
+        let staleness = self.backend.processed().saturating_sub(snap.captured_total);
+        self.tally.report(
+            &self.pool.tallies,
+            snap.epoch,
+            staleness,
+            self.backend.monitored(),
+        )
+    }
+
+    /// Drain and stop: signal shutdown, wait for shard workers (all
+    /// connections must already be closed for their rings to close),
+    /// quiesce the backend, and publish a final exact snapshot.
+    ///
+    /// Call after every [`ShardSender`] for this service has been
+    /// dropped; workers wait for live rings to close before exiting.
+    pub fn drain(mut self) {
+        self.begin_shutdown();
+        self.pool.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(r) = self.refresher.take() {
+            let _ = r.join();
+        }
+        self.backend.finalize();
+        let (snapshot, total, rotations) = self.backend.capture();
+        self.publisher.publish(snapshot, total, rotations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(service: &Service, sender: &mut ShardSender, keys: &[u64], batch: usize) {
+        let mut sent = 0;
+        while sent < keys.len() {
+            let end = (sent + batch).min(keys.len());
+            match service.handle(
+                Request::Ingest {
+                    keys: keys[sent..end].to_vec(),
+                },
+                sender,
+            ) {
+                Response::IngestAck { enqueued } => {
+                    assert_eq!(enqueued as usize, end - sent);
+                    sent = end;
+                }
+                Response::Overloaded => std::thread::yield_now(),
+                other => panic!("unexpected ingest response: {other:?}"),
+            }
+        }
+    }
+
+    fn await_applied(service: &Service, n: u64) {
+        for _ in 0..10_000 {
+            let stats = service.stats();
+            if stats.applied_keys() == n && stats.staleness == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("service did not quiesce at {n} applied keys");
+    }
+
+    #[test]
+    fn ingest_then_query_round_trip() {
+        let service = Service::start(ServiceConfig {
+            shards: 2,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i % 40).collect();
+        drive(&service, &mut sender, &keys, 512);
+        await_applied(&service, 20_000);
+
+        match service.handle(Request::Query(QueryReq::Point { key: 7 }), &mut sender) {
+            Response::Answer {
+                entries,
+                total,
+                stamp,
+            } => {
+                assert_eq!(total, 20_000);
+                assert_eq!(stamp.staleness, 0);
+                assert!(stamp.epoch > 0);
+                let e = &entries[0];
+                // 20_000 / 40 occurrences of each key; Space Saving
+                // guarantee at quiescence with capacity > distinct keys.
+                assert_eq!(e.count - e.error, 500);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        match service.handle(
+            Request::Query(QueryReq::Frequent { phi: 0.02 }),
+            &mut sender,
+        ) {
+            Response::Answer { entries, .. } => {
+                assert_eq!(entries.len(), 40, "all keys hold exactly 2.5% mass");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        match service.handle(Request::Query(QueryReq::TopK { k: 5 }), &mut sender) {
+            Response::Answer { entries, .. } => assert_eq!(entries.len(), 5),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        match service.handle(Request::Stats, &mut sender) {
+            Response::Stats(report) => {
+                assert_eq!(report.ingested_keys, 20_000);
+                assert_eq!(report.applied_keys(), 20_000);
+                assert_eq!(report.queries, 3);
+                assert_eq!(report.shards.len(), 2);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        match service.handle(Request::Shutdown, &mut sender) {
+            Response::ShuttingDown => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(service.shutdown_requested());
+        drop(sender);
+        service.drain();
+    }
+
+    #[test]
+    fn invalid_phi_is_an_error_response() {
+        let service = Service::start(ServiceConfig::default()).unwrap();
+        let mut sender = service.connect();
+        for phi in [0.0, 1.0, -0.5, f64::NAN] {
+            match service.handle(Request::Query(QueryReq::Frequent { phi }), &mut sender) {
+                Response::Error { .. } => {}
+                other => panic!("phi={phi} should error, got {other:?}"),
+            }
+        }
+        drop(sender);
+        service.drain();
+    }
+
+    #[test]
+    fn window_service_reports_rotations() {
+        let service = Service::start(ServiceConfig {
+            shards: 2,
+            capacity: 64,
+            window: Some(1_000),
+            refresh: Duration::from_millis(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i % 10).collect();
+        drive(&service, &mut sender, &keys, 256);
+        // Wait for full application (window applied counts live in the
+        // shard tallies, not the window total, which also counts them).
+        for _ in 0..10_000 {
+            if service.stats().applied_keys() == 5_000 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Let the publisher observe the quiescent window.
+        std::thread::sleep(Duration::from_millis(10));
+        match service.handle(Request::Query(QueryReq::TopK { k: 10 }), &mut sender) {
+            Response::Answer { stamp, total, .. } => {
+                assert!(
+                    stamp.rotations.unwrap() >= 9,
+                    "5000 items over W=1000 rotate ≥9 times, saw {:?}",
+                    stamp.rotations
+                );
+                assert!(total <= 1_000, "window bounds the answer mass");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        drop(sender);
+        service.drain();
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the wire layer: framing and protocol codecs must
+//! be total — any input either round-trips or errors, never panics.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+use cots_serve::frame::{decode_frame, encode_frame, FrameError, MAX_FRAME};
+use cots_serve::protocol::{decode, encode, QueryReq, Request, Response};
+
+/// Arbitrary (possibly multi-byte, possibly empty) UTF-8 payloads.
+fn utf8_payload(max_bytes: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..max_bytes)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frame_round_trips(payload in utf8_payload(512)) {
+        let frame = encode_frame(&payload);
+        let (back, used) = decode_frame(&frame).unwrap();
+        prop_assert_eq!(back, payload);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete(payload in utf8_payload(256), keep in any::<usize>()) {
+        let frame = encode_frame(&payload);
+        let keep = keep % frame.len(); // strictly shorter than the frame
+        prop_assert_eq!(
+            decode_frame(&frame[..keep]).unwrap_err(),
+            FrameError::Incomplete
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Decoding must be total: Ok or a typed error, never a panic or
+        // an allocation driven by the (attacker-controlled) prefix.
+        match decode_frame(&bytes) {
+            Ok((payload, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert!(payload.len() <= used - 4);
+            }
+            Err(FrameError::Incomplete | FrameError::Malformed(_)) => {}
+            Err(FrameError::TooLarge(n)) => prop_assert!(n > MAX_FRAME),
+        }
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1u64..(u32::MAX as u64 - MAX_FRAME as u64)) {
+        let len = (MAX_FRAME as u64 + extra) as u32;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"body");
+        prop_assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            FrameError::TooLarge(len as usize)
+        );
+    }
+
+    #[test]
+    fn requests_round_trip(keys in proptest::collection::vec(any::<u64>(), 0..64),
+                           phi_millis in 1u64..999,
+                           k in 0usize..100,
+                           key in any::<u64>(),
+                           pick in 0usize..6) {
+        let request = match pick % 6 {
+            0 => Request::Ingest { keys },
+            1 => Request::Query(QueryReq::Point { key }),
+            2 => Request::Query(QueryReq::Frequent { phi: phi_millis as f64 / 1000.0 }),
+            3 => Request::Query(QueryReq::TopK { k }),
+            4 => Request::Stats,
+            _ => Request::Shutdown,
+        };
+        // Through the full stack: protocol encode → frame → decode.
+        let frame = encode_frame(&encode(&request));
+        let (payload, _) = decode_frame(&frame).unwrap();
+        let back: Request = decode(&payload).unwrap();
+        prop_assert_eq!(back, request);
+    }
+
+    #[test]
+    fn garbage_payloads_error_not_panic(payload in utf8_payload(256)) {
+        // Any text payload must yield Ok or CotsError::Protocol — never
+        // a panic. (Most lossy-decoded byte soup is not valid JSON.)
+        let _ = decode::<Request>(&payload);
+        let _ = decode::<Response>(&payload);
+    }
+}
