@@ -147,6 +147,7 @@ fn run_pass(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> 
         qps,
         phi: 0.01,
         check,
+        resume_from: 0,
     });
 
     let stop = Client::connect(&addr)

@@ -158,6 +158,58 @@ impl<K: Element> Snapshot<K> {
     }
 }
 
+/// Structural audit of a snapshot, used on summaries restored from disk:
+/// a CRC-valid checkpoint whose *contents* violate the counter algebra
+/// (error exceeding count, unsorted entries, guaranteed mass exceeding
+/// the stream total) must be rejected rather than served.
+#[cfg(feature = "invariants")]
+impl<K: Element> crate::invariants::CheckInvariants for Snapshot<K> {
+    fn violations(&self) -> Vec<crate::invariants::Violation> {
+        use crate::invariants::Violation;
+        let mut out = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.error > e.count {
+                out.push(Violation::new(
+                    "error-bound",
+                    format!("entry {i}: error {} exceeds count {}", e.error, e.count),
+                ));
+            }
+        }
+        if let Some(i) = self
+            .entries
+            .windows(2)
+            .position(|w| w[0].count < w[1].count)
+        {
+            out.push(Violation::new(
+                "sort-order",
+                format!(
+                    "entry {} (count {}) follows entry {i} (count {})",
+                    i + 1,
+                    self.entries[i + 1].count,
+                    self.entries[i].count
+                ),
+            ));
+        }
+        // Saturating: an auditor must survive the corruption it reports
+        // (error > count would underflow `guaranteed()` here).
+        let guaranteed: u64 = self
+            .entries
+            .iter()
+            .map(|e| e.count.saturating_sub(e.error))
+            .sum();
+        if guaranteed > self.total {
+            out.push(Violation::new(
+                "guaranteed-mass",
+                format!(
+                    "guaranteed mass {guaranteed} exceeds the stream total {}",
+                    self.total
+                ),
+            ));
+        }
+        out
+    }
+}
+
 impl<K: ToJson> ToJson for CounterEntry<K> {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -293,5 +345,41 @@ mod tests {
         let json = crate::json::to_string(&s);
         let back: Snapshot<u64> = crate::json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn snapshot_invariants_catch_corrupt_state() {
+        use crate::invariants::CheckInvariants;
+        assert!(snap().violations().is_empty());
+        // Hand-build corrupt snapshots the constructors would reject.
+        let err_exceeds = Snapshot {
+            entries: vec![CounterEntry {
+                item: 1u64,
+                count: 3,
+                error: 5,
+            }],
+            total: 3,
+        };
+        assert!(err_exceeds
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "error-bound"));
+        let unsorted = Snapshot {
+            entries: vec![CounterEntry::new(1u64, 2, 0), CounterEntry::new(2u64, 9, 0)],
+            total: 11,
+        };
+        assert!(unsorted
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "sort-order"));
+        let over_mass = Snapshot {
+            entries: vec![CounterEntry::new(1u64, 50, 0)],
+            total: 10,
+        };
+        assert!(over_mass
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "guaranteed-mass"));
     }
 }

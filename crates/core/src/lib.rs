@@ -62,5 +62,7 @@ pub use hash::MulHash;
 pub use invariants::{CheckInvariants, Violation};
 pub use json::{FromJson, Json, ToJson};
 pub use query::{PointQuery, QueryAnswer, SetQuery, Threshold};
-pub use report::{RunStats, ServiceReport, ShardReport, WorkCounters};
+pub use report::{
+    PersistReport, RecoveryReport, RunStats, ServiceReport, ShardReport, WorkCounters,
+};
 pub use traits::{ConcurrentCounter, FrequencyCounter, QueryableSummary};

@@ -286,6 +286,67 @@ pub struct ShardReport {
     pub idle_parks: u64,
 }
 
+/// What one crash-recovery pass found and restored (`cots-persist`).
+///
+/// Every count here is conservative by construction: `replayed_items`
+/// covers only WAL records whose CRC verified, and `torn_frames` /
+/// `dropped_bytes` quantify the tail that was *not* restored. The
+/// recovered summary therefore never over-reports durable data — any
+/// answer it gives is within the usual Space-Saving envelope of the
+/// `recovered_items`-item durable multiset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// WAL sequence watermark of the checkpoint recovery started from
+    /// (`None` when no valid checkpoint was found and recovery replayed
+    /// the WAL from sequence 0).
+    pub checkpoint_watermark: Option<u64>,
+    /// Stream items contained in the restored checkpoint.
+    pub base_items: u64,
+    /// WAL batches replayed on top of the checkpoint.
+    pub replayed_batches: u64,
+    /// Stream items replayed from the WAL.
+    pub replayed_items: u64,
+    /// Total durable items after recovery (`base_items + replayed_items`).
+    pub recovered_items: u64,
+    /// WAL segment files scanned.
+    pub segments_scanned: u64,
+    /// Bytes examined across checkpoint and WAL files.
+    pub bytes_scanned: u64,
+    /// Torn or corrupt frames encountered (each ends one segment's valid
+    /// prefix; everything after it in that segment is dropped).
+    pub torn_frames: u64,
+    /// Bytes discarded as unreadable (torn tails, bad magic, CRC
+    /// mismatches).
+    pub dropped_bytes: u64,
+    /// Checkpoint files that failed CRC or semantic validation and were
+    /// skipped in favour of an older one.
+    pub corrupt_checkpoints: u64,
+    /// Wall-clock seconds the recovery pipeline took (scan + replay).
+    pub elapsed_secs: f64,
+}
+
+/// Live persistence-pipeline counters for a `cots-serve` instance running
+/// with `--data-dir`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PersistReport {
+    /// Checkpoints committed (atomic rename completed) since start.
+    pub checkpoints: u64,
+    /// WAL sequence watermark of the newest committed checkpoint.
+    pub last_watermark: u64,
+    /// Batch records appended to the WAL.
+    pub wal_records: u64,
+    /// Stream keys appended to the WAL.
+    pub wal_keys: u64,
+    /// Bytes appended to the WAL (framing included).
+    pub wal_bytes: u64,
+    /// Group commits that reached `fsync` (policy `always`, plus the
+    /// barrier sync before every checkpoint).
+    pub wal_syncs: u64,
+    /// WAL or checkpoint I/O errors absorbed (logged, never fatal to
+    /// ingest).
+    pub io_errors: u64,
+}
+
 /// Aggregate service-level statistics for a `cots-serve` instance.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceReport {
@@ -306,6 +367,11 @@ pub struct ServiceReport {
     pub monitored: usize,
     /// Per-shard breakdown.
     pub shards: Vec<ShardReport>,
+    /// Crash-recovery provenance, when this instance restored state from
+    /// a data directory at startup.
+    pub recovery: Option<RecoveryReport>,
+    /// Persistence-pipeline counters, when running with a data directory.
+    pub persist: Option<PersistReport>,
 }
 
 impl ServiceReport {
@@ -339,6 +405,70 @@ impl FromJson for ShardReport {
     }
 }
 
+impl ToJson for RecoveryReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("checkpoint_watermark", self.checkpoint_watermark.to_json()),
+            ("base_items", self.base_items.to_json()),
+            ("replayed_batches", self.replayed_batches.to_json()),
+            ("replayed_items", self.replayed_items.to_json()),
+            ("recovered_items", self.recovered_items.to_json()),
+            ("segments_scanned", self.segments_scanned.to_json()),
+            ("bytes_scanned", self.bytes_scanned.to_json()),
+            ("torn_frames", self.torn_frames.to_json()),
+            ("dropped_bytes", self.dropped_bytes.to_json()),
+            ("corrupt_checkpoints", self.corrupt_checkpoints.to_json()),
+            ("elapsed_secs", self.elapsed_secs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RecoveryReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            checkpoint_watermark: Option::<u64>::from_json(v.field("checkpoint_watermark")?)?,
+            base_items: u64::from_json(v.field("base_items")?)?,
+            replayed_batches: u64::from_json(v.field("replayed_batches")?)?,
+            replayed_items: u64::from_json(v.field("replayed_items")?)?,
+            recovered_items: u64::from_json(v.field("recovered_items")?)?,
+            segments_scanned: u64::from_json(v.field("segments_scanned")?)?,
+            bytes_scanned: u64::from_json(v.field("bytes_scanned")?)?,
+            torn_frames: u64::from_json(v.field("torn_frames")?)?,
+            dropped_bytes: u64::from_json(v.field("dropped_bytes")?)?,
+            corrupt_checkpoints: u64::from_json(v.field("corrupt_checkpoints")?)?,
+            elapsed_secs: f64::from_json(v.field("elapsed_secs")?)?,
+        })
+    }
+}
+
+impl ToJson for PersistReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("checkpoints", self.checkpoints.to_json()),
+            ("last_watermark", self.last_watermark.to_json()),
+            ("wal_records", self.wal_records.to_json()),
+            ("wal_keys", self.wal_keys.to_json()),
+            ("wal_bytes", self.wal_bytes.to_json()),
+            ("wal_syncs", self.wal_syncs.to_json()),
+            ("io_errors", self.io_errors.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PersistReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            checkpoints: u64::from_json(v.field("checkpoints")?)?,
+            last_watermark: u64::from_json(v.field("last_watermark")?)?,
+            wal_records: u64::from_json(v.field("wal_records")?)?,
+            wal_keys: u64::from_json(v.field("wal_keys")?)?,
+            wal_bytes: u64::from_json(v.field("wal_bytes")?)?,
+            wal_syncs: u64::from_json(v.field("wal_syncs")?)?,
+            io_errors: u64::from_json(v.field("io_errors")?)?,
+        })
+    }
+}
+
 impl ToJson for ServiceReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -350,6 +480,8 @@ impl ToJson for ServiceReport {
             ("staleness", self.staleness.to_json()),
             ("monitored", self.monitored.to_json()),
             ("shards", self.shards.to_json()),
+            ("recovery", self.recovery.to_json()),
+            ("persist", self.persist.to_json()),
         ])
     }
 }
@@ -365,6 +497,8 @@ impl FromJson for ServiceReport {
             staleness: u64::from_json(v.field("staleness")?)?,
             monitored: usize::from_json(v.field("monitored")?)?,
             shards: Vec::<ShardReport>::from_json(v.field("shards")?)?,
+            recovery: Option::<RecoveryReport>::from_json(v.field("recovery")?)?,
+            persist: Option::<PersistReport>::from_json(v.field("persist")?)?,
         })
     }
 }
@@ -502,11 +636,38 @@ mod tests {
                     idle_parks: 2,
                 },
             ],
+            recovery: Some(RecoveryReport {
+                checkpoint_watermark: Some(17),
+                base_items: 800,
+                replayed_batches: 3,
+                replayed_items: 200,
+                recovered_items: 1_000,
+                segments_scanned: 2,
+                bytes_scanned: 4_096,
+                torn_frames: 1,
+                dropped_bytes: 37,
+                corrupt_checkpoints: 0,
+                elapsed_secs: 0.25,
+            }),
+            persist: Some(PersistReport {
+                checkpoints: 4,
+                last_watermark: 17,
+                wal_records: 9,
+                wal_keys: 1_000,
+                wal_bytes: 8_200,
+                wal_syncs: 4,
+                io_errors: 0,
+            }),
         };
         assert_eq!(r.applied_keys(), 1_000);
         let json = crate::json::to_string(&r);
         let back: ServiceReport = crate::json::from_str(&json).unwrap();
         assert_eq!(back, r);
+        let bare = ServiceReport::default();
+        let back: ServiceReport =
+            crate::json::from_str(&crate::json::to_string(&bare)).unwrap();
+        assert_eq!(back.recovery, None);
+        assert_eq!(back.persist, None);
     }
 
     #[test]

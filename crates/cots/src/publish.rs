@@ -95,6 +95,17 @@ impl<K: Element> SnapshotPublisher<K> {
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
+
+    /// Fast-forward the epoch counter to at least `epoch`.
+    ///
+    /// Used after crash recovery: the restarted publisher resumes from
+    /// the checkpointed epoch, so client-visible epochs stay monotone
+    /// across the restart instead of restarting from zero. Call before
+    /// the first post-recovery [`publish`](Self::publish); the next
+    /// publish is stamped `epoch + 1`.
+    pub fn resume_from(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
 }
 
 impl<K: Element> Default for SnapshotPublisher<K> {
@@ -130,6 +141,18 @@ mod tests {
         let e2 = p.publish(snap, 6, Some(2));
         assert_eq!(e2, 2);
         assert_eq!(p.current().rotations, Some(2));
+    }
+
+    #[test]
+    fn resume_from_keeps_epochs_monotone_across_restart() {
+        let p = SnapshotPublisher::<u64>::new();
+        p.resume_from(41);
+        assert_eq!(p.epoch(), 41);
+        let e = p.publish(Snapshot::new(Vec::new(), 0), 0, None);
+        assert_eq!(e, 42, "first post-recovery publish continues the sequence");
+        // Resuming backwards never regresses.
+        p.resume_from(10);
+        assert_eq!(p.epoch(), 42);
     }
 
     #[test]

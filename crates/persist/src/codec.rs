@@ -1,0 +1,159 @@
+//! Length-prefixed, CRC-framed record codec shared by checkpoints and the
+//! WAL.
+//!
+//! On-disk layout of one record:
+//!
+//! ```text
+//! [len: u32 le][crc32(payload): u32 le][payload: len bytes]
+//! ```
+//!
+//! Decoding is **total**: any byte sequence maps to either a record or a
+//! [`RecordError`], never a panic. A decoder that hits `Incomplete` at the
+//! end of a file has found a torn tail (the record was being written when
+//! the process died); `Corrupt` and `TooLarge` indicate bit rot or garbage.
+//! Callers recover the valid prefix and account the rest as dropped bytes.
+
+use crate::crc::crc32;
+
+/// Hard ceiling on a single record's payload. Keeps a corrupted length
+/// prefix from driving a multi-gigabyte allocation.
+pub const MAX_RECORD: usize = 64 * 1024 * 1024;
+
+/// Why a record failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The buffer ends before the framed record does (torn tail).
+    Incomplete,
+    /// The length prefix exceeds [`MAX_RECORD`] (garbage framing).
+    TooLarge(usize),
+    /// The payload checksum does not match (bit rot / partial overwrite).
+    Corrupt {
+        /// CRC stored in the frame.
+        expected: u32,
+        /// CRC computed over the payload bytes actually present.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Incomplete => write!(f, "record truncated"),
+            RecordError::TooLarge(n) => write!(f, "record length {n} exceeds {MAX_RECORD}"),
+            RecordError::Corrupt { expected, actual } => {
+                write!(f, "record crc mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Frame `payload` into `out`. Returns the number of bytes appended.
+pub fn encode_record(payload: &[u8], out: &mut Vec<u8>) -> usize {
+    debug_assert!(payload.len() <= MAX_RECORD);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    8 + payload.len()
+}
+
+/// Decode one record from the front of `buf`.
+///
+/// On success returns the payload slice and the total number of bytes
+/// consumed (framing included). Never panics on any input.
+pub fn decode_record(buf: &[u8]) -> Result<(&[u8], usize), RecordError> {
+    if buf.len() < 8 {
+        return Err(RecordError::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_RECORD {
+        return Err(RecordError::TooLarge(len));
+    }
+    let expected = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let end = 8usize.checked_add(len).ok_or(RecordError::TooLarge(len))?;
+    if buf.len() < end {
+        return Err(RecordError::Incomplete);
+    }
+    let payload = &buf[8..end];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(RecordError::Corrupt { expected, actual });
+    }
+    Ok((payload, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        let n = encode_record(b"hello", &mut buf);
+        assert_eq!(n, 13);
+        let (payload, consumed) = decode_record(&buf).unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(consumed, 13);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut buf = Vec::new();
+        encode_record(b"", &mut buf);
+        let (payload, consumed) = decode_record(&buf).unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(consumed, 8);
+    }
+
+    #[test]
+    fn truncation_is_incomplete() {
+        let mut buf = Vec::new();
+        encode_record(b"payload bytes", &mut buf);
+        for cut in 0..buf.len() {
+            match decode_record(&buf[..cut]) {
+                Err(RecordError::Incomplete) => {}
+                other => panic!("cut at {cut}: expected Incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut base = Vec::new();
+        encode_record(b"some payload worth protecting", &mut base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut buf = base.clone();
+                buf[byte] ^= 1 << bit;
+                // Any single-bit flip must not decode to the original
+                // payload: it either fails, or (for a flip inside the
+                // length prefix that still frames a valid CRC — impossible
+                // here, but we stay total) yields different bytes.
+                if let Ok((p, _)) = decode_record(&buf) {
+                    assert_ne!(p, b"some payload worth protecting".as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0; 4]);
+        assert!(matches!(decode_record(&buf), Err(RecordError::TooLarge(_))));
+    }
+
+    #[test]
+    fn consecutive_records_stream() {
+        let mut buf = Vec::new();
+        encode_record(b"first", &mut buf);
+        encode_record(b"second", &mut buf);
+        let (p1, n1) = decode_record(&buf).unwrap();
+        assert_eq!(p1, b"first");
+        let (p2, n2) = decode_record(&buf[n1..]).unwrap();
+        assert_eq!(p2, b"second");
+        assert_eq!(n1 + n2, buf.len());
+    }
+}

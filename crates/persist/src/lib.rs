@@ -1,0 +1,49 @@
+//! # cots-persist
+//!
+//! Durable checkpoints, a batch write-ahead log, and crash recovery for
+//! the CoTS serving stack — std-only, no external dependencies.
+//!
+//! The in-memory CoTS engine loses every counter on a crash. This crate
+//! makes a `cots-serve` deployment restartable with *quantified* loss:
+//!
+//! * [`codec`] — length-prefixed, CRC-32-framed records. Decoding is
+//!   total: any byte sequence is a record or a typed error, never a
+//!   panic.
+//! * [`checkpoint`] — epoch-consistent snapshots of the merged service
+//!   summary, committed by atomic rename; semantic validation rejects
+//!   CRC-valid files that violate the Space-Saving envelope.
+//! * [`wal`] — segmented batch log, group-committed per ring drain with a
+//!   configurable [`FsyncPolicy`]; the scanner recovers the valid prefix
+//!   of every segment and accounts the rest as dropped mass.
+//! * [`recover`] — loads the newest valid checkpoint (falling back on
+//!   corruption), collects the WAL tail past its watermark, and emits a
+//!   [`RecoveryReport`](cots_core::RecoveryReport).
+//!
+//! Soundness rests on the merge algebra already shipped in
+//! `cots_core::merge`: the checkpoint acts as an immutable base snapshot,
+//! the WAL tail replays into a fresh engine, and every published answer
+//! merges the two — so the `count ≥ true ≥ count − error` guarantee
+//! survives the crash, and any unrecoverable tail only *under*-counts,
+//! by an amount the report states.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crc;
+pub mod recover;
+pub mod wal;
+
+pub use checkpoint::{
+    find_checkpoints, load_checkpoint, parse_checkpoint_name, prune_checkpoints, write_checkpoint,
+    Checkpoint,
+};
+pub use codec::{decode_record, encode_record, RecordError, MAX_RECORD};
+pub use crc::crc32;
+pub use recover::{recover, Recovery};
+pub use wal::{
+    parse_segment_name, prune_wal, scan_wal, CommitStats, FsyncPolicy, WalBatch, WalScan,
+    WalWriter, DEFAULT_SEGMENT_BYTES,
+};

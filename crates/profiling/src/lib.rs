@@ -18,7 +18,7 @@
 
 pub mod service;
 
-pub use service::{IngestTally, ShardTally};
+pub use service::{IngestTally, PersistTally, ShardTally};
 
 use std::time::{Duration, Instant};
 

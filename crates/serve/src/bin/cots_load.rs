@@ -3,9 +3,15 @@
 //!
 //! ```text
 //! cots-load --addr 127.0.0.1:4040 --items 10000000 [--alphabet 100000]
-//!           [--alpha 1.5] [--seed 42] [--batch 8192] [--connections 2]
-//!           [--qps 0] [--phi 0.01] [--check] [--json PATH] [--shutdown]
+//!           [--alpha 1.5] [--seed 42] [--resume R] [--batch 8192]
+//!           [--connections 2] [--qps 0] [--phi 0.01] [--check]
+//!           [--json PATH] [--shutdown]
 //! ```
+//!
+//! `--resume R` skips the first `R` items of the seeded stream and sends
+//! the next `--items` after them — the deterministic way to continue a
+//! replay against a server that recovered from a crash. Incompatible
+//! with `--check`, which needs the full stream for ground truth.
 //!
 //! Exits non-zero on any protocol error or (with `--check`) any answer
 //! outside the Space Saving guarantee.
@@ -15,7 +21,7 @@ use cots_serve::{Client, LoadConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: cots-load [--addr HOST:PORT] [--items N] [--alphabet A] [--alpha Z] \
-         [--seed S] [--batch B] [--connections C] [--qps Q] [--phi PHI] \
+         [--seed S] [--resume R] [--batch B] [--connections C] [--qps Q] [--phi PHI] \
          [--check] [--json PATH] [--shutdown]"
     );
     std::process::exit(2);
@@ -44,6 +50,7 @@ fn main() {
             "--alphabet" => config.alphabet = parse("--alphabet", args.next()),
             "--alpha" => config.alpha = parse("--alpha", args.next()),
             "--seed" => config.seed = parse("--seed", args.next()),
+            "--resume" => config.resume_from = parse("--resume", args.next()),
             "--batch" => config.batch = parse("--batch", args.next()),
             "--connections" => config.connections = parse("--connections", args.next()),
             "--qps" => config.qps = parse("--qps", args.next()),

@@ -3,19 +3,31 @@
 //! ```text
 //! cots-serve [--addr 127.0.0.1:4040] [--shards 4] [--capacity 1000]
 //!            [--window W] [--refresh-ms 20] [--queue-batches 64]
+//!            [--data-dir DIR] [--fsync always|grouped|off]
+//!            [--checkpoint-ms 5000] [--wal-segment-mb 8]
 //! ```
 //!
+//! With `--data-dir`, startup recovers the newest valid checkpoint plus
+//! the WAL tail *before* binding the listener, prints a one-line recovery
+//! summary, then logs every ingested batch and checkpoints on the
+//! `--checkpoint-ms` cadence (0 disables the background checkpointer; the
+//! `CHECKPOINT` wire op always works).
+//!
 //! Prints `listening on <addr>` once ready (scripts wait for this line),
-//! serves until a `SHUTDOWN` request arrives, drains, and exits 0.
+//! serves until a `SHUTDOWN` request arrives, drains (taking a final
+//! checkpoint when persistent), and exits 0.
 
 use std::time::Duration;
 
+use cots_serve::persistence::PersistOptions;
 use cots_serve::{Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: cots-serve [--addr HOST:PORT] [--shards N] [--capacity M] \
-         [--window W] [--refresh-ms MS] [--queue-batches Q]"
+         [--window W] [--refresh-ms MS] [--queue-batches Q] \
+         [--data-dir DIR] [--fsync always|grouped|off] [--checkpoint-ms MS] \
+         [--wal-segment-mb MB]"
     );
     std::process::exit(2);
 }
@@ -34,6 +46,10 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut addr = "127.0.0.1:4040".to_string();
     let mut config = ServiceConfig::default();
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync = cots_persist::FsyncPolicy::default();
+    let mut checkpoint_ms: u64 = 5_000;
+    let mut wal_segment_mb: u64 = 8;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +61,10 @@ fn main() {
                 config.refresh = Duration::from_millis(parse("--refresh-ms", args.next()))
             }
             "--queue-batches" => config.queue_batches = parse("--queue-batches", args.next()),
+            "--data-dir" => data_dir = Some(parse("--data-dir", args.next())),
+            "--fsync" => fsync = parse("--fsync", args.next()),
+            "--checkpoint-ms" => checkpoint_ms = parse("--checkpoint-ms", args.next()),
+            "--wal-segment-mb" => wal_segment_mb = parse("--wal-segment-mb", args.next()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -56,6 +76,13 @@ fn main() {
         eprintln!("--shards, --capacity and --queue-batches must be positive");
         usage();
     }
+    if let Some(dir) = data_dir {
+        let mut opts = PersistOptions::new(dir);
+        opts.fsync = fsync;
+        opts.checkpoint_every = Duration::from_millis(checkpoint_ms);
+        opts.segment_bytes = wal_segment_mb.saturating_mul(1024 * 1024).max(1);
+        config.persist = Some(opts);
+    }
     let server = match Server::bind(&addr, config) {
         Ok(s) => s,
         Err(e) => {
@@ -63,6 +90,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(rec) = server.service().recovery_report() {
+        println!(
+            "recovered {} items (checkpoint {:?}, {} wal batches over {} segments, \
+             {} torn frames, {} bytes dropped) in {:.3}s",
+            rec.recovered_items,
+            rec.checkpoint_watermark,
+            rec.replayed_batches,
+            rec.segments_scanned,
+            rec.torn_frames,
+            rec.dropped_bytes,
+            rec.elapsed_secs
+        );
+    }
     println!("listening on {}", server.local_addr());
     if let Err(e) = server.run() {
         eprintln!("cots-serve: {e}");

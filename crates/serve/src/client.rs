@@ -111,6 +111,23 @@ impl Client {
         }
     }
 
+    /// Force a durable checkpoint now; returns `(watermark, total,
+    /// bytes)` of the committed checkpoint file. Errors if the server
+    /// runs without a data directory.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64, u64)> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Checkpointed {
+                watermark,
+                total,
+                bytes,
+            } => Ok((watermark, total, bytes)),
+            Response::Error { message } => Err(CotsError::Protocol(message)),
+            other => Err(CotsError::Protocol(format!(
+                "unexpected checkpoint response: {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<()> {
         match self.call(&Request::Shutdown)? {

@@ -28,6 +28,12 @@
 //!   snapshot publisher refreshes a consistent [`cots_core::Snapshot`]
 //!   off the hot path; every answer reports its epoch and staleness
 //!   bound.
+//! * **Durability** ([`persistence`], `cots-persist`): with `--data-dir`
+//!   the service group-commits every drained batch to a segmented WAL,
+//!   checkpoints the merged summary on a cadence (and on the
+//!   `CHECKPOINT` wire op), and recovers checkpoint + WAL tail *before*
+//!   the listener opens, keeping the Space-Saving error envelope over
+//!   everything recovered.
 //! * **Binaries**: `cots-serve` (the server) and `cots-load` (replay a
 //!   `datagen` Zipf stream over the wire and check answers against exact
 //!   ground truth).
@@ -38,6 +44,7 @@
 pub mod client;
 pub mod frame;
 pub mod loadgen;
+pub mod persistence;
 pub mod protocol;
 pub mod server;
 pub mod service;
@@ -47,6 +54,7 @@ pub mod spsc;
 pub use client::Client;
 pub use frame::{FrameError, MAX_FRAME};
 pub use loadgen::{LoadConfig, LoadReport};
+pub use persistence::{PersistOptions, Persistence};
 pub use protocol::{QueryReq, QueryStamp, Request, Response};
 pub use server::Server;
 pub use service::{Service, ServiceConfig};

@@ -26,6 +26,12 @@ pub struct LoadConfig {
     pub alpha: f64,
     /// Stream seed (byte-for-byte reproducible).
     pub seed: u64,
+    /// Skip this many leading items of the seeded stream and replay the
+    /// next `items` after them. A crashed-and-recovered server can be
+    /// driven forward deterministically: re-run with the same seed and
+    /// `resume_from` = items already delivered, and the generator sends
+    /// exactly the unsent suffix.
+    pub resume_from: u64,
     /// Keys per `INGEST` frame.
     pub batch: usize,
     /// Parallel ingest connections.
@@ -46,6 +52,7 @@ impl Default for LoadConfig {
             alphabet: 100_000,
             alpha: 1.5,
             seed: 42,
+            resume_from: 0,
             batch: 8_192,
             connections: 2,
             qps: 0,
@@ -159,13 +166,23 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
             "items, batch and connections must be positive".into(),
         ));
     }
-    let stream = StreamSpec::zipf(
-        config.items as usize,
+    if config.check && config.resume_from > 0 {
+        return Err(CotsError::InvalidRun(
+            "--check needs the full stream; it cannot be combined with --resume \
+             (the server holds recovered state the checker did not generate)"
+                .into(),
+        ));
+    }
+    // Deterministic resume: materialize the prefix too, then drop it, so
+    // the suffix is byte-for-byte what a full run would have sent next.
+    let full = StreamSpec::zipf(
+        (config.resume_from + config.items) as usize,
         config.alphabet,
         config.alpha,
         config.seed,
     )
     .generate();
+    let stream = &full[config.resume_from as usize..];
 
     let start = Instant::now();
     let ingest_done = Arc::new(AtomicBool::new(false));
@@ -225,7 +242,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
     let elapsed = start.elapsed();
 
     let check = if config.check {
-        Some(check_answers(&mut client, config, &stream)?)
+        Some(check_answers(&mut client, config, stream)?)
     } else {
         None
     };

@@ -61,6 +61,8 @@ pub enum Request {
     Stats,
     /// The full published snapshot.
     Snapshot,
+    /// Force an immediate durable checkpoint (requires `--data-dir`).
+    Checkpoint,
     /// Begin graceful shutdown: stop accepting, drain queues, exit.
     Shutdown,
 }
@@ -108,6 +110,15 @@ pub enum Response {
         snapshot: Snapshot<u64>,
         /// Snapshot provenance.
         stamp: QueryStamp,
+    },
+    /// A durable checkpoint was committed.
+    Checkpointed {
+        /// WAL sequence watermark the checkpoint cuts at.
+        watermark: u64,
+        /// Total stream mass the checkpoint accounts for.
+        total: u64,
+        /// Size of the committed checkpoint file.
+        bytes: u64,
     },
     /// Graceful shutdown has begun.
     ShuttingDown,
@@ -158,6 +169,7 @@ impl ToJson for Request {
             Request::Query(q) => tagged("Query", q.to_json()),
             Request::Stats => Json::Str("Stats".into()),
             Request::Snapshot => Json::Str("Snapshot".into()),
+            Request::Checkpoint => Json::Str("Checkpoint".into()),
             Request::Shutdown => Json::Str("Shutdown".into()),
         }
     }
@@ -172,6 +184,7 @@ impl FromJson for Request {
             ("Query", Some(p)) => Ok(Request::Query(QueryReq::from_json(p)?)),
             ("Stats", None) => Ok(Request::Stats),
             ("Snapshot", None) => Ok(Request::Snapshot),
+            ("Checkpoint", None) => Ok(Request::Checkpoint),
             ("Shutdown", None) => Ok(Request::Shutdown),
             (name, _) => Err(JsonError(format!("unknown Request variant `{name}`"))),
         }
@@ -227,6 +240,18 @@ impl ToJson for Response {
                     ("stamp", stamp.to_json()),
                 ]),
             ),
+            Response::Checkpointed {
+                watermark,
+                total,
+                bytes,
+            } => tagged(
+                "Checkpointed",
+                Json::obj(vec![
+                    ("watermark", watermark.to_json()),
+                    ("total", total.to_json()),
+                    ("bytes", bytes.to_json()),
+                ]),
+            ),
             Response::ShuttingDown => Json::Str("ShuttingDown".into()),
             Response::Error { message } => {
                 tagged("Error", Json::obj(vec![("message", message.to_json())]))
@@ -251,6 +276,11 @@ impl FromJson for Response {
             ("Snapshot", Some(p)) => Ok(Response::Snapshot {
                 snapshot: Snapshot::<u64>::from_json(p.field("snapshot")?)?,
                 stamp: QueryStamp::from_json(p.field("stamp")?)?,
+            }),
+            ("Checkpointed", Some(p)) => Ok(Response::Checkpointed {
+                watermark: u64::from_json(p.field("watermark")?)?,
+                total: u64::from_json(p.field("total")?)?,
+                bytes: u64::from_json(p.field("bytes")?)?,
             }),
             ("ShuttingDown", None) => Ok(Response::ShuttingDown),
             ("Error", Some(p)) => Ok(Response::Error {
@@ -297,6 +327,7 @@ mod tests {
         round_trip_request(Request::Query(QueryReq::TopK { k: 25 }));
         round_trip_request(Request::Stats);
         round_trip_request(Request::Snapshot);
+        round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Shutdown);
     }
 
@@ -319,6 +350,11 @@ mod tests {
         round_trip_response(Response::Snapshot {
             snapshot: Snapshot::new(vec![CounterEntry::new(1u64, 2, 0)], 2),
             stamp: QueryStamp::default(),
+        });
+        round_trip_response(Response::Checkpointed {
+            watermark: 99,
+            total: 1_000,
+            bytes: 4_096,
         });
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error {

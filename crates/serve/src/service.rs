@@ -8,16 +8,25 @@
 //! doing capture work). Every answer carries the snapshot's epoch and a
 //! staleness bound: the number of items applied since that snapshot was
 //! captured.
+//!
+//! With persistence enabled (`--data-dir`), startup recovers the durable
+//! state *before* any listener opens: the newest valid checkpoint becomes
+//! an immutable **base snapshot**, the WAL tail replays into the fresh
+//! engine, and every published snapshot merges base + live through the
+//! Space-Saving merge algebra — so post-recovery answers keep the
+//! `count ≥ true ≥ count − error` envelope over everything recovered.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cots::{CotsEngine, JumpingWindow, SnapshotPublisher};
-use cots_core::{CotsConfig, CotsError, Result, ServiceReport, Threshold};
+use cots_core::merge::merge_snapshots;
+use cots_core::{CotsConfig, CotsError, RecoveryReport, Result, ServiceReport, Snapshot, Threshold};
 use cots_profiling::IngestTally;
 
+use crate::persistence::{PersistOptions, Persistence};
 use crate::protocol::{QueryReq, QueryStamp, Request, Response};
 use crate::shard::{Backend, SendOutcome, ShardPool, ShardSender};
 
@@ -35,6 +44,9 @@ pub struct ServiceConfig {
     pub refresh: Duration,
     /// Ring capacity per (connection, shard), in batches.
     pub queue_batches: usize,
+    /// Durable checkpoints + WAL under a data directory. Not supported
+    /// together with `window` (only the full-history engine persists).
+    pub persist: Option<PersistOptions>,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +57,7 @@ impl Default for ServiceConfig {
             window: None,
             refresh: Duration::from_millis(20),
             queue_batches: 64,
+            persist: None,
         }
     }
 }
@@ -58,39 +71,156 @@ pub struct Service {
     shutdown: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
     refresher: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
+    persistence: Option<Arc<Persistence>>,
+    /// Recovered checkpoint summary, merged into every published snapshot.
+    base: Option<Arc<Snapshot<u64>>>,
+    /// Stream mass the base snapshot accounts for.
+    base_total: u64,
+    recovery: Option<RecoveryReport>,
+    capacity: usize,
+}
+
+/// Capture the backend and merge the recovery base in, returning
+/// `(snapshot, captured_total, rotations)` in publishable form.
+fn capture_merged(
+    backend: &Backend,
+    base: Option<&Snapshot<u64>>,
+    base_total: u64,
+    capacity: usize,
+) -> (Snapshot<u64>, u64, Option<u64>) {
+    let (live, live_total, rotations) = backend.capture();
+    match base {
+        Some(b) => (
+            merge_snapshots(&[b.clone(), live], capacity),
+            base_total + live_total,
+            rotations,
+        ),
+        None => (live, live_total, rotations),
+    }
 }
 
 impl Service {
-    /// Build the backend, spawn shard workers and the publisher thread.
+    /// Recover durable state (when configured), build the backend, and
+    /// spawn shard workers plus the publisher and checkpointer threads.
     pub fn start(config: ServiceConfig) -> Result<Self> {
         let engine_config = CotsConfig::for_capacity(config.capacity)?;
-        let backend = match config.window {
-            None => Backend::Engine(Arc::new(CotsEngine::new(engine_config)?)),
-            Some(w) => Backend::Window(Arc::new(JumpingWindow::new(engine_config, w)?)),
-        };
-        let pool = ShardPool::new(config.shards, config.queue_batches);
-        let workers = pool.spawn_workers(&backend);
         let publisher = Arc::new(SnapshotPublisher::new());
+        let mut base: Option<Arc<Snapshot<u64>>> = None;
+        let mut base_total = 0u64;
+        let mut recovery: Option<RecoveryReport> = None;
+        let mut persistence: Option<Arc<Persistence>> = None;
+
+        let backend = match (&config.persist, config.window) {
+            (Some(_), Some(_)) => {
+                return Err(CotsError::InvalidConfig(
+                    "persistence (--data-dir) is not supported with --window: \
+                     only the full-history engine checkpoints"
+                        .into(),
+                ))
+            }
+            (Some(opts), None) => {
+                let rec = cots_persist::recover(&opts.data_dir)?;
+                let engine = Arc::new(CotsEngine::new(engine_config)?);
+                for batch in &rec.batches {
+                    engine.delegate_batch(&batch.keys);
+                }
+                engine.finalize();
+                #[cfg(feature = "invariants")]
+                engine.check_quiescent_invariants();
+                if let Some(ckpt) = &rec.base {
+                    publisher.resume_from(ckpt.epoch);
+                    let snap = ckpt.snapshot();
+                    #[cfg(feature = "invariants")]
+                    {
+                        use cots_core::CheckInvariants;
+                        let violations = snap.violations();
+                        if let Some(v) = violations.first() {
+                            return Err(CotsError::Report(format!(
+                                "recovered checkpoint failed invariant audit: {v}"
+                            )));
+                        }
+                    }
+                    base_total = snap.total();
+                    base = Some(Arc::new(snap));
+                }
+                persistence = Some(Arc::new(Persistence::new(
+                    opts,
+                    rec.next_seq,
+                    config.capacity,
+                )?));
+                recovery = Some(rec.report);
+                Backend::Engine(engine)
+            }
+            (None, None) => Backend::Engine(Arc::new(CotsEngine::new(engine_config)?)),
+            (None, Some(w)) => Backend::Window(Arc::new(JumpingWindow::new(engine_config, w)?)),
+        };
+
+        // Publish the recovered (or empty) state synchronously so the
+        // first query ever answered already sees it.
+        {
+            let (snapshot, total, rotations) =
+                capture_merged(&backend, base.as_deref(), base_total, config.capacity);
+            publisher.publish(snapshot, total, rotations);
+        }
+
+        let pool = ShardPool::new(config.shards, config.queue_batches);
+        let workers = pool.spawn_workers(&backend, persistence.clone());
         let shutdown = Arc::new(AtomicBool::new(false));
         let refresher = {
             let backend = backend.clone();
             let publisher = publisher.clone();
             let shutdown = shutdown.clone();
+            let base = base.clone();
+            let capacity = config.capacity;
             let refresh = config.refresh;
             std::thread::Builder::new()
                 .name("cots-publisher".into())
                 .spawn(move || {
                     while !shutdown.load(Ordering::Acquire) {
-                        let (snapshot, total, rotations) = backend.capture();
+                        let (snapshot, total, rotations) =
+                            capture_merged(&backend, base.as_deref(), base_total, capacity);
                         publisher.publish(snapshot, total, rotations);
                         std::thread::sleep(refresh);
                     }
                     // One final publish so post-drain queries see the
                     // quiescent state with zero staleness.
-                    let (snapshot, total, rotations) = backend.capture();
+                    let (snapshot, total, rotations) =
+                        capture_merged(&backend, base.as_deref(), base_total, capacity);
                     publisher.publish(snapshot, total, rotations);
                 })
                 .map_err(|e| CotsError::Report(format!("spawn publisher: {e}")))?
+        };
+        let checkpointer = match (&persistence, &config.persist) {
+            (Some(p), Some(opts)) if !opts.checkpoint_every.is_zero() => {
+                let p = p.clone();
+                let backend = backend.clone();
+                let publisher = publisher.clone();
+                let shutdown = shutdown.clone();
+                let base = base.clone();
+                let every = opts.checkpoint_every;
+                Some(
+                    std::thread::Builder::new()
+                        .name("cots-checkpointer".into())
+                        .spawn(move || {
+                            let mut last = Instant::now();
+                            while !shutdown.load(Ordering::Acquire) {
+                                std::thread::sleep(Duration::from_millis(20));
+                                if last.elapsed() < every {
+                                    continue;
+                                }
+                                last = Instant::now();
+                                if let Err(e) =
+                                    p.checkpoint_now(&backend, base.as_deref(), &publisher)
+                                {
+                                    eprintln!("cots-serve: background checkpoint failed: {e}");
+                                }
+                            }
+                        })
+                        .map_err(|e| CotsError::Report(format!("spawn checkpointer: {e}")))?,
+                )
+            }
+            _ => None,
         };
         Ok(Self {
             backend,
@@ -100,7 +230,24 @@ impl Service {
             shutdown,
             workers,
             refresher: Some(refresher),
+            checkpointer,
+            persistence,
+            base,
+            base_total,
+            recovery,
+            capacity: config.capacity,
         })
+    }
+
+    /// The recovery accounting from startup, when persistence is on.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Total items the service accounts for: recovered base mass plus
+    /// everything the backend applied since this process started.
+    fn total_processed(&self) -> u64 {
+        self.base_total + self.backend.processed()
     }
 
     /// Register a new connection with the shard pool.
@@ -148,6 +295,22 @@ impl Service {
                     stamp,
                 }
             }
+            Request::Checkpoint => match &self.persistence {
+                Some(p) => match p.checkpoint_now(&self.backend, self.base.as_deref(), &self.publisher)
+                {
+                    Ok((watermark, total, bytes)) => Response::Checkpointed {
+                        watermark,
+                        total,
+                        bytes,
+                    },
+                    Err(e) => Response::Error {
+                        message: format!("checkpoint failed: {e}"),
+                    },
+                },
+                None => Response::Error {
+                    message: "service has no data directory (start with --data-dir)".into(),
+                },
+            },
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::ShuttingDown
@@ -183,7 +346,7 @@ impl Service {
         let stamp = QueryStamp {
             epoch: snap.epoch,
             captured_total: snap.captured_total,
-            staleness: self.backend.processed().saturating_sub(snap.captured_total),
+            staleness: self.total_processed().saturating_sub(snap.captured_total),
             rotations: snap.rotations,
         };
         (snap, stamp)
@@ -192,12 +355,14 @@ impl Service {
     /// Current service statistics.
     pub fn stats(&self) -> ServiceReport {
         let snap = self.publisher.current();
-        let staleness = self.backend.processed().saturating_sub(snap.captured_total);
+        let staleness = self.total_processed().saturating_sub(snap.captured_total);
         self.tally.report(
             &self.pool.tallies,
             snap.epoch,
             staleness,
             self.backend.monitored(),
+            self.recovery.clone(),
+            self.persistence.as_ref().map(|p| p.tally.report()),
         )
     }
 
@@ -216,9 +381,20 @@ impl Service {
         if let Some(r) = self.refresher.take() {
             let _ = r.join();
         }
+        if let Some(c) = self.checkpointer.take() {
+            let _ = c.join();
+        }
         self.backend.finalize();
-        let (snapshot, total, rotations) = self.backend.capture();
+        let (snapshot, total, rotations) =
+            capture_merged(&self.backend, self.base.as_deref(), self.base_total, self.capacity);
         self.publisher.publish(snapshot, total, rotations);
+        // Workers are gone, so the final checkpoint captures the exact
+        // quiescent state; a clean restart replays an empty WAL tail.
+        if let Some(p) = &self.persistence {
+            if let Err(e) = p.checkpoint_now(&self.backend, self.base.as_deref(), &self.publisher) {
+                eprintln!("cots-serve: final checkpoint failed: {e}");
+            }
+        }
     }
 }
 
@@ -372,5 +548,118 @@ mod tests {
         }
         drop(sender);
         service.drain();
+    }
+
+    fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "cots-serve-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn persistent_service_recovers_across_restart() {
+        let dir = temp_data_dir("svc");
+        let persist = || {
+            let mut opts = PersistOptions::new(dir.clone());
+            // Keep the test deterministic: only explicit checkpoints.
+            opts.checkpoint_every = Duration::ZERO;
+            opts
+        };
+        let config = || ServiceConfig {
+            shards: 2,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            persist: Some(persist()),
+            ..Default::default()
+        };
+
+        // First life: ingest, checkpoint over the wire op, ingest more.
+        let service = Service::start(config()).unwrap();
+        assert_eq!(
+            service.recovery_report().unwrap().recovered_items,
+            0,
+            "fresh directory recovers nothing"
+        );
+        let mut sender = service.connect();
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i % 25).collect();
+        drive(&service, &mut sender, &keys, 256);
+        await_applied(&service, 10_000);
+        match service.handle(Request::Checkpoint, &mut sender) {
+            Response::Checkpointed {
+                watermark, total, ..
+            } => {
+                assert!(watermark > 0);
+                assert_eq!(total, 10_000);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let more: Vec<u64> = (0..5_000u64).map(|i| i % 25).collect();
+        drive(&service, &mut sender, &more, 256);
+        await_applied(&service, 15_000);
+        let epoch_before = service.publisher.epoch();
+        drop(sender);
+        service.drain();
+
+        // Second life: everything durable comes back before queries run.
+        let service = Service::start(config()).unwrap();
+        let rec = service.recovery_report().unwrap().clone();
+        assert_eq!(
+            rec.recovered_items, 15_000,
+            "drain checkpoint + WAL tail cover the full stream: {rec:?}"
+        );
+        assert_eq!(rec.torn_frames, 0);
+        let mut sender = service.connect();
+        match service.handle(Request::Query(QueryReq::Point { key: 7 }), &mut sender) {
+            Response::Answer {
+                entries,
+                total,
+                stamp,
+            } => {
+                assert_eq!(total, 15_000, "recovered mass is queryable immediately");
+                assert_eq!(stamp.staleness, 0);
+                assert!(
+                    stamp.epoch > epoch_before,
+                    "epochs stay monotone across restart ({} → {})",
+                    epoch_before,
+                    stamp.epoch
+                );
+                assert_eq!(entries[0].count - entries[0].error, 600);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // New ingest keeps counting on top of the recovered base.
+        let tail: Vec<u64> = (0..2_500u64).map(|i| i % 25).collect();
+        drive(&service, &mut sender, &tail, 256);
+        await_applied(&service, 2_500);
+        match service.handle(Request::Query(QueryReq::Point { key: 7 }), &mut sender) {
+            Response::Answer { entries, total, .. } => {
+                assert_eq!(total, 17_500);
+                assert_eq!(entries[0].count - entries[0].error, 700);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let stats = service.stats();
+        let persist_stats = stats.persist.expect("persist tally present");
+        assert!(persist_stats.wal_records > 0);
+        assert!(stats.recovery.is_some());
+        drop(sender);
+        service.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn window_plus_persistence_is_rejected() {
+        let dir = temp_data_dir("win");
+        let err = Service::start(ServiceConfig {
+            window: Some(1_000),
+            persist: Some(PersistOptions::new(dir.clone())),
+            ..Default::default()
+        });
+        assert!(err.is_err(), "window + persistence must be refused");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -25,7 +25,12 @@ use cots::{CotsEngine, JumpingWindow};
 use cots_core::{ConcurrentCounter, MulHash, Snapshot};
 use cots_profiling::ShardTally;
 
+use crate::persistence::Persistence;
 use crate::spsc::{ring, Consumer, Pop, Producer};
+
+/// Batches a worker drains from its rings before logging/applying them
+/// as one group (one WAL commit, one gate section).
+const DRAIN_BURST: usize = 32;
 
 /// The counting structure behind the service.
 #[derive(Clone)]
@@ -159,46 +164,61 @@ impl ShardPool {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Spawn the shard workers over `backend`.
-    pub fn spawn_workers(self: &Arc<Self>, backend: &Backend) -> Vec<JoinHandle<()>> {
+    /// Spawn the shard workers over `backend`; with `persist` set, every
+    /// drained group is written to the WAL before it is applied.
+    pub fn spawn_workers(
+        self: &Arc<Self>,
+        backend: &Backend,
+        persist: Option<Arc<Persistence>>,
+    ) -> Vec<JoinHandle<()>> {
         (0..self.shards())
             .map(|shard| {
                 let pool = self.clone();
                 let backend = backend.clone();
+                let persist = persist.clone();
                 std::thread::Builder::new()
                     .name(format!("cots-shard-{shard}"))
-                    .spawn(move || pool.worker(shard, backend))
+                    .spawn(move || pool.worker(shard, backend, persist))
                     .expect("spawn shard worker")
             })
             .collect()
     }
 
-    /// The worker loop for one shard.
-    fn worker(&self, shard: usize, backend: Backend) {
+    /// The worker loop for one shard: drain up to [`DRAIN_BURST`] batches
+    /// across this shard's rings, then log-and-apply them as one group.
+    fn worker(&self, shard: usize, backend: Backend, persist: Option<Arc<Persistence>>) {
         let tally = &self.tallies[shard];
         let mut rings: Vec<Consumer<Batch>> = Vec::new();
+        let mut burst: Vec<Batch> = Vec::with_capacity(DRAIN_BURST);
         loop {
             // Adopt rings registered since the last pass.
             {
                 let mut inbox = self.registries[shard].lock();
                 rings.append(&mut inbox);
             }
-            let mut applied_any = false;
             rings.retain_mut(|rx| {
                 tally.observe_depth(rx.len() as u64);
                 loop {
+                    if burst.len() >= DRAIN_BURST {
+                        return true; // leftovers wait for the next pass
+                    }
                     match rx.pop() {
-                        Pop::Item(batch) => {
-                            backend.apply(&batch);
-                            tally.batch(batch.len() as u64);
-                            applied_any = true;
-                        }
+                        Pop::Item(batch) => burst.push(batch),
                         Pop::Empty => return true,
                         Pop::Closed => return false,
                     }
                 }
             });
-            if applied_any {
+            if !burst.is_empty() {
+                match &persist {
+                    Some(p) => p.log_and_apply(&mut burst, &backend, tally),
+                    None => {
+                        for batch in burst.drain(..) {
+                            backend.apply(&batch);
+                            tally.batch(batch.len() as u64);
+                        }
+                    }
+                }
                 continue;
             }
             if self.is_shutting_down() && rings.is_empty() && self.registries[shard].lock().is_empty()
@@ -280,7 +300,7 @@ mod tests {
     fn pipeline_applies_all_keys() {
         let backend = engine_backend(64);
         let pool = ShardPool::new(4, 16);
-        let workers = pool.spawn_workers(&backend);
+        let workers = pool.spawn_workers(&backend, None);
         let mut sender = pool.connect();
         let keys: Vec<u64> = (0..10_000u64).map(|i| i % 50).collect();
         let mut sent = 0;

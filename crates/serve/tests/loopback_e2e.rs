@@ -46,6 +46,7 @@ fn served_answers_match_sequential_oracle() {
         qps: 50,
         phi: PHI,
         check: true,
+        ..Default::default()
     })
     .unwrap();
     assert_eq!(report.items, ITEMS);
