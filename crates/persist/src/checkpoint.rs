@@ -20,6 +20,9 @@
 //! slips through anyway (bit rot, manual tampering) is caught by the CRC
 //! and by [`Checkpoint::validate`], and recovery falls back to the next
 //! older file.
+//!
+//! AUDIT: total — the load path decodes arbitrary disk bytes; enforced by
+//! `cargo xtask audit` (lint-totality).
 
 use std::fs::{self, File};
 use std::io::{Read, Write};
@@ -166,13 +169,13 @@ pub fn write_checkpoint(dir: &Path, ckpt: &Checkpoint) -> Result<(PathBuf, u64)>
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
-    if bytes.len() < CKPT_MAGIC.len() || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+    if bytes.get(..CKPT_MAGIC.len()) != Some(CKPT_MAGIC.as_slice()) {
         return Err(CotsError::Report(format!(
             "{}: not a checkpoint file (bad magic)",
             path.display()
         )));
     }
-    let (payload, consumed) = decode_record(&bytes[CKPT_MAGIC.len()..])
+    let (payload, consumed) = decode_record(bytes.get(CKPT_MAGIC.len()..).unwrap_or(&[]))
         .map_err(|e| CotsError::Report(format!("{}: {e}", path.display())))?;
     if CKPT_MAGIC.len() + consumed != bytes.len() {
         return Err(CotsError::Report(format!(

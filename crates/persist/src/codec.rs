@@ -12,6 +12,8 @@
 //! end of a file has found a torn tail (the record was being written when
 //! the process died); `Corrupt` and `TooLarge` indicate bit rot or garbage.
 //! Callers recover the valid prefix and account the rest as dropped bytes.
+//!
+//! AUDIT: total — enforced by `cargo xtask audit` (lint-totality).
 
 use crate::crc::crc32;
 
@@ -58,24 +60,31 @@ pub fn encode_record(payload: &[u8], out: &mut Vec<u8>) -> usize {
     8 + payload.len()
 }
 
+/// Read a little-endian `u32` at byte offset `off`, if all four bytes are
+/// present. Total: out-of-range offsets (overflow included) yield `None`.
+pub fn read_u32_le(buf: &[u8], off: usize) -> Option<u32> {
+    let bytes = buf.get(off..off.checked_add(4)?)?;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+/// Read a little-endian `u64` at byte offset `off`; see [`read_u32_le`].
+pub fn read_u64_le(buf: &[u8], off: usize) -> Option<u64> {
+    let bytes = buf.get(off..off.checked_add(8)?)?;
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
 /// Decode one record from the front of `buf`.
 ///
 /// On success returns the payload slice and the total number of bytes
 /// consumed (framing included). Never panics on any input.
 pub fn decode_record(buf: &[u8]) -> Result<(&[u8], usize), RecordError> {
-    if buf.len() < 8 {
-        return Err(RecordError::Incomplete);
-    }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let len = read_u32_le(buf, 0).ok_or(RecordError::Incomplete)? as usize;
     if len > MAX_RECORD {
         return Err(RecordError::TooLarge(len));
     }
-    let expected = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let expected = read_u32_le(buf, 4).ok_or(RecordError::Incomplete)?;
     let end = 8usize.checked_add(len).ok_or(RecordError::TooLarge(len))?;
-    if buf.len() < end {
-        return Err(RecordError::Incomplete);
-    }
-    let payload = &buf[8..end];
+    let payload = buf.get(8..end).ok_or(RecordError::Incomplete)?;
     let actual = crc32(payload);
     if actual != expected {
         return Err(RecordError::Corrupt { expected, actual });

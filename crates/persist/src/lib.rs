@@ -26,7 +26,7 @@
 //! survives the crash, and any unrecoverable tail only *under*-counts,
 //! by an amount the report states.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_code)]
 

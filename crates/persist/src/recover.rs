@@ -17,6 +17,9 @@
 //! never add it, and the removed mass is surfaced as `torn_frames` /
 //! `dropped_bytes` so operators and tests can bound the gap versus the
 //! true stream.
+//!
+//! AUDIT: total — recovery must survive arbitrary directory contents;
+//! enforced by `cargo xtask audit` (lint-totality).
 
 use std::path::Path;
 use std::time::Instant;

@@ -20,6 +20,9 @@
 //! bytes are accounted as dropped. Restarted writers always open a *new*
 //! segment at the next sequence number — they never append to a
 //! possibly-torn file.
+//!
+//! AUDIT: total — the scan path decodes arbitrary disk bytes; enforced by
+//! `cargo xtask audit` (lint-totality).
 
 use std::fs::{self, File};
 use std::io::{Read, Write};
@@ -28,7 +31,7 @@ use std::str::FromStr;
 
 use cots_core::{CotsError, Result};
 
-use crate::codec::{decode_record, encode_record, RecordError};
+use crate::codec::{decode_record, encode_record, read_u32_le, read_u64_le, RecordError};
 
 /// Magic prefix of every WAL segment.
 pub const WAL_MAGIC: &[u8; 8] = b"COTSWAL1";
@@ -179,6 +182,9 @@ impl WalWriter {
             if self.policy != FsyncPolicy::Off {
                 self.file.sync_data()?;
             }
+            // PANIC-OK: `buf` is non-empty (checked on entry), and every
+            // append that fills `buf` also sets `pending_first_seq`; both
+            // are cleared together below.
             let first = self.pending_first_seq.expect("buf non-empty");
             let (file, path) = new_segment(&self.dir, first)?;
             self.file = file;
@@ -298,14 +304,14 @@ pub fn scan_wal(dir: &Path, from_seq: u64) -> Result<WalScan> {
         let mut bytes = Vec::new();
         File::open(&path)?.read_to_end(&mut bytes)?;
         scan.bytes_scanned += bytes.len() as u64;
-        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        if bytes.get(..WAL_MAGIC.len()) != Some(WAL_MAGIC.as_slice()) {
             scan.torn_frames += 1;
             scan.dropped_bytes += bytes.len() as u64;
             continue;
         }
         let mut off = WAL_MAGIC.len();
         while off < bytes.len() {
-            match decode_record(&bytes[off..]) {
+            match decode_record(bytes.get(off..).unwrap_or(&[])) {
                 Ok((payload, consumed)) => {
                     off += consumed;
                     match parse_batch(payload) {
@@ -344,18 +350,16 @@ pub fn scan_wal(dir: &Path, from_seq: u64) -> Result<WalScan> {
 /// Decode one record payload; `None` if the declared key count does not
 /// match the payload length.
 fn parse_batch(payload: &[u8]) -> Option<WalBatch> {
-    if payload.len() < 12 {
-        return None;
-    }
-    let seq = u64::from_le_bytes(payload[..8].try_into().ok()?);
-    let nkeys = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
+    let seq = read_u64_le(payload, 0)?;
+    let nkeys = read_u32_le(payload, 8)? as usize;
     let want = 12usize.checked_add(nkeys.checked_mul(8)?)?;
     if payload.len() != want {
         return None;
     }
-    let keys = payload[12..]
+    let keys: Vec<u64> = payload
+        .get(12..)?
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .filter_map(|c| read_u64_le(c, 0))
         .collect();
     Some(WalBatch { seq, keys })
 }
@@ -376,10 +380,10 @@ pub fn prune_wal(dir: &Path, watermark: u64) -> Result<u64> {
     segments.sort();
     let mut removed = 0;
     for pair in segments.windows(2) {
-        let (_, ref path) = pair[0];
-        let (next_first, _) = pair[1];
-        if next_first <= watermark && fs::remove_file(path).is_ok() {
-            removed += 1;
+        if let [(_, path), (next_first, _)] = pair {
+            if *next_first <= watermark && fs::remove_file(path).is_ok() {
+                removed += 1;
+            }
         }
     }
     Ok(removed)

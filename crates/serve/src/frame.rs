@@ -11,6 +11,9 @@
 //! prefix cannot make the server allocate unbounded memory. Decoding is
 //! total: truncated, oversized, or garbage input yields an error, never a
 //! panic, and the connection is closed in response.
+//!
+//! AUDIT: total — every byte here is attacker-controlled; enforced by
+//! `cargo xtask audit` (lint-totality).
 
 use std::io::{self, Read, Write};
 
@@ -50,6 +53,9 @@ impl std::error::Error for FrameError {}
 /// Panics if the payload exceeds [`MAX_FRAME`]; callers produce payloads
 /// they sized themselves.
 pub fn encode_frame(payload: &str) -> Vec<u8> {
+    // PANIC-OK: the *encode* side frames payloads the server itself
+    // produced; exceeding MAX_FRAME is a caller bug, documented above,
+    // and must not be silently truncated. Decode stays total.
     assert!(payload.len() <= MAX_FRAME, "payload exceeds MAX_FRAME");
     let mut out = Vec::with_capacity(4 + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -63,17 +69,13 @@ pub fn encode_frame(payload: &str) -> Vec<u8> {
 /// any byte sequence either decodes, reports [`FrameError::Incomplete`]
 /// (more bytes needed), or is rejected.
 pub fn decode_frame(buf: &[u8]) -> Result<(String, usize), FrameError> {
-    if buf.len() < 4 {
-        return Err(FrameError::Incomplete);
-    }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let prefix = buf.get(..4).ok_or(FrameError::Incomplete)?;
+    let len = u32::from_le_bytes(prefix.try_into().map_err(|_| FrameError::Incomplete)?) as usize;
     if len > MAX_FRAME {
         return Err(FrameError::TooLarge(len));
     }
-    if buf.len() < 4 + len {
-        return Err(FrameError::Incomplete);
-    }
-    let payload = std::str::from_utf8(&buf[4..4 + len])
+    let body = buf.get(4..4 + len).ok_or(FrameError::Incomplete)?;
+    let payload = std::str::from_utf8(body)
         .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?
         .to_string();
     Ok((payload, 4 + len))
@@ -107,6 +109,8 @@ pub fn is_timeout(e: &io::Error) -> bool {
 fn read_full(r: &mut impl Read, buf: &mut [u8], allow_initial_timeout: bool) -> io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
+        // PANIC-OK: `filled < buf.len()` is the loop condition, so the
+        // range start is always in bounds.
         match r.read(&mut buf[filled..]) {
             Ok(0) => return Ok(filled),
             Ok(n) => filled += n,

@@ -38,7 +38,7 @@
 //!   `datagen` Zipf stream over the wire and check answers against exact
 //!   ground truth).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod client;

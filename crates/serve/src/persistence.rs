@@ -20,6 +20,10 @@
 //! batches still in rings and (b) the unsynced WAL tail (per the
 //! [`FsyncPolicy`]). Both losses are one-sided under-counts; the
 //! kill-and-recover e2e bounds them against ground truth.
+//!
+//! AUDIT: locks — the gate and the WAL lock are on the ingest path;
+//! enforced by `cargo xtask audit` (lint-locks). The deliberate
+//! I/O-under-lock sites below carry `LOCK-OK` justifications.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,6 +133,11 @@ impl Persistence {
                 // + 8 per key.
                 self.tally.wal_record(batch.len() as u64, 20 + 8 * batch.len() as u64);
             }
+            // LOCK-OK: committing under the wal lock is the design — the
+            // WAL is one sequential file, writers must not interleave
+            // records, and the hold is bounded by the burst size. Contention
+            // is between shard workers only; the request path never takes
+            // this lock.
             match wal.commit() {
                 Ok(stats) => {
                     if stats.synced {
@@ -175,6 +184,9 @@ impl Persistence {
         let _serialize = self.ckpt_lock.lock();
 
         {
+            // LOCK-OK: ckpt_lock → gate is the one global lock order
+            // (ckpt_lock is outermost everywhere); the gate hold here is
+            // freeze + quiesce, no I/O.
             let mut gate = self.gate.lock();
             gate.frozen = true;
             while gate.in_flight > 0 {
@@ -187,8 +199,14 @@ impl Persistence {
         let (live, _, _) = backend.capture();
         // The log is forced before the checkpoint commits so the durable
         // state never has a checkpoint whose preceding WAL vanished.
+        // LOCK-OK: the fsync must land while ingest is frozen — that is
+        // the prefix-cut guarantee — so it deliberately runs under
+        // ckpt_lock, and the transient wal guard orders after it
+        // (ckpt_lock → wal, consistent with log_and_apply's wal-only use).
         let sync_result = self.wal.lock().sync();
         {
+            // LOCK-OK: same acyclic ckpt_lock → gate order; this hold
+            // only unfreezes and notifies.
             let mut gate = self.gate.lock();
             gate.frozen = false;
             self.unfrozen.notify_all();

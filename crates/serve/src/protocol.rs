@@ -6,6 +6,9 @@
 //! (`{"Ingest": {"keys": [1, 2]}}`). Every query answer carries a
 //! [`QueryStamp`] so the client knows which published snapshot epoch it
 //! was served from and how many items the backend had applied beyond it.
+//!
+//! AUDIT: total — decode runs on attacker-controlled payloads; enforced
+//! by `cargo xtask audit` (lint-totality).
 
 use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 use cots_core::{CotsError, CounterEntry, ServiceReport, Snapshot};
@@ -15,9 +18,10 @@ use cots_core::{CotsError, CounterEntry, ServiceReport, Snapshot};
 fn variant(v: &Json) -> JsonResult<(&str, Option<&Json>)> {
     match v {
         Json::Str(name) => Ok((name, None)),
-        Json::Obj(members) if members.len() == 1 => {
-            Ok((members[0].0.as_str(), Some(&members[0].1)))
-        }
+        Json::Obj(members) => match members.as_slice() {
+            [(name, payload)] => Ok((name.as_str(), Some(payload))),
+            _ => Err(JsonError("expected an enum variant".into())),
+        },
         _ => Err(JsonError("expected an enum variant".into())),
     }
 }

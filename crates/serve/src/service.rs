@@ -15,6 +15,9 @@
 //! engine, and every published snapshot merges base + live through the
 //! Space-Saving merge algebra — so post-recovery answers keep the
 //! `count ≥ true ≥ count − error` envelope over everything recovered.
+//!
+//! AUDIT: locks — the request path must never block behind I/O holding a
+//! lock; enforced by `cargo xtask audit` (lint-locks).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

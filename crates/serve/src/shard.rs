@@ -13,6 +13,9 @@
 //! adopt newly registered rings from a small mutex-protected inbox,
 //! drop rings whose connection has closed, and exit once shutdown is
 //! signalled and every ring has drained — the graceful-drain guarantee.
+//!
+//! AUDIT: locks — the registry mutexes are touched off the hot path only
+//! and must stay I/O-free; enforced by `cargo xtask audit` (lint-locks).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -87,4 +87,44 @@ proptest! {
         let _ = decode::<Request>(&payload);
         let _ = decode::<Response>(&payload);
     }
+
+    #[test]
+    fn truncated_length_prefix_is_incomplete(bytes in proptest::collection::vec(any::<u8>(), 0..4)) {
+        // Fewer than 4 bytes can never yield a length, whatever they are.
+        prop_assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::Incomplete);
+    }
+
+    #[test]
+    fn at_cap_prefix_waits_for_body(body_len in 0usize..64) {
+        // A prefix of exactly MAX_FRAME is legal: with a short body the
+        // decoder asks for more bytes instead of rejecting or panicking.
+        let mut bytes = (MAX_FRAME as u32).to_le_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', body_len));
+        prop_assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::Incomplete);
+    }
+}
+
+#[test]
+fn zero_length_frame_decodes_to_empty_payload() {
+    let (payload, used) = decode_frame(&0u32.to_le_bytes()).unwrap();
+    assert_eq!(payload, "");
+    assert_eq!(used, 4);
+}
+
+#[test]
+fn exactly_at_cap_frame_decodes() {
+    let body = "a".repeat(MAX_FRAME);
+    let frame = encode_frame(&body);
+    let (payload, used) = decode_frame(&frame).unwrap();
+    assert_eq!(payload.len(), MAX_FRAME);
+    assert_eq!(used, 4 + MAX_FRAME);
+}
+
+#[test]
+fn one_past_cap_is_rejected_before_any_body_arrives() {
+    let bytes = ((MAX_FRAME + 1) as u32).to_le_bytes();
+    assert_eq!(
+        decode_frame(&bytes).unwrap_err(),
+        FrameError::TooLarge(MAX_FRAME + 1)
+    );
 }

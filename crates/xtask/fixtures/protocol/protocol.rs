@@ -1,0 +1,25 @@
+//! Fixture: wire enums with one undocumented variant.
+
+/// Requests.
+pub enum Request {
+    /// Documented in the fixture doc.
+    Ingest,
+    /// Documented in the fixture doc.
+    Stats,
+    /// Absent from the fixture doc.
+    Ghost, //~ EXPECT: protocol doc-missing
+}
+
+/// Queries.
+pub enum QueryReq {
+    /// Documented in the fixture doc.
+    Point,
+}
+
+/// Responses.
+pub enum Response {
+    /// Documented in the fixture doc.
+    Answer,
+    /// Documented in the fixture doc.
+    Error,
+}

@@ -1,0 +1,29 @@
+//! Fixture: report structs with one undocumented field.
+
+/// Service-level counters.
+pub struct ServiceReport {
+    /// Documented in the fixture doc.
+    pub queries: u64,
+    /// Absent from the fixture doc.
+    pub hidden_metric: u64, //~ EXPECT: protocol doc-missing
+    /// Private fields are not part of the wire surface.
+    internal: u64,
+}
+
+/// Per-shard counters.
+pub struct ShardReport {
+    /// Documented in the fixture doc.
+    pub shard: usize,
+}
+
+/// Recovery accounting.
+pub struct RecoveryReport {
+    /// Documented in the fixture doc.
+    pub base_items: u64,
+}
+
+/// Durability counters.
+pub struct PersistReport {
+    /// Documented in the fixture doc.
+    pub checkpoints: u64,
+}

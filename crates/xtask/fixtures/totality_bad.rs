@@ -1,0 +1,35 @@
+//! Fixture: panic-capable constructs in a total-decode module. Each
+//! `EXPECT` marker names the finding the analyzer must produce on that
+//! exact line — and nothing else in this file may be flagged.
+//!
+//! AUDIT: total
+
+/// Unjustified panic-capable constructs, one per rule.
+pub fn bad(v: &[u8], o: Option<u8>) -> u8 {
+    let a = o.unwrap(); //~ EXPECT: totality unwrap
+    let b = o.expect("present"); //~ EXPECT: totality expect
+    if v.is_empty() {
+        panic!("empty"); //~ EXPECT: totality panic-macro
+    }
+    a + b + v[0] //~ EXPECT: totality index
+}
+
+/// Justified: the adjacent proof discharges the finding.
+pub fn justified(v: &[u8]) -> u8 {
+    // PANIC-OK: fixture — the caller guarantees v is non-empty.
+    v[0]
+}
+
+/// Total code in an annotated module is clean.
+pub fn total(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt even in annotated modules.
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(super::total(&[7]).unwrap(), 7);
+    }
+}

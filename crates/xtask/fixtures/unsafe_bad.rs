@@ -1,0 +1,28 @@
+//! Fixture: unjustified unsafe sites. Each `EXPECT` marker names the
+//! finding the analyzer must produce on that exact line — and nothing
+//! else in this file may be flagged.
+
+/// No SAFETY comment anywhere near.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p } //~ EXPECT: unsafe unsafe-block
+}
+
+/// An unsafe fn whose docs never state its contract.
+pub unsafe fn raw(p: *const u8) -> u8 { //~ EXPECT: unsafe unsafe-fn
+    *p
+}
+
+/// Justified block.
+pub fn peek_ok(p: *const u8) -> u8 {
+    // SAFETY: fixture — p is valid by the caller's contract.
+    unsafe { *p }
+}
+
+/// Read one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn raw_ok(p: *const u8) -> u8 {
+    *p
+}

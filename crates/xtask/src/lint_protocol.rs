@@ -1,0 +1,359 @@
+//! The `protocol` pass: the wire-protocol docs cannot drift from the code.
+//!
+//! `docs/PROTOCOL.md` carries a machine-checked **"Wire protocol
+//! reference"** section whose grammar this pass parses:
+//!
+//! ```markdown
+//! ## N. Wire protocol reference (machine-checked)
+//! ### Request
+//! - `Ingest` — prose...
+//! ### ServiceReport
+//! - `ingested_keys` — prose...
+//! ```
+//!
+//! Each `### TypeName` group is cross-checked against the corresponding
+//! Rust item — enum variants from `crates/serve/src/protocol.rs`
+//! (`Request`, `QueryReq`, `Response`), public struct fields from
+//! `crates/core/src/report.rs` (`ServiceReport`, `ShardReport`,
+//! `RecoveryReport`, `PersistReport`) — in both directions: an
+//! undocumented variant/field is `doc-missing`, a documented name the
+//! code no longer has is `doc-stale`. As a weaker prose check, every
+//! request/query op name must also appear somewhere in
+//! `docs/service.md` (`service-doc`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{find_word, lex, LexedLine};
+use crate::report::Finding;
+
+/// Enums in `serve::protocol` whose variants are wire op names.
+const ENUMS: &[&str] = &["Request", "QueryReq", "Response"];
+
+/// Structs in `core::report` whose public fields are STATS report keys.
+const STRUCTS: &[&str] = &["ServiceReport", "ShardReport", "RecoveryReport", "PersistReport"];
+
+/// The heading that opens the machine-checked section.
+const SECTION: &str = "Wire protocol reference";
+
+/// Which files one protocol check reads (parameterized for fixtures).
+pub struct ProtocolPaths {
+    /// The enum source (`serve::protocol`).
+    pub protocol_rs: PathBuf,
+    /// The report-struct source (`core::report`).
+    pub report_rs: PathBuf,
+    /// The markdown carrying the wire reference section.
+    pub protocol_md: PathBuf,
+    /// Optional prose doc that must mention every request op.
+    pub service_md: Option<PathBuf>,
+}
+
+impl ProtocolPaths {
+    /// The real workspace layout.
+    pub fn workspace(root: &Path) -> Self {
+        ProtocolPaths {
+            protocol_rs: root.join("crates/serve/src/protocol.rs"),
+            report_rs: root.join("crates/core/src/report.rs"),
+            protocol_md: root.join("docs/PROTOCOL.md"),
+            service_md: Some(root.join("docs/service.md")),
+        }
+    }
+}
+
+/// Run the protocol pass against the workspace layout.
+pub fn pass(root: &Path) -> Vec<Finding> {
+    check(root, &ProtocolPaths::workspace(root))
+}
+
+/// Run the protocol pass against explicit paths.
+pub fn check(root: &Path, paths: &ProtocolPaths) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let rel = |p: &Path| p.strip_prefix(root).unwrap_or(p).display().to_string();
+
+    let Some(protocol_src) = read(&paths.protocol_rs, &mut findings, root) else {
+        return findings;
+    };
+    let Some(report_src) = read(&paths.report_rs, &mut findings, root) else {
+        return findings;
+    };
+    let Some(md_src) = read(&paths.protocol_md, &mut findings, root) else {
+        return findings;
+    };
+
+    let protocol_lines = lex(&protocol_src);
+    let report_lines = lex(&report_src);
+
+    // Gather what the code declares: (type, name, line, source-file).
+    let mut code: Vec<(String, String, usize, String)> = Vec::new();
+    for (src_lines, kinds, file, is_enum) in [
+        (&protocol_lines, ENUMS, rel(&paths.protocol_rs), true),
+        (&report_lines, STRUCTS, rel(&paths.report_rs), false),
+    ] {
+        for ty in kinds {
+            match item_members(src_lines, ty, is_enum) {
+                Some(members) => {
+                    for (name, line) in members {
+                        code.push((ty.to_string(), name, line, file.clone()));
+                    }
+                }
+                None => findings.push(Finding {
+                    pass: "protocol",
+                    rule: "doc-stale",
+                    file: file.clone(),
+                    line: 0,
+                    message: format!(
+                        "expected `{}` `{ty}` not found — update the protocol \
+                         pass target list in crates/xtask/src/lint_protocol.rs",
+                        if is_enum { "enum" } else { "struct" }
+                    ),
+                }),
+            }
+        }
+    }
+
+    // Gather what the doc declares: (type, name, md line).
+    let md_file = rel(&paths.protocol_md);
+    let (doc, documented_types) = parse_wire_reference(&md_src);
+    if documented_types.is_empty() {
+        findings.push(Finding {
+            pass: "protocol",
+            rule: "doc-missing",
+            file: md_file,
+            line: 0,
+            message: format!(
+                "no `## ... {SECTION}` section found; add the machine-checked \
+                 wire reference (see docs/correctness.md)"
+            ),
+        });
+        return findings;
+    }
+
+    // Code → doc: every variant/field must be documented.
+    for (ty, name, line, file) in &code {
+        if !doc.iter().any(|(t, n, _)| t == ty && n == name) {
+            findings.push(Finding {
+                pass: "protocol",
+                rule: "doc-missing",
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "`{ty}::{name}` is not documented under `### {ty}` in the \
+                     {SECTION} section of {md_file}"
+                ),
+            });
+        }
+    }
+
+    // Doc → code: every documented name must still exist.
+    for (ty, name, md_line) in &doc {
+        let known_type = ENUMS.contains(&ty.as_str()) || STRUCTS.contains(&ty.as_str());
+        if !known_type {
+            findings.push(Finding {
+                pass: "protocol",
+                rule: "doc-stale",
+                file: md_file.clone(),
+                line: *md_line,
+                message: format!(
+                    "documented group `### {ty}` matches no checked enum/struct"
+                ),
+            });
+            continue;
+        }
+        if !code.iter().any(|(t, n, _, _)| t == ty && n == name) {
+            findings.push(Finding {
+                pass: "protocol",
+                rule: "doc-stale",
+                file: md_file.clone(),
+                line: *md_line,
+                message: format!("documented `{ty}::{name}` no longer exists in the code"),
+            });
+        }
+    }
+
+    // Prose containment: every request/query op appears in service.md.
+    if let Some(service_md) = &paths.service_md {
+        if let Some(service_src) = read(service_md, &mut findings, root) {
+            for (ty, name, line, file) in &code {
+                let is_op = ty == "Request" || ty == "QueryReq";
+                if is_op && !service_src.contains(name) {
+                    findings.push(Finding {
+                        pass: "protocol",
+                        rule: "service-doc",
+                        file: file.clone(),
+                        line: *line,
+                        message: format!(
+                            "op `{ty}::{name}` is never mentioned in {}",
+                            rel(service_md)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+fn read(path: &Path, findings: &mut Vec<Finding>, root: &Path) -> Option<String> {
+    match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            findings.push(Finding {
+                pass: "protocol",
+                rule: "doc-missing",
+                file: path.strip_prefix(root).unwrap_or(path).display().to_string(),
+                line: 0,
+                message: format!("cannot read: {e}"),
+            });
+            None
+        }
+    }
+}
+
+/// Variants of `pub enum <name>` / public fields of `pub struct <name>`,
+/// with their 1-based lines. `None` if the item is missing.
+fn item_members(lines: &[LexedLine], name: &str, is_enum: bool) -> Option<Vec<(String, usize)>> {
+    let keyword = if is_enum { "enum" } else { "struct" };
+    let decl = lines.iter().position(|l| {
+        find_word(&l.code, keyword, 0).is_some() && find_word(&l.code, name, 0).is_some()
+    })?;
+    let mut members = Vec::new();
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for (j, line) in lines.iter().enumerate().skip(decl) {
+        let depth_at_start = depth;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth_at_start == 1 {
+            if let Some(member) = member_on(&line.code, is_enum) {
+                members.push((member, j + 1));
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    Some(members)
+}
+
+/// The member an item-body line declares, if any.
+fn member_on(code: &str, is_enum: bool) -> Option<String> {
+    let trimmed = code.trim();
+    if is_enum {
+        // A variant line starts with an uppercase identifier.
+        let first = trimmed.chars().next()?;
+        if !first.is_ascii_uppercase() {
+            return None;
+        }
+        let name: String = trimmed
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        (!name.is_empty()).then_some(name)
+    } else {
+        // A public field line: `pub <name>: <type>,`.
+        let rest = trimmed.strip_prefix("pub ")?;
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        (!name.is_empty() && rest[name.len()..].trim_start().starts_with(':')).then_some(name)
+    }
+}
+
+/// Parse the wire reference section: `(type, name, line)` triples plus the
+/// set of `###` group headings seen.
+fn parse_wire_reference(md: &str) -> (Vec<(String, String, usize)>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut types = Vec::new();
+    let mut in_section = false;
+    let mut group: Option<String> = None;
+    for (i, line) in md.lines().enumerate() {
+        if line.starts_with("## ") {
+            in_section = line.contains(SECTION);
+            group = None;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some(heading) = line.strip_prefix("### ") {
+            let ty: String = heading
+                .trim()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !ty.is_empty() {
+                types.push(ty.clone());
+                group = Some(ty);
+            }
+            continue;
+        }
+        if let (Some(ty), Some(rest)) = (&group, line.trim_start().strip_prefix("- `")) {
+            if let Some(end) = rest.find('`') {
+                entries.push((ty.clone(), rest[..end].to_string(), i + 1));
+            }
+        }
+    }
+    (entries, types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CODE: &str = "pub enum Request {\n    Ingest(IngestReq),\n    Stats,\n}\n";
+
+    #[test]
+    fn enum_variants_are_extracted() {
+        let lines = lex(CODE);
+        let members = item_members(&lines, "Request", true).unwrap();
+        let names: Vec<&str> = members.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Ingest", "Stats"]);
+    }
+
+    #[test]
+    fn struct_fields_are_extracted() {
+        let src = "pub struct ServiceReport {\n    /// Doc.\n    pub ingested_keys: u64,\n    pub shards: Vec<ShardReport>,\n    hidden: u8,\n}\n";
+        let lines = lex(src);
+        let members = item_members(&lines, "ServiceReport", false).unwrap();
+        let names: Vec<&str> = members.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["ingested_keys", "shards"]);
+    }
+
+    #[test]
+    fn wire_reference_parses_groups_and_entries() {
+        let md = "# Title\n\n## 1. Other\n- `NotParsed`\n\n## 2. Wire protocol reference (machine-checked)\n\n### Request\n\n- `Ingest` — enqueue keys.\n- `Stats` — report.\n\n### ServiceReport\n\n- `ingested_keys` — total.\n\n## 3. After\n- `AlsoNotParsed`\n";
+        let (entries, types) = parse_wire_reference(md);
+        assert_eq!(types, vec!["Request", "ServiceReport"]);
+        let names: Vec<(&str, &str)> = entries
+            .iter()
+            .map(|(t, n, _)| (t.as_str(), n.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("Request", "Ingest"),
+                ("Request", "Stats"),
+                ("ServiceReport", "ingested_keys")
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_enum_payload_braces_do_not_leak_variants() {
+        let src = "pub enum Response {\n    Answer {\n        entries: Vec<Entry>,\n        total: u64,\n    },\n    Error(String),\n}\n";
+        let lines = lex(src);
+        let members = item_members(&lines, "Response", true).unwrap();
+        let names: Vec<&str> = members.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Answer", "Error"]);
+    }
+}

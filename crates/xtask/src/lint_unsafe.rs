@@ -1,4 +1,4 @@
-//! The `lint-unsafe` task: every `unsafe` site must carry a justification.
+//! The `unsafe` pass: every `unsafe` site must carry a justification.
 //!
 //! Policy (matching `docs/correctness.md`):
 //!
@@ -9,46 +9,54 @@
 //!   `# Safety` section (the rustdoc convention), searched in the directly
 //!   attached doc block.
 //!
-//! The scanner is lexical: it strips comments, strings, and char literals
-//! before looking for the `unsafe` keyword, so occurrences inside text never
-//! trip it, and it needs no syn/proc-macro dependency.
+//! The scanner is lexical (see [`crate::lexer`]): comments, strings, and
+//! char literals are stripped before looking for the `unsafe` keyword, so
+//! occurrences inside text never trip it.
 
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
-const SAFETY_WINDOW: usize = 5;
+use crate::lexer::{find_word, has_marker_near, lex, LexedLine};
+use crate::report::Finding;
 
-/// Directories never scanned.
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "docs"];
-
-/// Run the lint over every `.rs` file under `root`.
-pub fn run(root: &Path) -> ExitCode {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files);
-    files.sort();
-    let mut violations = Vec::new();
-    let mut sites = 0usize;
-    for file in &files {
-        let Ok(source) = fs::read_to_string(file) else {
+/// Run the unsafe pass over the given files, returning findings.
+pub fn pass(root: &Path, files: &[PathBuf]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let Ok(source) = std::fs::read_to_string(file) else {
             eprintln!("warning: unreadable file {}", file.display());
             continue;
         };
         let rel = file.strip_prefix(root).unwrap_or(file);
         for site in scan(&source) {
-            sites += 1;
             if !site.justified {
-                violations.push(format!(
-                    "{}:{}: `{}` without an adjacent SAFETY justification",
-                    rel.display(),
-                    site.line,
-                    site.kind.describe(),
-                ));
+                findings.push(Finding {
+                    pass: "unsafe",
+                    rule: site.kind.rule(),
+                    file: rel.display().to_string(),
+                    line: site.line,
+                    message: format!(
+                        "`{}` without an adjacent SAFETY justification",
+                        site.kind.describe()
+                    ),
+                });
             }
         }
     }
-    if violations.is_empty() {
+    findings
+}
+
+/// Standalone `cargo xtask lint-unsafe` entry point.
+pub fn run(root: &Path) -> ExitCode {
+    let files = crate::audit::collect_rs_files(root);
+    let mut sites = 0usize;
+    for file in &files {
+        if let Ok(source) = std::fs::read_to_string(file) {
+            sites += scan(&source).len();
+        }
+    }
+    let findings = pass(root, &files);
+    if findings.is_empty() {
         println!(
             "lint-unsafe: OK ({} files, {} unsafe sites, all justified)",
             files.len(),
@@ -56,34 +64,16 @@ pub fn run(root: &Path) -> ExitCode {
         );
         ExitCode::SUCCESS
     } else {
-        for v in &violations {
-            eprintln!("error: {v}");
+        for f in &findings {
+            eprintln!("error: {}", f.display());
         }
         eprintln!(
             "\nlint-unsafe: {} unjustified unsafe site(s). Add a `// SAFETY: ...` \
              comment explaining why the invariants hold (or a `# Safety` doc \
              section for an unsafe fn).",
-            violations.len()
+            findings.len()
         );
         ExitCode::FAILURE
-    }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
-                collect_rs_files(&path, out);
-            }
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
     }
 }
 
@@ -104,6 +94,14 @@ impl SiteKind {
             SiteKind::Block => "unsafe block",
             SiteKind::Fn => "unsafe fn",
             SiteKind::ImplOrTrait => "unsafe impl/trait",
+        }
+    }
+
+    fn rule(self) -> &'static str {
+        match self {
+            SiteKind::Block => "unsafe-block",
+            SiteKind::Fn => "unsafe-fn",
+            SiteKind::ImplOrTrait => "unsafe-impl",
         }
     }
 }
@@ -141,9 +139,9 @@ pub fn scan(source: &str) -> Vec<Site> {
             }
             let justified = match kind {
                 SiteKind::Fn => {
-                    has_safety_comment(&lines, i) || has_safety_doc_section(&lines, i)
+                    has_marker_near(&lines, i, "SAFETY:") || has_safety_doc_section(&lines, i)
                 }
-                _ => has_safety_comment(&lines, i),
+                _ => has_marker_near(&lines, i, "SAFETY:"),
             };
             sites.push(Site {
                 line: i + 1,
@@ -153,36 +151,6 @@ pub fn scan(source: &str) -> Vec<Site> {
         }
     }
     sites
-}
-
-/// A source line split into its code part and its comment part.
-struct LexedLine {
-    /// The line with comments, strings and char literals blanked out.
-    code: String,
-    /// Concatenated comment text on the line (line, block, and doc).
-    comment: String,
-    /// Whether the comment is a doc comment (`///` or `//!` or `/** */`).
-    is_doc: bool,
-}
-
-/// First occurrence of `word` in `code` at or after `from`, with identifier
-/// boundaries on both sides.
-fn find_word(code: &str, word: &str, from: usize) -> Option<usize> {
-    let bytes = code.as_bytes();
-    let mut start = from;
-    while let Some(rel) = code.get(start..)?.find(word) {
-        let pos = start + rel;
-        let before_ok = pos == 0
-            || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
-        let end = pos + word.len();
-        let after_ok = end >= bytes.len()
-            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
-        if before_ok && after_ok {
-            return Some(pos);
-        }
-        start = pos + 1;
-    }
-    None
 }
 
 /// Determine what follows the `unsafe` keyword (skipping whitespace across
@@ -211,31 +179,6 @@ fn classify(lines: &[LexedLine], line_idx: usize, col: usize) -> SiteKind {
     }
 }
 
-/// A `SAFETY:` comment on the same line or in the window above.
-///
-/// Pure comment lines do not consume the window, so a multi-line
-/// justification block counts in full however long it is; only code and
-/// blank lines burn the budget.
-fn has_safety_comment(lines: &[LexedLine], line_idx: usize) -> bool {
-    if lines[line_idx].comment.contains("SAFETY:") {
-        return true;
-    }
-    let mut budget = SAFETY_WINDOW;
-    let mut idx = line_idx;
-    while idx > 0 && budget > 0 {
-        idx -= 1;
-        let l = &lines[idx];
-        if l.comment.contains("SAFETY:") {
-            return true;
-        }
-        // A comment-only line extends the window upward for free.
-        if !(l.code.trim().is_empty() && !l.comment.is_empty()) {
-            budget -= 1;
-        }
-    }
-    false
-}
-
 /// A doc block directly above the declaration containing `# Safety`.
 ///
 /// Walks upward through attached doc comments and attributes only.
@@ -262,168 +205,10 @@ fn has_safety_doc_section(lines: &[LexedLine], line_idx: usize) -> bool {
     false
 }
 
-/// Strip comments, strings and char literals, keeping per-line comment text.
-fn lex(source: &str) -> Vec<LexedLine> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum State {
-        Normal,
-        Block { depth: u32, doc: bool },
-        Str,
-        RawStr { hashes: u32 },
-    }
-
-    let mut out = Vec::new();
-    let mut state = State::Normal;
-    for raw in source.lines() {
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut is_doc = false;
-        let chars: Vec<char> = raw.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            let c = chars[i];
-            match state {
-                State::Normal => match c {
-                    '/' if chars.get(i + 1) == Some(&'/') => {
-                        let text: String = chars[i..].iter().collect();
-                        if text.starts_with("///") || text.starts_with("//!") {
-                            is_doc = true;
-                        }
-                        comment.push_str(&text);
-                        i = chars.len();
-                    }
-                    '/' if chars.get(i + 1) == Some(&'*') => {
-                        let doc = chars.get(i + 2) == Some(&'*') || chars.get(i + 2) == Some(&'!');
-                        state = State::Block { depth: 1, doc };
-                        if doc {
-                            is_doc = true;
-                        }
-                        code.push(' ');
-                        i += 2;
-                    }
-                    '"' => {
-                        state = State::Str;
-                        code.push('"');
-                        i += 1;
-                    }
-                    'r' if matches!(chars.get(i + 1), Some('"' | '#'))
-                        && raw_string_hashes(&chars[i + 1..]).is_some() =>
-                    {
-                        let hashes = raw_string_hashes(&chars[i + 1..]).unwrap();
-                        state = State::RawStr { hashes };
-                        code.push(' ');
-                        i += 2 + hashes as usize; // r, hashes, opening quote
-                    }
-                    'b' if chars.get(i + 1) == Some(&'"') => {
-                        state = State::Str;
-                        code.push(' ');
-                        i += 2;
-                    }
-                    '\'' => {
-                        // Char literal vs lifetime.
-                        if chars.get(i + 1) == Some(&'\\') {
-                            // Escaped char literal: skip to closing quote.
-                            let mut j = i + 2;
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            code.push(' ');
-                            i = (j + 1).min(chars.len());
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            code.push(' ');
-                            i += 3;
-                        } else {
-                            // Lifetime: keep going.
-                            code.push('\'');
-                            i += 1;
-                        }
-                    }
-                    c => {
-                        code.push(c);
-                        i += 1;
-                    }
-                },
-                State::Block { depth, doc } => {
-                    if c == '*' && chars.get(i + 1) == Some(&'/') {
-                        if depth == 1 {
-                            state = State::Normal;
-                        } else {
-                            state = State::Block {
-                                depth: depth - 1,
-                                doc,
-                            };
-                        }
-                        i += 2;
-                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = State::Block {
-                            depth: depth + 1,
-                            doc,
-                        };
-                        i += 2;
-                    } else {
-                        comment.push(c);
-                        if doc {
-                            is_doc = true;
-                        }
-                        i += 1;
-                    }
-                }
-                State::Str => match c {
-                    '\\' => i += 2,
-                    '"' => {
-                        state = State::Normal;
-                        code.push('"');
-                        i += 1;
-                    }
-                    _ => i += 1,
-                },
-                State::RawStr { hashes } => {
-                    if c == '"' && closes_raw(&chars[i + 1..], hashes) {
-                        state = State::Normal;
-                        i += 1 + hashes as usize;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-        }
-        if let State::Block { doc, .. } = state {
-            // Block comment continues onto the next line.
-            if doc {
-                is_doc = true;
-            }
-        }
-        out.push(LexedLine {
-            code,
-            comment,
-            is_doc,
-        });
-    }
-    out
-}
-
-/// For text after a leading `r`, return `Some(hash_count)` if it opens a raw
-/// string (`#*"` prefix).
-fn raw_string_hashes(after_r: &[char]) -> Option<u32> {
-    let mut hashes = 0u32;
-    for &c in after_r {
-        match c {
-            '#' => hashes += 1,
-            '"' => return Some(hashes),
-            _ => return None,
-        }
-    }
-    None
-}
-
-/// Whether the chars after a `"` close a raw string with `hashes` hashes.
-fn closes_raw(after_quote: &[char], hashes: u32) -> bool {
-    (0..hashes as usize).all(|k| after_quote.get(k) == Some(&'#'))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::JUSTIFY_WINDOW;
 
     fn unjustified(source: &str) -> Vec<usize> {
         scan(source)
@@ -453,7 +238,7 @@ mod tests {
 
     #[test]
     fn window_is_bounded() {
-        let filler = "let a = 1;\n".repeat(SAFETY_WINDOW + 1);
+        let filler = "let a = 1;\n".repeat(JUSTIFY_WINDOW + 1);
         let src = format!("// SAFETY: too far away.\n{filler}let x = unsafe {{ *p }};\n");
         assert_eq!(unjustified(&src).len(), 1);
     }

@@ -1,15 +1,21 @@
 //! Workspace automation, invoked as `cargo xtask <task>` (see the alias in
 //! `.cargo/config.toml`).
 //!
-//! Tasks:
+//! The repository's static-analysis suite — **cots-audit** — lives here as
+//! a set of zero-dependency lexical passes (see `docs/correctness.md` for
+//! the policy each one enforces and the annotation grammar):
 //!
-//! * `lint-unsafe` — walk every Rust source file in the workspace and fail
-//!   if an `unsafe` occurrence is not justified: `unsafe` blocks and
-//!   `unsafe impl`s need an adjacent `// SAFETY:` comment, `unsafe fn`
-//!   declarations need either one or a `# Safety` section in their doc
-//!   comment. The scanner is purely lexical (comments and strings are
-//!   stripped before matching), so it needs no dependencies and runs in
-//!   milliseconds.
+//! * `audit` — run every pass; `--json` writes the machine-readable
+//!   report to stdout (CI archives it as `AUDIT.json`), `--fixtures`
+//!   self-tests the analyzers against `crates/xtask/fixtures/`.
+//! * `lint-unsafe` — every `unsafe` site needs a `// SAFETY:`
+//!   justification (or a `# Safety` doc section for `unsafe fn`).
+//! * `lint-totality` — in `//! AUDIT: total` modules, no panic-capable
+//!   construct without a `// PANIC-OK:` proof.
+//! * `lint-locks` — in `//! AUDIT: locks` modules, no blocking I/O or
+//!   nested acquisition under a live guard without a `// LOCK-OK:`.
+//! * `lint-protocol` — `docs/PROTOCOL.md`'s wire reference must match
+//!   the `serve::protocol` enums and `core::report` structs exactly.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -17,21 +23,68 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod audit;
+mod lexer;
+mod lint_locks;
+mod lint_protocol;
+mod lint_totality;
 mod lint_unsafe;
+mod report;
 
 fn usage() -> ExitCode {
     eprintln!("usage: cargo xtask <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint-unsafe   require a SAFETY justification at every unsafe site");
+    eprintln!("  audit [--json] [--fixtures]");
+    eprintln!("                 run all passes; --json emits AUDIT.json on stdout,");
+    eprintln!("                 --fixtures self-tests against the fixture corpus");
+    eprintln!("  lint-unsafe    require a SAFETY justification at every unsafe site");
+    eprintln!("  lint-totality  deny panic-capable code in `AUDIT: total` modules");
+    eprintln!("  lint-locks     deny blocking/nested work under guards in `AUDIT: locks` modules");
+    eprintln!("  lint-protocol  cross-check docs/PROTOCOL.md against the wire types");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
     match args.first().map(String::as_str) {
-        Some("lint-unsafe") => lint_unsafe::run(&workspace_root()),
+        Some("lint-unsafe") => lint_unsafe::run(&root),
+        Some("lint-totality") => {
+            let files = audit::collect_rs_files(&root);
+            let (findings, scanned) = lint_totality::pass(&root, &files);
+            finish("lint-totality", scanned, findings)
+        }
+        Some("lint-locks") => {
+            let files = audit::collect_rs_files(&root);
+            let (findings, scanned) = lint_locks::pass(&root, &files);
+            finish("lint-locks", scanned, findings)
+        }
+        Some("lint-protocol") => finish("lint-protocol", 4, lint_protocol::pass(&root)),
+        Some("audit") => {
+            let json = args.iter().any(|a| a == "--json");
+            let fixtures = args.iter().any(|a| a == "--fixtures");
+            if fixtures {
+                audit::run_fixtures(&root)
+            } else {
+                audit::run(&root, json)
+            }
+        }
         _ => usage(),
+    }
+}
+
+/// Shared tail for the single-pass commands.
+fn finish(task: &str, files: usize, findings: Vec<report::Finding>) -> ExitCode {
+    for f in &findings {
+        eprintln!("error: {}", f.display());
+    }
+    if findings.is_empty() {
+        println!("{task}: OK ({files} file(s) checked)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\n{task}: {} finding(s)", findings.len());
+        ExitCode::FAILURE
     }
 }
 

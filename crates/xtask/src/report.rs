@@ -1,0 +1,141 @@
+//! Findings and the machine-readable audit report.
+//!
+//! Every pass returns plain [`Finding`] values; the orchestrator decides
+//! whether to render them as human `file:line:` diagnostics or as the
+//! `AUDIT.json` document CI archives. The JSON writer is hand-rolled —
+//! xtask is deliberately dependency-free — and emits a stable schema:
+//!
+//! ```json
+//! {
+//!   "schema": "cots-audit/1",
+//!   "passes": [{"pass": "totality", "files": 7, "findings": 0}, ...],
+//!   "findings": [{"pass": "...", "rule": "...", "file": "...",
+//!                 "line": 42, "message": "..."}],
+//!   "total_findings": 0,
+//!   "ok": true
+//! }
+//! ```
+
+/// One diagnostic from one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which pass produced it: `unsafe`, `totality`, `locks`, `protocol`.
+    pub pass: &'static str,
+    /// Stable machine-readable rule id within the pass.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human explanation, including how to justify or fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Render as a compiler-style one-liner.
+    pub fn display(&self) -> String {
+        format!(
+            "{}:{}: [{}/{}] {}",
+            self.file, self.line, self.pass, self.rule, self.message
+        )
+    }
+}
+
+/// Per-pass counters for the report header.
+#[derive(Debug, Clone)]
+pub struct PassSummary {
+    /// Pass name.
+    pub pass: &'static str,
+    /// How many files the pass examined (after marker filtering).
+    pub files: usize,
+    /// How many findings it produced.
+    pub findings: usize,
+}
+
+/// Serialize the whole report.
+pub fn to_json(passes: &[PassSummary], findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"cots-audit/1\",\n  \"passes\": [");
+    for (i, p) in passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pass\": {}, \"files\": {}, \"findings\": {}}}",
+            json_str(p.pass),
+            p.files,
+            p.findings
+        ));
+    }
+    out.push_str("\n  ],\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pass\": {}, \"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(f.pass),
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"total_findings\": {},\n  \"ok\": {}\n}}\n",
+        findings.len(),
+        findings.is_empty()
+    ));
+    out
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let findings = vec![Finding {
+            pass: "totality",
+            rule: "unwrap",
+            file: "a/b.rs".into(),
+            line: 7,
+            message: "say \"why\"\nor fix".into(),
+        }];
+        let passes = vec![PassSummary {
+            pass: "totality",
+            files: 3,
+            findings: 1,
+        }];
+        let json = to_json(&passes, &findings);
+        assert!(json.contains("\"total_findings\": 1"));
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("say \\\"why\\\"\\nor fix"));
+        assert!(json.contains("\"files\": 3"));
+    }
+
+    #[test]
+    fn empty_report_is_ok() {
+        let json = to_json(&[], &[]);
+        assert!(json.contains("\"ok\": true"));
+        assert!(json.contains("\"total_findings\": 0"));
+    }
+}
