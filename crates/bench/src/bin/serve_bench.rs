@@ -8,28 +8,57 @@
 //!
 //! ```text
 //! serve-bench [--items N] [--shards S] [--qps Q] [--seed SEED]
-//!             [--alphabet A] [--capacity C] [--connections K]
-//!             [--repeats R] [--strict]
+//!             [--alphabet A] [--alpha Z] [--capacity C] [--connections K]
+//!             [--io-model reactor|threads] [--repeats R]
+//!             [--connection-sweep] [--sweep-items N] [--strict]
 //! ```
 //!
 //! Each pass starts a fresh in-process server on an ephemeral loopback
-//! port, replays the same deterministic Zipf(1.5) stream through
-//! `cots-load`'s engine, waits for full application (staleness 0), and
-//! verifies answers against exact ground truth. With `--repeats R > 1`
-//! the best wall-clock of R runs is kept per mode, which filters scheduler
-//! noise out of the interference ratio. Exit status is non-zero if any
-//! answer violates the Space Saving guarantee, or — with `--strict` —
-//! if the queried run falls more than 10% below the quiet run.
+//! port, replays the same deterministic Zipf stream through `cots-load`'s
+//! engine, waits for full application (staleness 0), and verifies answers
+//! against exact ground truth. With `--repeats R > 1` the best wall-clock
+//! of R runs is kept per mode, which filters scheduler noise out of the
+//! interference ratio. Exit status is non-zero if any answer violates the
+//! Space Saving guarantee, or — with `--strict` — if the queried run
+//! falls more than 10% below the quiet run.
+//!
+//! `--connection-sweep` additionally measures ingest throughput at
+//! C ∈ {2, 64, 512, 4096} simultaneously open connections (simulated by
+//! a small pool of multiplexing client workers) under the reactor — and
+//! under the thread-per-connection model up to C = 512 — and writes a
+//! `connections` section into `BENCH_serve.json`. The sweep gates:
+//! reactor throughput must reach 0.9× the threaded model at C = 2, and
+//! the reactor must sustain C = 512 with a clean accuracy check (the
+//! threaded model is allowed to fail there; C = 4096 is recorded but
+//! not gating, so fd-limited CI runners cannot flake the gate).
 
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use cots_core::json::{Json, ToJson};
+use cots_core::Threshold;
+use cots_datagen::{ExactCounter, StreamSpec};
 use cots_serve::loadgen::{self, LoadConfig};
-use cots_serve::{Client, LoadReport, Server, ServiceConfig};
+use cots_serve::protocol::QueryReq;
+use cots_serve::{Client, IoConfig, IoModel, LoadReport, Server, ServiceConfig};
 
 /// Queried-run throughput must reach this fraction of the quiet run.
 const INTERFERENCE_FLOOR: f64 = 0.90;
+
+/// Reactor throughput must reach this fraction of the threaded model at
+/// the sweep's C = 2 baseline.
+const PARITY_FLOOR: f64 = 0.90;
+
+/// Connection counts the sweep visits.
+const SWEEP_POINTS: [usize; 4] = [2, 64, 512, 4096];
+
+/// The threaded model is only attempted up to this many connections
+/// (beyond it, thread-per-connection is the failure mode under test).
+const THREADED_CEILING: usize = 512;
+
+/// The sweep gate requires the reactor to sustain this many connections.
+const SUSTAIN_FLOOR: usize = 512;
 
 struct BenchArgs {
     items: u64,
@@ -37,9 +66,13 @@ struct BenchArgs {
     qps: u64,
     seed: u64,
     alphabet: usize,
+    alpha: f64,
     capacity: usize,
     connections: usize,
+    io_model: IoModel,
     repeats: usize,
+    connection_sweep: bool,
+    sweep_items: u64,
     strict: bool,
 }
 
@@ -51,9 +84,13 @@ impl Default for BenchArgs {
             qps: 8,
             seed: 42,
             alphabet: 100_000,
+            alpha: 1.5,
             capacity: 1_000,
             connections: 2,
+            io_model: IoModel::default_for_platform(),
             repeats: 1,
+            connection_sweep: false,
+            sweep_items: 0, // 0 = auto: min(items, 2M)
             strict: false,
         }
     }
@@ -62,7 +99,9 @@ impl Default for BenchArgs {
 fn usage() -> ! {
     eprintln!(
         "usage: serve-bench [--items N] [--shards S] [--qps Q] [--seed SEED] \
-         [--alphabet A] [--capacity C] [--connections K] [--repeats R] [--strict]"
+         [--alphabet A] [--alpha Z] [--capacity C] [--connections K] \
+         [--io-model reactor|threads] [--repeats R] [--connection-sweep] \
+         [--sweep-items N] [--strict]"
     );
     std::process::exit(2);
 }
@@ -94,9 +133,13 @@ fn bench_args() -> BenchArgs {
             "--qps" => a.qps = parse("--qps", args.next()),
             "--seed" => a.seed = parse("--seed", args.next()),
             "--alphabet" => a.alphabet = parse("--alphabet", args.next()),
+            "--alpha" => a.alpha = parse("--alpha", args.next()),
             "--capacity" => a.capacity = parse("--capacity", args.next()),
             "--connections" => a.connections = parse("--connections", args.next()),
+            "--io-model" => a.io_model = parse("--io-model", args.next()),
             "--repeats" => a.repeats = parse("--repeats", args.next()),
+            "--connection-sweep" => a.connection_sweep = true,
+            "--sweep-items" => a.sweep_items = parse("--sweep-items", args.next()),
             "--strict" => a.strict = true,
             "--help" | "-h" => usage(),
             other => {
@@ -121,9 +164,9 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// One full server lifecycle: bind, replay the stream, drain, shut down.
-fn run_pass(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> {
-    let server = Server::bind(
+/// Bind a fresh server with this bench's service config and I/O model.
+fn bind_server(a: &BenchArgs, model: IoModel) -> Result<Server, String> {
+    Server::bind_with(
         "127.0.0.1:0",
         ServiceConfig {
             shards: a.shards,
@@ -131,8 +174,17 @@ fn run_pass(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> 
             refresh: Duration::from_millis(20),
             ..Default::default()
         },
+        IoConfig {
+            model,
+            ..IoConfig::default()
+        },
     )
-    .map_err(|e| format!("bind: {e}"))?;
+    .map_err(|e| format!("bind: {e}"))
+}
+
+/// One full server lifecycle: bind, replay the stream, drain, shut down.
+fn run_pass(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> {
+    let server = bind_server(a, a.io_model)?;
     let addr = server.local_addr().to_string();
     let server_thread = std::thread::spawn(move || server.run());
 
@@ -140,7 +192,7 @@ fn run_pass(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> 
         addr: addr.clone(),
         items: a.items,
         alphabet: a.alphabet,
-        alpha: 1.5,
+        alpha: a.alpha,
         seed: a.seed,
         batch: 8_192,
         connections: a.connections,
@@ -192,11 +244,294 @@ fn best_of(a: &BenchArgs, qps: u64, check: bool) -> Result<LoadReport, String> {
     Ok(best)
 }
 
+/// What one (connection count, io model) sweep pass measured.
+struct SweepOutcome {
+    meps: f64,
+    elapsed_secs: f64,
+    overload_retries: u64,
+    check_passed: bool,
+}
+
+impl SweepOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("meps", self.meps.to_json()),
+            ("elapsed_secs", self.elapsed_secs.to_json()),
+            ("overload_retries", self.overload_retries.to_json()),
+            ("check_passed", self.check_passed.to_json()),
+        ])
+    }
+}
+
+/// One sweep point: open `c` connections simultaneously, deal the
+/// stream's batches round-robin across them through a small pool of
+/// multiplexing workers, wait for quiescence, and check accuracy.
+///
+/// All `c` sockets are connected before the clock starts and stay open
+/// until every batch is acked, so the server really holds `c` live
+/// connections for the whole measured window; a worker pool of
+/// `min(c, 8)` threads keeps the *client* side from needing thousands of
+/// threads (that ceiling is exactly what the server under test must not
+/// have).
+fn sweep_pass(a: &BenchArgs, model: IoModel, c: usize, items: u64) -> Result<SweepOutcome, String> {
+    let server = bind_server(a, model)?;
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let result = sweep_drive(a, &addr, c, items);
+
+    let stop = Client::connect(&addr)
+        .map_err(cots_core::CotsError::from)
+        .and_then(|mut cl| cl.shutdown());
+    let joined = server_thread.join();
+    let outcome = result?;
+    stop.map_err(|e| format!("shutdown: {e}"))?;
+    match joined {
+        Ok(Ok(())) => Ok(outcome),
+        Ok(Err(e)) => Err(format!("server: {e}")),
+        Err(_) => Err("server thread panicked".into()),
+    }
+}
+
+/// The client side of one sweep pass (server lifecycle handled by the
+/// caller so a failed drive still shuts the server down).
+fn sweep_drive(a: &BenchArgs, addr: &str, c: usize, items: u64) -> Result<SweepOutcome, String> {
+    let stream = StreamSpec::zipf(items as usize, a.alphabet, a.alpha, a.seed).generate();
+    // Size batches so every connection sends at least ~2 frames.
+    let batch = (items as usize / (c * 2)).clamp(64, 8_192);
+    let batches: Vec<&[u64]> = stream.chunks(batch).collect();
+
+    // Open every connection before the clock starts, pacing the storm so
+    // it never outruns the listener's (small, fixed) accept backlog —
+    // an overflowed backlog means dropped SYNs and seconds-long
+    // retransmit stalls that have nothing to do with the server model.
+    let mut clients = Vec::with_capacity(c);
+    for j in 0..c {
+        if j > 0 && j % 64 == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        clients.push(Client::connect(addr).map_err(|e| format!("connect {j} of {c}: {e}"))?);
+    }
+    let workers = c.min(8);
+    let mut per_worker: Vec<Vec<(usize, Client)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (j, cl) in clients.into_iter().enumerate() {
+        per_worker[j % workers].push((j, cl));
+    }
+
+    let retries = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for own in per_worker {
+            let batches = &batches;
+            let retries = &retries;
+            handles.push(s.spawn(move || -> Result<(), String> {
+                let mut own = own;
+                // Connection j sends batches j, j+c, j+2c, … — every
+                // connection stays active until the stream runs out.
+                for round in 0.. {
+                    let mut any = false;
+                    for (j, cl) in own.iter_mut() {
+                        let Some(b) = batches.get(*j + round * c) else {
+                            continue;
+                        };
+                        any = true;
+                        let r = cl.ingest(b).map_err(|e| format!("connection {j}: {e}"))?;
+                        retries.fetch_add(r, Ordering::Relaxed);
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.join().expect("sweep worker panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    loadgen::await_quiescence(&mut client, items).map_err(|e| format!("quiesce: {e}"))?;
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    // Accuracy under load: full recall of the truly frequent set and the
+    // Space Saving envelope for every reported entry.
+    let truth = ExactCounter::from_stream(&stream);
+    let phi = 0.01;
+    let threshold = Threshold::Fraction(phi).resolve(items);
+    let truly = truth.frequent(Threshold::Count(threshold));
+    let (entries, total, stamp) = client
+        .query(QueryReq::Frequent { phi })
+        .map_err(|e| format!("query: {e}"))?;
+    let missed = truly
+        .iter()
+        .filter(|(k, _)| !entries.iter().any(|e| e.item == *k))
+        .count();
+    let bound_violations = entries
+        .iter()
+        .filter(|e| {
+            let t = truth.count(&e.item);
+            !(e.count >= t && e.count - e.error <= t)
+        })
+        .count();
+    let check_passed =
+        total == items && stamp.staleness == 0 && missed == 0 && bound_violations == 0;
+
+    Ok(SweepOutcome {
+        meps: items as f64 / elapsed_secs.max(1e-9) / 1e6,
+        elapsed_secs,
+        overload_retries: retries.into_inner(),
+        check_passed,
+    })
+}
+
+/// Best-of-`repeats` sweep pass, mirroring [`best_of`]: the fastest
+/// repeat estimates throughput, but the accuracy check must pass on
+/// *every* repeat.
+fn sweep_best_of(
+    a: &BenchArgs,
+    model: IoModel,
+    c: usize,
+    items: u64,
+) -> Result<SweepOutcome, String> {
+    let mut best: Option<SweepOutcome> = None;
+    let mut all_checks = true;
+    for _ in 0..a.repeats {
+        let o = sweep_pass(a, model, c, items)?;
+        all_checks &= o.check_passed;
+        if best.as_ref().map_or(true, |b| o.meps > b.meps) {
+            best = Some(o);
+        }
+    }
+    let mut best = best.ok_or_else(|| String::from("repeats >= 1"))?;
+    best.check_passed = all_checks;
+    Ok(best)
+}
+
+/// Run the full sweep and build the `connections` JSON section plus the
+/// gate verdict. Returns `(section, gate_passed)`.
+fn connection_sweep(a: &BenchArgs) -> (Json, bool) {
+    let items = if a.sweep_items > 0 {
+        a.sweep_items
+    } else {
+        a.items.min(2_000_000)
+    };
+    let mut points = Vec::new();
+    let mut parity_ratio: Option<f64> = None;
+    let mut sustained = false;
+    let mut gate_passed = true;
+
+    for c in SWEEP_POINTS {
+        println!("connection sweep: C={c} ({items} items, best of {})", a.repeats);
+        let reactor = sweep_best_of(a, IoModel::Reactor, c, items);
+        match &reactor {
+            Ok(o) => println!(
+                "  reactor:  {:.2} M items/s ({:.2}s, {} retries, check {})",
+                o.meps,
+                o.elapsed_secs,
+                o.overload_retries,
+                if o.check_passed { "PASS" } else { "FAIL" }
+            ),
+            Err(e) => println!("  reactor:  FAILED: {e}"),
+        }
+        let threaded = if c <= THREADED_CEILING {
+            let t = sweep_best_of(a, IoModel::Threads, c, items);
+            match &t {
+                Ok(o) => println!(
+                    "  threaded: {:.2} M items/s ({:.2}s, {} retries, check {})",
+                    o.meps,
+                    o.elapsed_secs,
+                    o.overload_retries,
+                    if o.check_passed { "PASS" } else { "FAIL" }
+                ),
+                Err(e) => println!("  threaded: FAILED (allowed beyond C=2): {e}"),
+            }
+            Some(t)
+        } else {
+            println!("  threaded: skipped (thread-per-connection ceiling is the failure under test)");
+            None
+        };
+
+        if c == 2 {
+            if let (Ok(r), Some(Ok(t))) = (&reactor, &threaded) {
+                if t.meps > 0.0 {
+                    parity_ratio = Some(r.meps / t.meps);
+                }
+            }
+        }
+        if c == SUSTAIN_FLOOR {
+            sustained = reactor.as_ref().map(|o| o.check_passed).unwrap_or(false);
+        }
+        // The gate covers every reactor point up to the sustain floor.
+        if c <= SUSTAIN_FLOOR && !reactor.as_ref().map(|o| o.check_passed).unwrap_or(false) {
+            gate_passed = false;
+        }
+
+        points.push(Json::obj(vec![
+            ("connections", c.to_json()),
+            (
+                "reactor",
+                match &reactor {
+                    Ok(o) => o.to_json(),
+                    Err(e) => Json::obj(vec![("error", e.to_json())]),
+                },
+            ),
+            (
+                "threaded",
+                match &threaded {
+                    Some(Ok(o)) => o.to_json(),
+                    Some(Err(e)) => Json::obj(vec![("error", e.to_json())]),
+                    None => Json::Null,
+                },
+            ),
+        ]));
+    }
+
+    let parity_ok = parity_ratio.map(|r| r >= PARITY_FLOOR).unwrap_or(false);
+    if !parity_ok || !sustained {
+        gate_passed = false;
+    }
+    println!(
+        "sweep gate: parity {} (ratio {}, floor {PARITY_FLOOR}), sustained C={SUSTAIN_FLOOR} {} => {}",
+        if parity_ok { "OK" } else { "FAIL" },
+        parity_ratio
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
+        if sustained { "OK" } else { "FAIL" },
+        if gate_passed { "PASS" } else { "FAIL" }
+    );
+
+    let section = Json::obj(vec![
+        ("sweep_items", items.to_json()),
+        ("points", Json::Arr(points)),
+        (
+            "gate",
+            Json::obj(vec![
+                ("parity_ratio", parity_ratio.to_json()),
+                ("parity_floor", PARITY_FLOOR.to_json()),
+                ("sustain_connections", SUSTAIN_FLOOR.to_json()),
+                ("sustained", sustained.to_json()),
+                ("passed", gate_passed.to_json()),
+            ]),
+        ),
+    ]);
+    (section, gate_passed)
+}
+
 fn main() {
     let a = bench_args();
     println!(
-        "serve-bench: items={} shards={} qps={} seed={} alphabet={} capacity={} connections={}",
-        a.items, a.shards, a.qps, a.seed, a.alphabet, a.capacity, a.connections
+        "serve-bench: items={} shards={} qps={} seed={} alphabet={} alpha={} capacity={} \
+         connections={} io-model={}",
+        a.items, a.shards, a.qps, a.seed, a.alphabet, a.alpha, a.capacity, a.connections, a.io_model
     );
 
     println!("quiet pass (no queries):");
@@ -224,14 +559,22 @@ fn main() {
     };
     let within = ratio >= INTERFERENCE_FLOOR;
 
+    let (sweep_section, sweep_gate_passed) = if a.connection_sweep {
+        let (section, passed) = connection_sweep(&a);
+        (Some(section), passed)
+    } else {
+        (None, true)
+    };
+
     let report = Json::obj(vec![
         ("items", a.items.to_json()),
         ("alphabet", a.alphabet.to_json()),
-        ("alpha", 1.5f64.to_json()),
+        ("alpha", a.alpha.to_json()),
         ("seed", a.seed.to_json()),
         ("shards", a.shards.to_json()),
         ("capacity", a.capacity.to_json()),
-        ("connections", a.connections.to_json()),
+        ("load_connections", a.connections.to_json()),
+        ("io_model", a.io_model.to_string().to_json()),
         ("qps", a.qps.to_json()),
         ("repeats", a.repeats.to_json()),
         ("quiet", quiet.to_json()),
@@ -246,6 +589,7 @@ fn main() {
                 ("within_floor", within.to_json()),
             ]),
         ),
+        ("connections", sweep_section.to_json()),
         ("check_passed", check_passed.to_json()),
     ]);
     let out_path = repo_root().join("BENCH_serve.json");
@@ -278,6 +622,10 @@ fn main() {
     }
     if a.strict && !within {
         eprintln!("serve-bench: query interference exceeded the strict floor");
+        std::process::exit(1);
+    }
+    if !sweep_gate_passed {
+        eprintln!("serve-bench: connection sweep gate failed");
         std::process::exit(1);
     }
 }

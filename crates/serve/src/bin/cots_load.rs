@@ -79,6 +79,12 @@ fn main() {
         report.items, report.elapsed_secs, report.meps, report.overload_retries,
         report.queries_issued
     );
+    if let Some(lat) = &report.latency {
+        println!(
+            "latency: {} round trips, p50={}us p99={}us max={}us (worst connection p99={}us)",
+            lat.samples, lat.p50_us, lat.p99_us, lat.max_us, lat.worst_connection_p99_us
+        );
+    }
     let mut failed = false;
     if let Some(check) = &report.check {
         println!(

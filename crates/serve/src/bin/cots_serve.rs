@@ -3,9 +3,17 @@
 //! ```text
 //! cots-serve [--addr 127.0.0.1:4040] [--shards 4] [--capacity 1000]
 //!            [--window W] [--refresh-ms 20] [--queue-batches 64]
+//!            [--io-model reactor|threads] [--reactor-threads R]
 //!            [--data-dir DIR] [--fsync always|grouped|off]
 //!            [--checkpoint-ms 5000] [--wal-segment-mb 8]
 //! ```
+//!
+//! `--io-model` selects the connection front-end: `reactor` (default) —
+//! a fixed pool of readiness-polling threads (epoll on Linux) that
+//! scales to tens of thousands of connections — or `threads`, the
+//! blocking thread-per-connection model kept for differential testing.
+//! `--reactor-threads` sizes the reactor pool (default:
+//! `min(4, cores)`).
 //!
 //! With `--data-dir`, startup recovers the newest valid checkpoint plus
 //! the WAL tail *before* binding the listener, prints a one-line recovery
@@ -20,12 +28,13 @@
 use std::time::Duration;
 
 use cots_serve::persistence::PersistOptions;
-use cots_serve::{Server, ServiceConfig};
+use cots_serve::{IoConfig, Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: cots-serve [--addr HOST:PORT] [--shards N] [--capacity M] \
          [--window W] [--refresh-ms MS] [--queue-batches Q] \
+         [--io-model reactor|threads] [--reactor-threads R] \
          [--data-dir DIR] [--fsync always|grouped|off] [--checkpoint-ms MS] \
          [--wal-segment-mb MB]"
     );
@@ -46,6 +55,7 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut addr = "127.0.0.1:4040".to_string();
     let mut config = ServiceConfig::default();
+    let mut io = IoConfig::default();
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut fsync = cots_persist::FsyncPolicy::default();
     let mut checkpoint_ms: u64 = 5_000;
@@ -61,6 +71,8 @@ fn main() {
                 config.refresh = Duration::from_millis(parse("--refresh-ms", args.next()))
             }
             "--queue-batches" => config.queue_batches = parse("--queue-batches", args.next()),
+            "--io-model" => io.model = parse("--io-model", args.next()),
+            "--reactor-threads" => io.reactor_threads = parse("--reactor-threads", args.next()),
             "--data-dir" => data_dir = Some(parse("--data-dir", args.next())),
             "--fsync" => fsync = parse("--fsync", args.next()),
             "--checkpoint-ms" => checkpoint_ms = parse("--checkpoint-ms", args.next()),
@@ -83,13 +95,23 @@ fn main() {
         opts.segment_bytes = wal_segment_mb.saturating_mul(1024 * 1024).max(1);
         config.persist = Some(opts);
     }
-    let server = match Server::bind(&addr, config) {
+    if io.reactor_threads == 0 {
+        eprintln!("--reactor-threads must be positive");
+        usage();
+    }
+    let server = match Server::bind_with(&addr, config, io) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cots-serve: cannot start on {addr}: {e}");
             std::process::exit(1);
         }
     };
+    match io.model {
+        cots_serve::IoModel::Reactor => {
+            println!("io-model reactor ({} reactor threads)", io.reactor_threads)
+        }
+        cots_serve::IoModel::Threads => println!("io-model threads (one thread per connection)"),
+    }
     if let Some(rec) = server.service().recovery_report() {
         println!(
             "recovered {} items (checkpoint {:?}, {} wal batches over {} segments, \

@@ -94,6 +94,93 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// Incremental frame assembly over arbitrarily split byte deliveries.
+///
+/// The reactor feeds whatever the socket produced — one byte, half a
+/// header, three frames and a prefix — into [`FrameAssembler::extend`]
+/// and pulls complete payloads out of [`FrameAssembler::next_frame`].
+/// Decoding delegates to [`decode_frame`], so the accepted language is
+/// byte-for-byte identical to the blocking [`read_frame`] path (the
+/// proptests in `tests/wire_props.rs` pin this equivalence down).
+///
+/// Errors are terminal for the stream: once the front of the buffer is
+/// not a valid frame, resynchronization is impossible and the caller
+/// must drop the connection.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    /// Bytes received but not yet decoded. The region before `consumed`
+    /// has been handed out already and is reclaimed lazily.
+    buf: Vec<u8>,
+    /// Decoded-and-returned prefix length of `buf`.
+    consumed: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append newly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.reclaim();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Read once from `r` directly into the assembly buffer — the
+    /// reactor's hot path. Skipping the caller-side scratch buffer
+    /// turns a read-plus-memcpy per chunk into a read into place (the
+    /// `resize` zero-fill below is a plain memset, half the memory
+    /// traffic of the copy it replaces).
+    ///
+    /// Returns the byte count from the underlying `read` (0 = EOF);
+    /// `WouldBlock` and friends propagate unchanged and leave the
+    /// buffered bytes intact.
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        /// One socket read's worth of room.
+        const READ_CHUNK: usize = 64 * 1024;
+        self.reclaim();
+        let len = self.buf.len();
+        self.buf.resize(len + READ_CHUNK, 0);
+        // PANIC-OK: `resize` above guarantees `len < buf.len()`, so the
+        // range start is always in bounds.
+        let result = r.read(&mut self.buf[len..]);
+        self.buf.truncate(len + result.as_ref().copied().unwrap_or(0));
+        result
+    }
+
+    /// Reclaim the consumed prefix before growing, so the buffer's
+    /// high-water mark tracks the largest *single* frame rather than
+    /// the connection's lifetime traffic.
+    fn reclaim(&mut self) {
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+
+    /// Bytes buffered but not yet decoded into frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Decode the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "wait for more bytes". Any error means the
+    /// stream is unrecoverable at this point.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        let tail = self.buf.get(self.consumed..).unwrap_or(&[]);
+        match decode_frame(tail) {
+            Ok((payload, used)) => {
+                self.consumed += used;
+                Ok(Some(payload))
+            }
+            Err(FrameError::Incomplete) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// True for the error kinds a read timeout surfaces as (platform
 /// dependent: `WouldBlock` on Unix, `TimedOut` on Windows).
 pub fn is_timeout(e: &io::Error) -> bool {
@@ -231,6 +318,81 @@ mod tests {
         assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("one"));
         assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("two"));
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn assembler_handles_byte_at_a_time_delivery() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame("first"));
+        bytes.extend_from_slice(&encode_frame(""));
+        bytes.extend_from_slice(&encode_frame("third"));
+        let mut asm = FrameAssembler::new();
+        let mut out = Vec::new();
+        for b in &bytes {
+            asm.extend(std::slice::from_ref(b));
+            while let Some(p) = asm.next_frame().unwrap() {
+                out.push(p);
+            }
+        }
+        assert_eq!(out, vec!["first".to_string(), String::new(), "third".into()]);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn fill_from_assembles_across_dribbled_reads() {
+        // A reader that yields at most 3 bytes per call: frames straddle
+        // reads every way, and the result must match the extend path.
+        struct Dribble<R>(R);
+        impl<R: Read> Read for Dribble<R> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = buf.len().min(3);
+                // PANIC-OK: `n <= buf.len()` by construction.
+                self.0.read(&mut buf[..n])
+            }
+        }
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame("alpha"));
+        bytes.extend_from_slice(&encode_frame(""));
+        bytes.extend_from_slice(&encode_frame("gamma"));
+        let mut reader = Dribble(std::io::Cursor::new(bytes));
+        let mut asm = FrameAssembler::new();
+        let mut out = Vec::new();
+        while asm.fill_from(&mut reader).unwrap() > 0 {
+            while let Some(p) = asm.next_frame().unwrap() {
+                out.push(p);
+            }
+        }
+        assert_eq!(out, vec!["alpha".to_string(), String::new(), "gamma".into()]);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn fill_from_read_error_preserves_buffered_bytes() {
+        struct Failing;
+        impl Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::from(io::ErrorKind::WouldBlock))
+            }
+        }
+        let mut asm = FrameAssembler::new();
+        asm.extend(&encode_frame("kept")[..6]); // partial frame buffered
+        let pending = asm.pending();
+        let err = asm.fill_from(&mut Failing).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(asm.pending(), pending, "no phantom bytes on error");
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_and_non_utf8() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&u32::MAX.to_le_bytes());
+        assert!(matches!(asm.next_frame(), Err(FrameError::TooLarge(_))));
+
+        let mut asm = FrameAssembler::new();
+        asm.extend(&2u32.to_le_bytes());
+        asm.extend(&[0xff, 0xfe]);
+        assert!(matches!(asm.next_frame(), Err(FrameError::Malformed(_))));
     }
 
     #[test]

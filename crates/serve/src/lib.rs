@@ -9,21 +9,29 @@
 //! ## Architecture
 //!
 //! ```text
-//! client ──frames──▶ connection thread ──SPSC rings──▶ shard workers
-//!                        │    ▲                            │
-//!                      QUERY  │ answer               delegate_batch
-//!                        ▼    │                            ▼
+//! clients ──frames──▶ reactor threads (epoll) ──SPSC rings──▶ shard workers
+//!                        │    ▲                                   │
+//!                      QUERY  │ answer                      delegate_batch
+//!                        ▼    │                                   ▼
 //!                   SnapshotPublisher ◀──capture──── CotsEngine / JumpingWindow
 //! ```
 //!
 //! * **Wire protocol** ([`frame`], [`protocol`]): length-prefixed frames
 //!   carrying externally-tagged JSON (`cots_core::json`): `INGEST`,
 //!   `QUERY`, `STATS`, `SNAPSHOT`, `SHUTDOWN`.
-//! * **Sharded ingest** ([`spsc`], [`shard`]): per-(connection, shard)
+//! * **Event-driven front-end** ([`reactor`], [`server`]): by default a
+//!   small fixed pool of reactor threads drives every connection via
+//!   readiness polling (epoll on Linux, `poll(2)` fallback) and
+//!   incremental frame assembly, so N connections cost N buffers rather
+//!   than N OS threads; `--io-model threads` restores the blocking
+//!   thread-per-connection model for differential testing.
+//! * **Sharded ingest** ([`spsc`], [`shard`]): per-(producer, shard)
 //!   bounded SPSC rings feed workers that call
 //!   `CotsEngine::delegate_batch`; full rings answer `OVERLOADED`
 //!   (backpressure) instead of buffering unboundedly, and shutdown drains
-//!   every ring before the engine finalizes.
+//!   every ring before the engine finalizes. Under the reactor each
+//!   reactor *thread* is one producer (R×shards rings); under the
+//!   blocking model each connection is (N×shards rings).
 //! * **Live queries** ([`service`], `cots::publish`): an epoch-stamped
 //!   snapshot publisher refreshes a consistent [`cots_core::Snapshot`]
 //!   off the hot path; every answer reports its epoch and staleness
@@ -46,16 +54,17 @@ pub mod frame;
 pub mod loadgen;
 pub mod persistence;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod shard;
 pub mod spsc;
 
 pub use client::Client;
-pub use frame::{FrameError, MAX_FRAME};
-pub use loadgen::{LoadConfig, LoadReport};
+pub use frame::{FrameAssembler, FrameError, MAX_FRAME};
+pub use loadgen::{LatencySummary, LoadConfig, LoadReport};
 pub use persistence::{PersistOptions, Persistence};
 pub use protocol::{QueryReq, QueryStamp, Request, Response};
-pub use server::Server;
+pub use server::{IoConfig, IoModel, Server};
 pub use service::{Service, ServiceConfig};
 pub use shard::{Backend, SendOutcome, ShardPool, ShardSender};

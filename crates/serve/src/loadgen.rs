@@ -82,6 +82,25 @@ pub struct CheckReport {
     pub passed: bool,
 }
 
+/// Ingest-frame round-trip latency over one load run, aggregated from
+/// per-connection samples (one sample per `INGEST` frame: send to ack,
+/// retries included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Round trips measured.
+    pub samples: u64,
+    /// Median round trip, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile round trip, microseconds.
+    pub p99_us: u64,
+    /// Slowest round trip, microseconds.
+    pub max_us: u64,
+    /// Largest per-connection p99 — a fairness signal: when one
+    /// connection's tail is far above the pooled p99, the front-end is
+    /// starving it.
+    pub worst_connection_p99_us: u64,
+}
+
 /// Everything one load run observed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -95,6 +114,8 @@ pub struct LoadReport {
     pub overload_retries: u64,
     /// Background queries answered during ingest.
     pub queries_issued: u64,
+    /// Ingest round-trip latency (absent only for zero-frame runs).
+    pub latency: Option<LatencySummary>,
     /// Answer verification, when requested.
     pub check: Option<CheckReport>,
 }
@@ -127,6 +148,33 @@ impl FromJson for CheckReport {
     }
 }
 
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("samples", self.samples.to_json()),
+            ("p50_us", self.p50_us.to_json()),
+            ("p99_us", self.p99_us.to_json()),
+            ("max_us", self.max_us.to_json()),
+            (
+                "worst_connection_p99_us",
+                self.worst_connection_p99_us.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for LatencySummary {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            samples: u64::from_json(v.field("samples")?)?,
+            p50_us: u64::from_json(v.field("p50_us")?)?,
+            p99_us: u64::from_json(v.field("p99_us")?)?,
+            max_us: u64::from_json(v.field("max_us")?)?,
+            worst_connection_p99_us: u64::from_json(v.field("worst_connection_p99_us")?)?,
+        })
+    }
+}
+
 impl ToJson for LoadReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -135,6 +183,7 @@ impl ToJson for LoadReport {
             ("meps", self.meps.to_json()),
             ("overload_retries", self.overload_retries.to_json()),
             ("queries_issued", self.queries_issued.to_json()),
+            ("latency", self.latency.to_json()),
             ("check", self.check.to_json()),
         ])
     }
@@ -148,6 +197,7 @@ impl FromJson for LoadReport {
             meps: f64::from_json(v.field("meps")?)?,
             overload_retries: u64::from_json(v.field("overload_retries")?)?,
             queries_issued: u64::from_json(v.field("queries_issued")?)?,
+            latency: Option::<LatencySummary>::from_json(v.field("latency")?)?,
             check: Option::<CheckReport>::from_json(v.field("check")?)?,
         })
     }
@@ -155,11 +205,15 @@ impl FromJson for LoadReport {
 
 /// Replay the configured stream against the server and report.
 ///
-/// Drives `connections` parallel ingest connections over disjoint slices
-/// of the same deterministic stream, plus (with `qps > 0`) one query
-/// connection firing `frequent(phi)` at the requested rate. Returns once
-/// every item is *applied* (not merely acked) and, if `check` is set,
-/// after verifying the frequent-set answer against exact truth.
+/// Drives `connections` persistent ingest connections; the stream's
+/// `INGEST` batches are dealt round-robin across them (connection `c`
+/// sends batches `c, c+connections, c+2·connections, …`), so every
+/// connection stays busy for the whole run even when there are fewer
+/// batches than a contiguous split would have produced per connection.
+/// With `qps > 0` one extra query connection fires `frequent(phi)` at
+/// the requested rate. Returns once every item is *applied* (not merely
+/// acked) and, if `check` is set, after verifying the frequent-set
+/// answer against exact truth.
 pub fn run(config: &LoadConfig) -> Result<LoadReport> {
     if config.items == 0 || config.batch == 0 || config.connections == 0 {
         return Err(CotsError::InvalidRun(
@@ -189,18 +243,22 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
     let retries = AtomicU64::new(0);
     let queries = AtomicU64::new(0);
 
-    std::thread::scope(|s| -> Result<()> {
+    let batches: Vec<&[u64]> = stream.chunks(config.batch).collect();
+    let per_conn_lat: Vec<Vec<u64>> = std::thread::scope(|s| -> Result<Vec<Vec<u64>>> {
+        let batches = &batches;
         let mut handles = Vec::new();
-        let per = stream.len().div_ceil(config.connections);
-        for slice in stream.chunks(per.max(1)) {
+        for c in 0..config.connections {
             let retries = &retries;
-            handles.push(s.spawn(move || -> Result<()> {
+            handles.push(s.spawn(move || -> Result<Vec<u64>> {
                 let mut client = Client::connect(&config.addr)?;
-                for batch in slice.chunks(config.batch) {
+                let mut rtts = Vec::new();
+                for batch in batches.iter().skip(c).step_by(config.connections) {
+                    let sent = Instant::now();
                     let r = client.ingest(batch)?;
+                    rtts.push(sent.elapsed().as_micros() as u64);
                     retries.fetch_add(r, Ordering::Relaxed);
                 }
-                Ok(())
+                Ok(rtts)
             }));
         }
         let query_handle = (config.qps > 0).then(|| {
@@ -218,9 +276,13 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
             })
         });
         let mut first_err = None;
+        let mut lats = Vec::new();
         for h in handles {
-            if let Err(e) = h.join().expect("ingest thread panicked") {
-                first_err.get_or_insert(e);
+            match h.join().expect("ingest thread panicked") {
+                Ok(rtts) => lats.push(rtts),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
             }
         }
         ingest_done.store(true, Ordering::Release);
@@ -231,7 +293,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => Ok(lats),
         }
     })?;
 
@@ -254,8 +316,36 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
         meps: config.items as f64 / elapsed_secs.max(1e-9) / 1e6,
         overload_retries: retries.into_inner(),
         queries_issued: queries.into_inner(),
+        latency: summarize_latency(&per_conn_lat),
         check,
     })
+}
+
+/// Aggregate per-connection RTT samples into a [`LatencySummary`].
+fn summarize_latency(per_conn: &[Vec<u64>]) -> Option<LatencySummary> {
+    let worst_connection_p99_us = per_conn
+        .iter()
+        .filter_map(|rtts| percentile(rtts, 99))
+        .max()?;
+    let all: Vec<u64> = per_conn.iter().flatten().copied().collect();
+    Some(LatencySummary {
+        samples: all.len() as u64,
+        p50_us: percentile(&all, 50)?,
+        p99_us: percentile(&all, 99)?,
+        max_us: all.iter().copied().max()?,
+        worst_connection_p99_us,
+    })
+}
+
+/// Nearest-rank percentile (`p` in 0..=100); `None` on an empty set.
+fn percentile(samples: &[u64], p: u64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = (p as usize * sorted.len()).div_ceil(100).saturating_sub(1);
+    sorted.get(idx.min(sorted.len() - 1)).copied()
 }
 
 /// Poll STATS until `items` are applied and the published snapshot has
@@ -327,6 +417,13 @@ mod tests {
             meps: 0.02,
             overload_retries: 3,
             queries_issued: 8,
+            latency: Some(LatencySummary {
+                samples: 12,
+                p50_us: 180,
+                p99_us: 950,
+                max_us: 1400,
+                worst_connection_p99_us: 1100,
+            }),
             check: Some(CheckReport {
                 phi: 0.01,
                 threshold: 1,
@@ -340,9 +437,30 @@ mod tests {
         let back: LoadReport =
             cots_core::json::from_str(&cots_core::json::to_string(&r)).unwrap();
         assert_eq!(back, r);
-        let none = LoadReport { check: None, ..r };
+        let none = LoadReport {
+            latency: None,
+            check: None,
+            ..r
+        };
         let back: LoadReport =
             cots_core::json::from_str(&cots_core::json::to_string(&none)).unwrap();
         assert_eq!(back.check, None);
+        assert_eq!(back.latency, None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 50), None);
+        assert_eq!(percentile(&[7], 50), Some(7));
+        assert_eq!(percentile(&[7], 99), Some(7));
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), Some(50));
+        assert_eq!(percentile(&v, 99), Some(99));
+        assert_eq!(percentile(&v, 100), Some(100));
+        // Round-robin fairness summary picks the worst tail.
+        let s = summarize_latency(&[vec![10, 10, 10], vec![10, 10, 500]]).unwrap();
+        assert_eq!(s.samples, 6);
+        assert_eq!(s.worst_connection_p99_us, 500);
+        assert_eq!(s.max_us, 500);
     }
 }

@@ -1,40 +1,134 @@
-//! The TCP front-end: accept loop and per-connection threads.
+//! The TCP front-end: accept loop plus one of two I/O models.
 //!
 //! Connections speak the framed protocol of [`crate::frame`] /
-//! [`crate::protocol`]. Each connection thread decodes requests, hands
-//! them to the shared [`Service`], and writes the response back; ingest
-//! batches flow into the connection's own SPSC rings, so connection
-//! threads never contend with each other on the ingest path.
+//! [`crate::protocol`]. Two interchangeable I/O models sit behind the
+//! same accept loop and wire format:
 //!
-//! Shutdown: a `SHUTDOWN` request flips the service flag. The acceptor
-//! (polling with a short timeout) stops accepting; connection threads
-//! notice the flag at their next read timeout, close, and thereby close
+//! * [`IoModel::Reactor`] (default) — nonblocking sockets driven by a
+//!   small fixed pool of readiness-polling reactor threads (epoll on
+//!   Linux, `poll(2)` fallback elsewhere; see [`crate::reactor`]). N
+//!   connections cost N buffers, not N threads, lifting the connection
+//!   ceiling from hundreds to tens of thousands.
+//! * [`IoModel::Threads`] — the original thread-per-connection blocking
+//!   model, kept for differential testing and as a portability escape
+//!   hatch (`--io-model threads`).
+//!
+//! Shutdown is identical in both: a `SHUTDOWN` request flips the
+//! service flag. The acceptor (polling with a short timeout) stops
+//! accepting; connection threads or reactor threads notice the flag
+//! within one poll interval, close their connections, and thereby close
 //! their rings; shard workers drain and exit; the server returns.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::frame::{is_timeout, read_frame, write_frame};
 use crate::protocol::{decode, encode, Request, Response};
+use crate::reactor::ReactorPool;
 use crate::service::{Service, ServiceConfig};
 
 /// How long a connection read blocks before re-checking the shutdown
-/// flag, and how long the acceptor sleeps between polls.
+/// flag.
 const POLL: Duration = Duration::from_millis(25);
+
+/// How long the acceptor sleeps when no connection is pending. Shorter
+/// than [`POLL`]: the listen backlog is small (128 by default), so a
+/// connect storm can overflow it — and suffer seconds-long SYN
+/// retransmits — if the acceptor naps too long between drains.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Which connection I/O model the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// Readiness-driven reactor threads over nonblocking sockets
+    /// (default on Unix).
+    Reactor,
+    /// One blocking OS thread per connection (the pre-reactor model).
+    Threads,
+}
+
+impl IoModel {
+    /// The platform default: the reactor wherever a readiness backend
+    /// exists (all Unix), blocking threads elsewhere.
+    pub fn default_for_platform() -> Self {
+        if cfg!(unix) {
+            IoModel::Reactor
+        } else {
+            IoModel::Threads
+        }
+    }
+}
+
+impl FromStr for IoModel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reactor" => Ok(IoModel::Reactor),
+            "threads" => Ok(IoModel::Threads),
+            other => Err(format!(
+                "unknown io model `{other}` (expected `reactor` or `threads`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoModel::Reactor => f.write_str("reactor"),
+            IoModel::Threads => f.write_str("threads"),
+        }
+    }
+}
+
+/// Front-end I/O configuration: the model and its sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct IoConfig {
+    /// Which I/O model to run.
+    pub model: IoModel,
+    /// Reactor thread count (ignored under [`IoModel::Threads`]).
+    /// Defaults to `available_parallelism` clamped to `2..=4`: the
+    /// reactor is I/O-bound bookkeeping (the shard workers do the heavy
+    /// lifting), but a *single* reactor thread serializes every
+    /// connection's frame handling behind one scheduler entity, which
+    /// measurably inflates round-trip latency versus the threaded model
+    /// even on one core — two threads restore pipelining at negligible
+    /// cost.
+    pub reactor_threads: usize,
+}
+
+impl Default for IoConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            model: IoModel::default_for_platform(),
+            reactor_threads: cores.clamp(2, 4),
+        }
+    }
+}
 
 /// A bound server, ready to run.
 pub struct Server {
     listener: TcpListener,
     service: Arc<Service>,
     addr: SocketAddr,
+    io: IoConfig,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// the service behind it.
+    /// the service behind it, with the platform-default I/O model.
     pub fn bind(addr: &str, config: ServiceConfig) -> io::Result<Self> {
+        Self::bind_with(addr, config, IoConfig::default())
+    }
+
+    /// Bind with an explicit I/O configuration.
+    pub fn bind_with(addr: &str, config: ServiceConfig, io: IoConfig) -> io::Result<Self> {
         let service = Service::start(config)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
@@ -43,6 +137,7 @@ impl Server {
             listener,
             service: Arc::new(service),
             addr,
+            io,
         })
     }
 
@@ -56,10 +151,48 @@ impl Server {
         &self.service
     }
 
+    /// The I/O configuration this server will run with.
+    pub fn io_config(&self) -> IoConfig {
+        self.io
+    }
+
     /// Accept and serve until a `SHUTDOWN` request arrives, then drain
     /// and return. Consumes the server.
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        match self.io.model {
+            IoModel::Reactor => self.run_reactor(),
+            IoModel::Threads => self.run_threads(),
+        }
+    }
+
+    /// Reactor model: the acceptor hands streams to the pool; a fixed
+    /// number of reactor threads drive all connections.
+    fn run_reactor(self) -> io::Result<()> {
+        let mut pool = ReactorPool::spawn(&self.service, self.io.reactor_threads)?;
+        while !self.service.shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => pool.dispatch(stream),
+                Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Surface the accept error, but unwind the pool and
+                    // service first so shard workers don't leak.
+                    self.service.begin_shutdown();
+                    pool.join();
+                    drain_service(self.service);
+                    return Err(e);
+                }
+            }
+        }
+        drop(self.listener);
+        pool.join();
+        drain_service(self.service);
+        Ok(())
+    }
+
+    /// Blocking model: one OS thread per connection.
+    fn run_threads(self) -> io::Result<()> {
         let mut connections = Vec::new();
         while !self.service.shutdown_requested() {
             match self.listener.accept() {
@@ -71,7 +204,7 @@ impl Server {
                             .spawn(move || serve_connection(stream, &service))?,
                     );
                 }
-                Err(e) if is_timeout(&e) => std::thread::sleep(POLL),
+                Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
@@ -80,20 +213,25 @@ impl Server {
         for c in connections {
             let _ = c.join();
         }
-        // All connection threads (and their rings) are gone; drain the
-        // shard workers and quiesce.
-        match Arc::try_unwrap(self.service) {
-            Ok(service) => service.drain(),
-            Err(service) => {
-                // A caller still holds a handle; drain via the flag only.
-                service.begin_shutdown();
-            }
-        }
+        drain_service(self.service);
         Ok(())
     }
 }
 
-/// Serve one connection until EOF, a protocol violation, or shutdown.
+/// All connection/reactor threads (and their rings) are gone; drain the
+/// shard workers and quiesce.
+fn drain_service(service: Arc<Service>) {
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.drain(),
+        Err(service) => {
+            // A caller still holds a handle; drain via the flag only.
+            service.begin_shutdown();
+        }
+    }
+}
+
+/// Serve one connection until EOF, a protocol violation, or shutdown
+/// (the blocking [`IoModel::Threads`] path).
 fn serve_connection(stream: TcpStream, service: &Service) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));

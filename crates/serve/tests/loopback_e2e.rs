@@ -1,6 +1,8 @@
 //! End-to-end loopback test: a real TCP server, the real load generator,
 //! and answers checked against both exact truth and a sequential
-//! `SpaceSaving` oracle run over the very same stream.
+//! `SpaceSaving` oracle run over the very same stream — under both I/O
+//! models (the default reactor and the blocking thread-per-connection
+//! fallback), which must be observably identical on the wire.
 
 use std::time::Duration;
 
@@ -9,7 +11,7 @@ use cots_datagen::{ExactCounter, StreamSpec};
 use cots_sequential::SpaceSaving;
 use cots_serve::loadgen::{self, LoadConfig};
 use cots_serve::protocol::QueryReq;
-use cots_serve::{Client, Server, ServiceConfig};
+use cots_serve::{Client, IoConfig, IoModel, Server, ServiceConfig};
 
 const CAPACITY: usize = 1_000;
 const ITEMS: u64 = 200_000;
@@ -18,9 +20,25 @@ const ALPHA: f64 = 1.5;
 const SEED: u64 = 7;
 const PHI: f64 = 0.01;
 
+fn io(model: IoModel) -> IoConfig {
+    IoConfig {
+        model,
+        ..IoConfig::default()
+    }
+}
+
 #[test]
-fn served_answers_match_sequential_oracle() {
-    let server = Server::bind(
+fn served_answers_match_sequential_oracle_reactor() {
+    served_answers_match_sequential_oracle(IoModel::Reactor);
+}
+
+#[test]
+fn served_answers_match_sequential_oracle_threads() {
+    served_answers_match_sequential_oracle(IoModel::Threads);
+}
+
+fn served_answers_match_sequential_oracle(model: IoModel) {
+    let server = Server::bind_with(
         "127.0.0.1:0",
         ServiceConfig {
             shards: 4,
@@ -28,6 +46,7 @@ fn served_answers_match_sequential_oracle() {
             refresh: Duration::from_millis(5),
             ..Default::default()
         },
+        io(model),
     )
     .unwrap();
     let addr = server.local_addr().to_string();
@@ -122,10 +141,19 @@ fn served_answers_match_sequential_oracle() {
 }
 
 #[test]
-fn malformed_traffic_cannot_kill_the_server() {
+fn malformed_traffic_cannot_kill_the_server_reactor() {
+    malformed_traffic_cannot_kill_the_server(IoModel::Reactor);
+}
+
+#[test]
+fn malformed_traffic_cannot_kill_the_server_threads() {
+    malformed_traffic_cannot_kill_the_server(IoModel::Threads);
+}
+
+fn malformed_traffic_cannot_kill_the_server(model: IoModel) {
     use std::io::{Read, Write};
 
-    let server = Server::bind("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let server = Server::bind_with("127.0.0.1:0", ServiceConfig::default(), io(model)).unwrap();
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run());
 

@@ -4,8 +4,33 @@
 use proptest::prelude::*;
 use proptest::strategy::Strategy;
 
-use cots_serve::frame::{decode_frame, encode_frame, FrameError, MAX_FRAME};
+use cots_serve::frame::{decode_frame, encode_frame, FrameAssembler, FrameError, MAX_FRAME};
 use cots_serve::protocol::{decode, encode, QueryReq, Request, Response};
+
+/// Feed `bytes` into an assembler cut at `cuts` (interpreted as split
+/// offsets), collecting every decoded frame and the first error.
+fn assemble_in_pieces(
+    bytes: &[u8],
+    cuts: &[usize],
+) -> (Vec<String>, Option<FrameError>) {
+    let mut splits: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    splits.sort_unstable();
+    let mut asm = FrameAssembler::new();
+    let mut frames = Vec::new();
+    let mut prev = 0;
+    for cut in splits.into_iter().chain(std::iter::once(bytes.len())) {
+        asm.extend(&bytes[prev..cut]);
+        prev = cut;
+        loop {
+            match asm.next_frame() {
+                Ok(Some(p)) => frames.push(p),
+                Ok(None) => break,
+                Err(e) => return (frames, Some(e)),
+            }
+        }
+    }
+    (frames, None)
+}
 
 /// Arbitrary (possibly multi-byte, possibly empty) UTF-8 payloads.
 fn utf8_payload(max_bytes: usize) -> impl Strategy<Value = String> {
@@ -95,6 +120,71 @@ proptest! {
     }
 
     #[test]
+    fn assembler_matches_one_shot_at_arbitrary_splits(
+        payloads in proptest::collection::vec(utf8_payload(128), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..32),
+    ) {
+        // A frame sequence delivered at arbitrary split points — 1-byte
+        // reads, header straddles, several frames per read — must decode
+        // to exactly what the one-shot path yields, in order.
+        let mut bytes = Vec::new();
+        for p in &payloads {
+            bytes.extend_from_slice(&encode_frame(p));
+        }
+        let (frames, err) = assemble_in_pieces(&bytes, &cuts);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(frames, payloads);
+    }
+
+    #[test]
+    fn assembler_byte_at_a_time_equals_one_shot(payload in utf8_payload(256)) {
+        // The pathological 1-byte-read case, exhaustively split.
+        let bytes = encode_frame(&payload);
+        let every_byte: Vec<usize> = (0..bytes.len()).collect();
+        let (frames, err) = assemble_in_pieces(&bytes, &every_byte);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(frames, vec![payload]);
+    }
+
+    #[test]
+    fn assembler_garbage_prefix_errors_cleanly(
+        extra in 1u64..(u32::MAX as u64 - MAX_FRAME as u64),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        // A length prefix past the cap must surface as a clean typed
+        // error at whatever split point completes the header — never a
+        // panic, never an allocation of the claimed size.
+        let len = (MAX_FRAME as u64 + extra) as u32;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"garbage body");
+        let (frames, err) = assemble_in_pieces(&bytes, &cuts);
+        prop_assert_eq!(frames, Vec::<String>::new());
+        prop_assert_eq!(err, Some(FrameError::TooLarge(len as usize)));
+    }
+
+    #[test]
+    fn assembler_non_utf8_body_is_malformed_not_panic(
+        body in proptest::collection::vec(any::<u8>(), 1..64),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        // Arbitrary byte bodies: either they decode (valid UTF-8) or the
+        // assembler reports Malformed; nothing panics either way.
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let (frames, err) = assemble_in_pieces(&bytes, &cuts);
+        match err {
+            None => {
+                prop_assert_eq!(frames.len(), 1);
+                prop_assert!(String::from_utf8(body).is_ok());
+            }
+            Some(FrameError::Malformed(_)) => {
+                prop_assert!(String::from_utf8(body).is_err());
+            }
+            Some(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn at_cap_prefix_waits_for_body(body_len in 0usize..64) {
         // A prefix of exactly MAX_FRAME is legal: with a short body the
         // decoder asks for more bytes instead of rejecting or panicking.
@@ -118,6 +208,19 @@ fn exactly_at_cap_frame_decodes() {
     let (payload, used) = decode_frame(&frame).unwrap();
     assert_eq!(payload.len(), MAX_FRAME);
     assert_eq!(used, 4 + MAX_FRAME);
+}
+
+#[test]
+fn assembler_handles_cap_sized_payload_across_splits() {
+    // A maximum-size frame delivered with a straddled header, a mid-body
+    // split, and a held-back final byte still decodes exactly once.
+    let body = "z".repeat(MAX_FRAME);
+    let bytes = encode_frame(&body);
+    let cuts = [2, 4 + MAX_FRAME / 2, bytes.len() - 1];
+    let (frames, err) = assemble_in_pieces(&bytes, &cuts);
+    assert_eq!(err, None);
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].len(), MAX_FRAME);
 }
 
 #[test]
