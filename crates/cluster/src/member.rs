@@ -1,0 +1,249 @@
+//! Per-member connection state: health, backoff, and the last good
+//! snapshot.
+//!
+//! One [`MemberTracker`] exists per topology slot and is shared by the
+//! puller thread (which feeds it snapshots and failures), every ingest
+//! router (which consults health for spillover and records forwarded
+//! keys), and the stats path. The inner mutex guards only plain data —
+//! all sockets live with the threads that use them, so no I/O ever
+//! happens under the lock and the critical sections are a handful of
+//! field writes.
+//!
+//! Failure handling is the whole point: a failed pull or forward marks
+//! the member unhealthy and schedules the next attempt on an
+//! exponential backoff (100 ms doubling to a 5 s cap). While unhealthy,
+//! the member's *last good snapshot* keeps contributing to federated
+//! answers — the coordinator degrades by widening the reported
+//! staleness bound, never by dropping the member's mass. A successful
+//! pull (e.g. after the member restarts and recovers its WAL) clears
+//! the backoff and rejoins it to the merge at full fidelity.
+//!
+//! AUDIT: locks — enforced by `cargo xtask audit` (lint-locks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use cots_core::MemberReport;
+
+use crate::fetch::FetchedSnapshot;
+
+/// First retry delay after a failure.
+const BACKOFF_BASE: Duration = Duration::from_millis(100);
+/// Backoff ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Mutable member state (mutex-guarded; plain data only).
+struct Inner {
+    /// Last contact attempt succeeded.
+    healthy: bool,
+    /// Consecutive failures, for backoff sizing.
+    failures: u32,
+    /// Earliest next contact attempt; `None` = ready now.
+    retry_at: Option<Instant>,
+    /// Last successfully pulled snapshot (survives the member dying).
+    last: Option<Arc<FetchedSnapshot>>,
+}
+
+/// Shared tracking for one cluster member.
+pub struct MemberTracker {
+    index: usize,
+    addr: String,
+    inner: Mutex<Inner>,
+    forwarded: AtomicU64,
+    spilled: AtomicU64,
+    pulls: AtomicU64,
+    pull_failures: AtomicU64,
+}
+
+impl MemberTracker {
+    /// A fresh tracker: healthy, ready, nothing pulled yet.
+    pub fn new(index: usize, addr: String) -> Self {
+        Self {
+            index,
+            addr,
+            inner: Mutex::new(Inner {
+                healthy: true,
+                failures: 0,
+                retry_at: None,
+                last: None,
+            }),
+            forwarded: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            pulls: AtomicU64::new(0),
+            pull_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The member's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Record `keys` acknowledged by this member; `spilled` marks keys
+    /// absorbed on behalf of an unreachable primary.
+    pub fn record_forward(&self, keys: u64, spilled: bool) {
+        self.forwarded.fetch_add(keys, Ordering::Relaxed);
+        if spilled {
+            self.spilled.fetch_add(keys, Ordering::Relaxed);
+        }
+    }
+
+    /// Keys this member has acknowledged so far.
+    pub fn forwarded_keys(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// A pull succeeded with fresh data: store it, clear the backoff.
+    pub fn record_pull(&self, fetched: FetchedSnapshot) {
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        let snapshot = Arc::new(fetched);
+        let mut inner = self.inner.lock();
+        inner.healthy = true;
+        inner.failures = 0;
+        inner.retry_at = None;
+        inner.last = Some(snapshot);
+    }
+
+    /// A pull succeeded but the member was unchanged: still proof of
+    /// life, so clear the backoff.
+    pub fn record_unchanged(&self) {
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.healthy = true;
+        inner.failures = 0;
+        inner.retry_at = None;
+    }
+
+    /// A pull or forward attempt failed: mark degraded and push the
+    /// next attempt out exponentially.
+    pub fn record_failure(&self, now: Instant) {
+        self.pull_failures.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.healthy = false;
+        inner.failures = inner.failures.saturating_add(1);
+        let exp = inner.failures.saturating_sub(1).min(6);
+        let delay = BACKOFF_BASE
+            .saturating_mul(1u32 << exp)
+            .min(BACKOFF_CAP);
+        inner.retry_at = Some(now + delay);
+    }
+
+    /// Is a contact attempt due?
+    pub fn ready(&self, now: Instant) -> bool {
+        let inner = self.inner.lock();
+        inner.retry_at.map_or(true, |t| now >= t)
+    }
+
+    /// Did the last contact attempt succeed?
+    pub fn healthy(&self) -> bool {
+        self.inner.lock().healthy
+    }
+
+    /// The last good snapshot, if any pull ever succeeded.
+    pub fn last(&self) -> Option<Arc<FetchedSnapshot>> {
+        self.inner.lock().last.clone()
+    }
+
+    /// Epoch of the last good snapshot (0 = never pulled), for
+    /// `since_epoch` delta pulls.
+    pub fn last_epoch(&self) -> u64 {
+        self.inner
+            .lock()
+            .last
+            .as_ref()
+            .map_or(0, |f| f.epoch)
+    }
+
+    /// Point-in-time report for `STATS` / `CLUSTER_STATS`.
+    pub fn report(&self) -> MemberReport {
+        let forwarded = self.forwarded.load(Ordering::Relaxed);
+        let inner = self.inner.lock();
+        let (epoch, captured_total) = inner
+            .last
+            .as_ref()
+            .map_or((0, 0), |f| (f.epoch, f.captured_total));
+        MemberReport {
+            member: self.index,
+            addr: self.addr.clone(),
+            healthy: inner.healthy,
+            epoch,
+            captured_total,
+            forwarded_keys: forwarded,
+            spilled_keys: self.spilled.load(Ordering::Relaxed),
+            pulls: self.pulls.load(Ordering::Relaxed),
+            pull_failures: self.pull_failures.load(Ordering::Relaxed),
+            staleness: forwarded.saturating_sub(captured_total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cots_core::Snapshot;
+
+    fn fetched(epoch: u64, captured: u64) -> FetchedSnapshot {
+        FetchedSnapshot {
+            snapshot: Snapshot::new(Vec::new(), captured),
+            epoch,
+            captured_total: captured,
+        }
+    }
+
+    #[test]
+    fn failures_back_off_exponentially_and_success_clears() {
+        let t = MemberTracker::new(0, "127.0.0.1:1".into());
+        let now = Instant::now();
+        assert!(t.ready(now) && t.healthy());
+
+        t.record_failure(now);
+        assert!(!t.healthy());
+        assert!(!t.ready(now));
+        assert!(t.ready(now + Duration::from_millis(150)));
+
+        t.record_failure(now);
+        assert!(!t.ready(now + Duration::from_millis(150)));
+        assert!(t.ready(now + Duration::from_millis(250)));
+
+        // Repeated failures cap at 5 s.
+        for _ in 0..20 {
+            t.record_failure(now);
+        }
+        assert!(t.ready(now + Duration::from_secs(5)));
+
+        t.record_pull(fetched(3, 10));
+        assert!(t.healthy() && t.ready(now));
+        assert_eq!(t.last_epoch(), 3);
+    }
+
+    #[test]
+    fn degraded_member_keeps_its_last_snapshot() {
+        let t = MemberTracker::new(1, "127.0.0.1:2".into());
+        t.record_forward(25, false);
+        t.record_forward(5, true);
+        t.record_pull(fetched(7, 20));
+        t.record_failure(Instant::now());
+
+        let r = t.report();
+        assert!(!r.healthy);
+        assert_eq!(r.epoch, 7);
+        assert_eq!(r.captured_total, 20);
+        assert_eq!(r.forwarded_keys, 30);
+        assert_eq!(r.spilled_keys, 5);
+        assert_eq!(r.staleness, 10);
+        assert!(t.last().is_some(), "last good snapshot survives failure");
+    }
+
+    #[test]
+    fn unchanged_pull_is_proof_of_life() {
+        let t = MemberTracker::new(0, "m".into());
+        t.record_failure(Instant::now());
+        assert!(!t.healthy());
+        t.record_unchanged();
+        assert!(t.healthy());
+        assert_eq!(t.report().pulls, 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cluster topology: the member list and the key-routing function.
+//!
+//! Routing reuses the exact hash the single-node shard router uses
+//! ([`cots_core::MulHash`]), applied modulo the member count. The merge
+//! algebra is partition-agnostic — `merge_snapshots` keeps the
+//! Space-Saving envelope under *any* assignment of keys to members — so
+//! correctness never depends on this function; it only shapes load.
+//! That is also why spillover routing (sending a primary's keys to the
+//! next live member while the primary is down) is sound.
+
+use cots_core::{CotsError, MulHash, Result};
+
+/// An ordered list of member addresses plus the routing function.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    members: Vec<String>,
+}
+
+impl Topology {
+    /// Build a topology from `host:port` strings. Errors on an empty
+    /// list — a coordinator with no members cannot answer anything.
+    pub fn new(members: Vec<String>) -> Result<Self> {
+        if members.is_empty() {
+            return Err(CotsError::InvalidConfig(
+                "cluster topology needs at least one member".into(),
+            ));
+        }
+        Ok(Self { members })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the topology has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Address of member `idx`.
+    pub fn addr(&self, idx: usize) -> &str {
+        self.members.get(idx).map(String::as_str).unwrap_or("")
+    }
+
+    /// All member addresses, in index order.
+    pub fn addrs(&self) -> &[String] {
+        &self.members
+    }
+
+    /// The member that owns `key`: same multiplicative hash as the
+    /// single-node shard router, modulo the member count.
+    pub fn member_of(&self, key: u64) -> usize {
+        (MulHash::hash(&key) % self.members.len() as u64) as usize
+    }
+
+    /// Candidate delivery order for a batch owned by `primary`: the
+    /// primary itself, then each other member in ring order (the
+    /// spillover sequence when earlier candidates are down).
+    pub fn route_order(&self, primary: usize) -> impl Iterator<Item = usize> + '_ {
+        let n = self.members.len();
+        (0..n).map(move |step| (primary + step) % n)
+    }
+
+    /// Partition `keys` by owning member, preserving arrival order
+    /// within each part.
+    pub fn partition(&self, keys: &[u64]) -> Vec<Vec<u64>> {
+        let mut parts = vec![Vec::new(); self.members.len()];
+        for &key in keys {
+            let owner = self.member_of(key);
+            if let Some(part) = parts.get_mut(owner) {
+                part.push(key);
+            }
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_topology_is_rejected() {
+        assert!(Topology::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn partition_covers_every_key_exactly_once() {
+        let topo = Topology::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let keys: Vec<u64> = (0..10_000).collect();
+        let parts = topo.partition(&keys);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, keys.len());
+        for (idx, part) in parts.iter().enumerate() {
+            for key in part {
+                assert_eq!(topo.member_of(*key), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_reasonably() {
+        let topo = Topology::new(vec!["a".into(), "b".into(), "c".into(), "d".into()]).unwrap();
+        let parts = topo.partition(&(0..40_000u64).collect::<Vec<_>>());
+        for part in &parts {
+            // Perfect balance would be 10 000; MulHash keeps every
+            // member within a loose band.
+            assert!(part.len() > 7_000 && part.len() < 13_000, "{}", part.len());
+        }
+    }
+
+    #[test]
+    fn route_order_visits_every_member_once_starting_at_primary() {
+        let topo = Topology::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let order: Vec<usize> = topo.route_order(1).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let topo = Topology::new(vec!["only".into()]).unwrap();
+        for key in 0..100u64 {
+            assert_eq!(topo.member_of(key), 0);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Cluster end-to-end: a real `cots-coord` process fronting two real
+//! `cots-member` processes over loopback. One member runs with a
+//! durable WAL (`--fsync always`) and is SIGKILLed mid-stream:
+//!
+//! * the coordinator must keep answering (degraded mode, no panic),
+//!   report the member as degraded in `CLUSTER_STATS`, and keep
+//!   accepting ingest by spilling the dead member's keys to the
+//!   survivor;
+//! * the killed member must rejoin on the same port after recovering
+//!   its checkpoint + WAL tail, after which the cluster converges to a
+//!   *stable* staleness floor (never zero after a crash — the floor is
+//!   the acked-but-lost tail) with every answer inside the envelope
+//!   `count − error ≤ sent(k)` and `acked(k) ≤ count + staleness`.
+//!
+//! Batches the coordinator answered with an error (delivery uncertain:
+//! the wire died after part of the batch was forwarded) are tracked
+//! separately — their keys count toward the upper truth (they may have
+//! been partially delivered) but not toward the acked lower bound.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use cots_cluster::fetch::{fetch_snapshot, Fetched};
+use cots_datagen::{ExactCounter, StreamSpec};
+use cots_serve::protocol::QueryReq;
+use cots_serve::{Client, Request, Response};
+
+const PHASE1: usize = 30_000;
+const PHASE2: usize = 20_000;
+const KILL_AFTER: usize = 8_000; // into phase 2
+const PHASE3: usize = 10_000;
+const TOTAL: usize = PHASE1 + PHASE2 + PHASE3;
+const ALPHABET: usize = 2_000;
+const ALPHA: f64 = 1.2;
+const SEED: u64 = 42;
+const BATCH: usize = 500;
+const PHI: f64 = 0.01;
+
+struct Proc {
+    child: Child,
+    addr: String,
+    recovery_line: Option<String>,
+}
+
+fn spawn(bin: &str, args: &[String]) -> Proc {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut recovery_line = None;
+    let mut addr = None;
+    for _ in 0..16 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        let line = line.trim().to_string();
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = Some(rest.to_string());
+            break;
+        }
+        if line.starts_with("recovered ") {
+            recovery_line = Some(line);
+        }
+    }
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            if reader.read_line(&mut sink).unwrap_or(0) == 0 {
+                break;
+            }
+        }
+    });
+    Proc {
+        child,
+        addr: addr.expect("process never printed its listening line"),
+        recovery_line,
+    }
+}
+
+fn spawn_member(addr: &str, data_dir: Option<&Path>) -> Proc {
+    let mut args: Vec<String> = [
+        "--addr", addr, "--shards", "2", "--capacity", "512", "--refresh-ms", "10",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if let Some(dir) = data_dir {
+        args.push("--data-dir".into());
+        args.push(dir.display().to_string());
+        args.push("--fsync".into());
+        args.push("always".into());
+        args.push("--checkpoint-ms".into());
+        args.push("300".into());
+    }
+    spawn(env!("CARGO_BIN_EXE_cots-member"), &args)
+}
+
+fn spawn_coord(members: &[&str]) -> Proc {
+    let args: Vec<String> = [
+        "--addr",
+        "127.0.0.1:0",
+        "--members",
+        &members.join(","),
+        "--capacity",
+        "1024",
+        "--pull-ms",
+        "20",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    spawn(env!("CARGO_BIN_EXE_cots-coord"), &args)
+}
+
+/// Reserve a loopback port so a killed member can rejoin on the same
+/// address the coordinator already knows.
+fn reserve_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().port()
+}
+
+fn cluster_report(client: &mut Client) -> cots_core::report::ClusterReport {
+    match client.call(&Request::ClusterStats).unwrap() {
+        Response::ClusterStats(report) => report,
+        other => panic!("unexpected CLUSTER_STATS response: {other:?}"),
+    }
+}
+
+/// Poll `CLUSTER_STATS` until `pred` holds, panicking after `timeout`.
+fn await_cluster<F>(client: &mut Client, timeout: Duration, what: &str, mut pred: F)
+where
+    F: FnMut(&cots_core::report::ClusterReport) -> bool,
+{
+    let deadline = Instant::now() + timeout;
+    loop {
+        let report = cluster_report(client);
+        if pred(&report) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {report:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn member_sigkill_degrades_then_rejoins_and_converges() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("cots-cluster-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let full = StreamSpec::zipf(TOTAL, ALPHABET, ALPHA, SEED).generate();
+
+    // Member A is ephemeral; member B is durable and will be killed.
+    let member_a = spawn_member("127.0.0.1:0", None);
+    let b_port = reserve_port();
+    let b_addr = format!("127.0.0.1:{b_port}");
+    let member_b = spawn_member(&b_addr, Some(&dir));
+    let coord = spawn_coord(&[&member_a.addr, &member_b.addr]);
+    let mut client = Client::connect(&coord.addr).unwrap();
+
+    // ---- Phase 1: healthy cluster quiesces to staleness 0. ----
+    let mut acked: Vec<u64> = Vec::with_capacity(TOTAL);
+    for batch in full[..PHASE1].chunks(BATCH) {
+        client.ingest(batch).unwrap();
+        acked.extend_from_slice(batch);
+    }
+    await_cluster(&mut client, Duration::from_secs(30), "phase-1 quiescence", |r| {
+        r.captured_total == PHASE1 as u64 && r.staleness == 0
+    });
+    let healthy = cluster_report(&mut client);
+    assert_eq!(healthy.members.len(), 2);
+    assert_eq!(healthy.degraded_members, 0);
+    assert_eq!(healthy.forwarded_keys, PHASE1 as u64);
+
+    // The streamed federated snapshot matches the one-shot answer path.
+    let mut pager = Client::connect(&coord.addr).unwrap();
+    match fetch_snapshot(&mut pager, 0).unwrap() {
+        Fetched::Changed(fetched) => {
+            assert_eq!(fetched.captured_total, PHASE1 as u64);
+            assert_eq!(fetched.snapshot.total(), PHASE1 as u64);
+        }
+        Fetched::Unchanged { stamp } => panic!("fresh pull short-circuited: {stamp:?}"),
+    }
+    drop(pager);
+
+    // ---- Phase 2: SIGKILL the durable member mid-stream. ----
+    let mut uncertain: Vec<u64> = Vec::new();
+    let mut member_b = member_b;
+    let mut offset = PHASE1;
+    for (i, batch) in full[PHASE1..PHASE1 + PHASE2].chunks(BATCH).enumerate() {
+        if i * BATCH == KILL_AFTER {
+            member_b.child.kill().unwrap();
+            member_b.child.wait().unwrap();
+        }
+        match client.ingest(batch) {
+            // Fully acked: every partition was delivered exactly once.
+            Ok(_) => acked.extend_from_slice(batch),
+            // Delivery uncertain: the wire to a member died after part
+            // of the batch went out. The coordinator must NOT re-send
+            // (that would double-count), so the client treats the whole
+            // batch as slack: maybe-delivered, never acked.
+            Err(_) => uncertain.extend_from_slice(batch),
+        }
+        offset += batch.len();
+    }
+    assert_eq!(offset, PHASE1 + PHASE2);
+    // Whether any batch lands in the uncertain window depends on which
+    // side notices the death first (the in-flight forward, or the
+    // puller marking the member down so later batches spill cleanly) —
+    // but it must stay a window, not a flood.
+    assert!(
+        uncertain.len() <= 3 * BATCH,
+        "expected at most a few uncertain batches around the kill, got {} keys",
+        uncertain.len()
+    );
+
+    // Degraded mode: the dead member is reported, answers keep coming.
+    await_cluster(&mut client, Duration::from_secs(10), "degraded detection", |r| {
+        r.degraded_members == 1
+    });
+    let degraded = cluster_report(&mut client);
+    let dead: Vec<_> = degraded.members.iter().filter(|m| !m.healthy).collect();
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].addr, b_addr, "the killed member is the degraded one");
+    for _ in 0..3 {
+        let (entries, total, stamp) = client.query(QueryReq::TopK { k: 10 }).unwrap();
+        assert!(!entries.is_empty(), "degraded cluster still answers");
+        assert!(total > 0);
+        assert!(
+            stamp.captured_total + stamp.staleness >= acked.len() as u64,
+            "degraded envelope accounts for every acked key"
+        );
+    }
+
+    // ---- Rejoin: restart member B on the same port and directory. ----
+    let member_b = spawn_member(&b_addr, Some(&dir));
+    let line = member_b
+        .recovery_line
+        .clone()
+        .expect("restarted member reports recovery");
+    assert!(line.starts_with("recovered "), "recovery line: {line}");
+    await_cluster(&mut client, Duration::from_secs(30), "member rejoin", |r| {
+        r.degraded_members == 0
+    });
+
+    // ---- Phase 3: keep streaming, then converge to a stable floor. ----
+    for batch in full[PHASE1 + PHASE2..].chunks(BATCH) {
+        match client.ingest(batch) {
+            Ok(_) => acked.extend_from_slice(batch),
+            Err(_) => uncertain.extend_from_slice(batch),
+        }
+    }
+    // Convergence: the (captured, staleness) pair stops moving. The
+    // floor is whatever mass died in B's queues — with `--fsync always`
+    // it is small, but it is NOT required to be zero.
+    let mut floor = None;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut stable = 0;
+    while stable < 10 {
+        let r = cluster_report(&mut client);
+        let pair = (r.captured_total, r.staleness);
+        if floor == Some(pair) {
+            stable += 1;
+        } else {
+            floor = Some(pair);
+            stable = 0;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster never converged to a stable floor: {r:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let (captured, staleness) = floor.unwrap();
+    let report = cluster_report(&mut client);
+    assert_eq!(report.degraded_members, 0, "converged cluster is healthy");
+    assert!(
+        captured + staleness >= acked.len() as u64,
+        "acked mass escaped the envelope: captured {captured} + staleness {staleness} \
+         < acked {}",
+        acked.len()
+    );
+    assert!(
+        captured <= (acked.len() + uncertain.len()) as u64,
+        "cluster captured {captured} keys but only {} were even sent",
+        acked.len() + uncertain.len()
+    );
+
+    // ---- Final envelope vs exact truth. ----
+    let sent_truth = ExactCounter::from_stream(&full[..PHASE1 + PHASE2 + PHASE3]);
+    let acked_truth = ExactCounter::from_stream(&acked);
+    let (entries, total, stamp) = client.query(QueryReq::Frequent { phi: PHI }).unwrap();
+    assert_eq!(total, captured);
+    assert_eq!(stamp.staleness, staleness);
+    assert!(!entries.is_empty());
+    for e in &entries {
+        let sent_k = sent_truth.count(&e.item);
+        assert!(
+            e.count - e.error <= sent_k,
+            "over-report: key {} guaranteed {} but at most {} sent",
+            e.item,
+            e.count - e.error,
+            sent_k
+        );
+        let acked_k = acked_truth.count(&e.item);
+        assert!(
+            acked_k <= e.count + stamp.staleness,
+            "under-report: key {} acked {} but count {} + staleness {} cannot cover it",
+            e.item,
+            acked_k,
+            e.count,
+            stamp.staleness
+        );
+    }
+
+    // ---- Teardown. ----
+    client.shutdown().unwrap();
+    drop(client);
+    let mut coord_child = coord.child;
+    coord_child.wait().unwrap();
+    for proc_ in [member_a, member_b] {
+        let mut child = proc_.child;
+        if let Ok(mut down) = Client::connect(&proc_.addr) {
+            let _ = down.shutdown();
+        }
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,6 +29,17 @@ pub fn absent_bound<K: Element>(snapshot: &Snapshot<K>, capacity: usize) -> u64 
     }
 }
 
+/// The absent-element bound of a federated merge: the summed
+/// [`absent_bound`] of every input. An element monitored by *no* input
+/// may still have occurred up to this many times across all partitions;
+/// it is therefore the worst-case count (and error) the merge assigns
+/// to any element it had to synthesize bounds for, and the honest
+/// "how wrong can a miss be" figure a coordinator should report
+/// alongside federated answers.
+pub fn combined_absent_bound<K: Element>(snapshots: &[Snapshot<K>], capacity: usize) -> u64 {
+    snapshots.iter().map(|s| absent_bound(s, capacity)).sum()
+}
+
 /// Merge any number of snapshots into a single summary of at most
 /// `capacity` counters.
 ///
@@ -202,5 +213,23 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = merge_snapshots::<u64>(&[], 0);
+    }
+
+    #[test]
+    fn combined_absent_bound_sums_full_summaries_only() {
+        let full = snap(&[(1, 5, 0), (2, 3, 0)], 8); // at capacity 2, min 3
+        let roomy = snap(&[(3, 9, 0)], 9); // below capacity: bound 0
+        assert_eq!(combined_absent_bound(&[full.clone()], 2), 3);
+        assert_eq!(combined_absent_bound(&[full.clone(), roomy.clone()], 2), 3);
+        assert_eq!(combined_absent_bound(&[roomy], 2), 0);
+        assert_eq!(combined_absent_bound::<u64>(&[], 2), 0);
+        // Mirrors what the merge itself charges a fully absent element.
+        let other = snap(&[(7, 4, 0), (8, 2, 0)], 6); // full at 2, min 2
+        let m = merge_snapshots(&[full.clone(), other.clone()], 4);
+        let bound = combined_absent_bound(&[full, other], 2);
+        assert_eq!(bound, 5);
+        // Item 8 is absent from `full`: its merged count carries full's
+        // bound (3) on top of its own estimate (2) = 5 ≤ 2 + bound.
+        assert!(m.get(&8).unwrap().count <= 2 + bound);
     }
 }

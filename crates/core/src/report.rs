@@ -347,6 +347,68 @@ pub struct PersistReport {
     pub io_errors: u64,
 }
 
+/// One member's view from a `cots-coord` coordinator.
+///
+/// `forwarded_keys − captured_total` is this member's contribution to
+/// the cluster staleness bound: keys the member acknowledged that the
+/// coordinator's federated snapshot does not yet reflect. For a healthy
+/// member it shrinks back to zero at quiescence; for an unreachable one
+/// it is frozen high — the widened error bound of degraded answers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemberReport {
+    /// Member index in the coordinator's topology (0-based).
+    pub member: usize,
+    /// Member address (`host:port`).
+    pub addr: String,
+    /// The member answered its most recent pull (false = degraded:
+    /// answers fall back to its last good snapshot).
+    pub healthy: bool,
+    /// Publisher epoch of the last good snapshot pulled.
+    pub epoch: u64,
+    /// Stream mass that snapshot accounts for.
+    pub captured_total: u64,
+    /// Keys this member acknowledged (as key-routing primary or as a
+    /// spillover target).
+    pub forwarded_keys: u64,
+    /// Subset of `forwarded_keys` absorbed on behalf of unreachable
+    /// peers (spillover routing).
+    pub spilled_keys: u64,
+    /// Successful snapshot pulls.
+    pub pulls: u64,
+    /// Failed pulls or connection attempts.
+    pub pull_failures: u64,
+    /// `forwarded_keys − captured_total` (saturating): acknowledged
+    /// keys not yet reflected in the last good snapshot.
+    pub staleness: u64,
+}
+
+/// Cluster-wide statistics from a `cots-coord` coordinator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// Per-member breakdown.
+    pub members: Vec<MemberReport>,
+    /// Epoch of the federated (merged) snapshot.
+    pub epoch: u64,
+    /// Summed member mass the federated snapshot accounts for.
+    pub captured_total: u64,
+    /// Keys acknowledged cluster-wide.
+    pub forwarded_keys: u64,
+    /// Conservative cluster staleness: `forwarded_keys` minus the
+    /// federated snapshot's `captured_total`. Every answer may miss at
+    /// most this many acknowledged keys.
+    pub staleness: u64,
+    /// Members currently degraded (unreachable; answered from their
+    /// last good snapshot).
+    pub degraded_members: usize,
+    /// Staleness attributable to degraded members — the part of the
+    /// error envelope that cannot shrink until they rejoin.
+    pub degraded_staleness: u64,
+    /// Federated merges published.
+    pub merges: u64,
+    /// Queries answered by the coordinator.
+    pub queries: u64,
+}
+
 /// Aggregate service-level statistics for a `cots-serve` instance.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceReport {
@@ -465,6 +527,72 @@ impl FromJson for PersistReport {
             wal_bytes: u64::from_json(v.field("wal_bytes")?)?,
             wal_syncs: u64::from_json(v.field("wal_syncs")?)?,
             io_errors: u64::from_json(v.field("io_errors")?)?,
+        })
+    }
+}
+
+impl ToJson for MemberReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("member", self.member.to_json()),
+            ("addr", self.addr.to_json()),
+            ("healthy", self.healthy.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("captured_total", self.captured_total.to_json()),
+            ("forwarded_keys", self.forwarded_keys.to_json()),
+            ("spilled_keys", self.spilled_keys.to_json()),
+            ("pulls", self.pulls.to_json()),
+            ("pull_failures", self.pull_failures.to_json()),
+            ("staleness", self.staleness.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MemberReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            member: usize::from_json(v.field("member")?)?,
+            addr: String::from_json(v.field("addr")?)?,
+            healthy: bool::from_json(v.field("healthy")?)?,
+            epoch: u64::from_json(v.field("epoch")?)?,
+            captured_total: u64::from_json(v.field("captured_total")?)?,
+            forwarded_keys: u64::from_json(v.field("forwarded_keys")?)?,
+            spilled_keys: u64::from_json(v.field("spilled_keys")?)?,
+            pulls: u64::from_json(v.field("pulls")?)?,
+            pull_failures: u64::from_json(v.field("pull_failures")?)?,
+            staleness: u64::from_json(v.field("staleness")?)?,
+        })
+    }
+}
+
+impl ToJson for ClusterReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("members", self.members.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("captured_total", self.captured_total.to_json()),
+            ("forwarded_keys", self.forwarded_keys.to_json()),
+            ("staleness", self.staleness.to_json()),
+            ("degraded_members", self.degraded_members.to_json()),
+            ("degraded_staleness", self.degraded_staleness.to_json()),
+            ("merges", self.merges.to_json()),
+            ("queries", self.queries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClusterReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            members: Vec::<MemberReport>::from_json(v.field("members")?)?,
+            epoch: u64::from_json(v.field("epoch")?)?,
+            captured_total: u64::from_json(v.field("captured_total")?)?,
+            forwarded_keys: u64::from_json(v.field("forwarded_keys")?)?,
+            staleness: u64::from_json(v.field("staleness")?)?,
+            degraded_members: usize::from_json(v.field("degraded_members")?)?,
+            degraded_staleness: u64::from_json(v.field("degraded_staleness")?)?,
+            merges: u64::from_json(v.field("merges")?)?,
+            queries: u64::from_json(v.field("queries")?)?,
         })
     }
 }
@@ -668,6 +796,53 @@ mod tests {
             crate::json::from_str(&crate::json::to_string(&bare)).unwrap();
         assert_eq!(back.recovery, None);
         assert_eq!(back.persist, None);
+    }
+
+    #[test]
+    fn cluster_report_json_round_trip() {
+        let r = ClusterReport {
+            members: vec![
+                MemberReport {
+                    member: 0,
+                    addr: "127.0.0.1:5050".into(),
+                    healthy: true,
+                    epoch: 12,
+                    captured_total: 9_000,
+                    forwarded_keys: 9_500,
+                    spilled_keys: 0,
+                    pulls: 40,
+                    pull_failures: 0,
+                    staleness: 500,
+                },
+                MemberReport {
+                    member: 1,
+                    addr: "127.0.0.1:5051".into(),
+                    healthy: false,
+                    epoch: 7,
+                    captured_total: 4_000,
+                    forwarded_keys: 4_300,
+                    spilled_keys: 200,
+                    pulls: 21,
+                    pull_failures: 3,
+                    staleness: 300,
+                },
+            ],
+            epoch: 9,
+            captured_total: 13_000,
+            forwarded_keys: 13_800,
+            staleness: 800,
+            degraded_members: 1,
+            degraded_staleness: 300,
+            merges: 61,
+            queries: 14,
+        };
+        let back: ClusterReport =
+            crate::json::from_str(&crate::json::to_string(&r)).unwrap();
+        assert_eq!(back, r);
+        let bare = ClusterReport::default();
+        let back: ClusterReport =
+            crate::json::from_str(&crate::json::to_string(&bare)).unwrap();
+        assert_eq!(back, bare);
     }
 
     #[test]

@@ -135,6 +135,14 @@ pub struct CotsEngine<K: Element> {
     policy: Policy,
     monitored: AtomicUsize,
     total: AtomicU64,
+    /// Elements whose `delegate`/`delegate_batch` call has *returned*.
+    /// Unlike `total` (counted up front, before any mass reaches the
+    /// summary), this trails application: every element it counts has
+    /// been flushed into the summary — either applied directly or
+    /// enqueued on a bucket queue — so a reader that takes this counter
+    /// *before* draining and snapshotting never claims mass the snapshot
+    /// cannot contain. `cots-serve` stamps published snapshots with it.
+    applied: AtomicU64,
     tally: Arc<WorkTally>,
     adaptive: Option<cots_core::config::AdaptiveConfig>,
     /// Capacity of the batch-scoped combining front-end (0 = disabled).
@@ -175,6 +183,7 @@ impl<K: Element> CotsEngine<K> {
             policy,
             monitored: AtomicUsize::new(0),
             total: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
             tally,
             adaptive: config.adaptive,
             combiner_slots: config.combiner_slots,
@@ -211,6 +220,17 @@ impl<K: Element> CotsEngine<K> {
     /// The counting policy.
     pub fn policy(&self) -> Policy {
         self.policy
+    }
+
+    /// Elements whose `delegate`/`delegate_batch` call has returned.
+    ///
+    /// Trails `processed()` (which counts a batch up front, before any of
+    /// its mass reaches the summary) by exactly the in-flight batches.
+    /// Reading this *before* a drain + snapshot yields a `captured_total`
+    /// the snapshot provably covers, so `processed() − captured_total`
+    /// stays an upper bound on the mass the snapshot is missing.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
     }
 
     // ==================================================================
@@ -266,6 +286,9 @@ impl<K: Element> CotsEngine<K> {
         // and steals a bounded number of garbage bags, so several rounds
         // per batch keep reclamation paced with production.
         drop(guard);
+        // Only now — with every element of the batch flushed into the
+        // summary — does the batch count as applied.
+        self.applied.fetch_add(items.len() as u64, Ordering::AcqRel);
         for _ in 0..4 {
             epoch::pin().flush();
         }

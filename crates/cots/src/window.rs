@@ -75,6 +75,9 @@ pub struct JumpingWindow<K: Element> {
     fill: AtomicU64,
     /// Total processed over the window's lifetime.
     total: AtomicU64,
+    /// Elements whose `process` call has returned (trails `total`, which
+    /// counts up front). See [`JumpingWindow::applied`].
+    applied: AtomicU64,
     /// Rotations performed.
     rotations: AtomicU64,
 }
@@ -96,6 +99,7 @@ impl<K: Element> JumpingWindow<K> {
             ]),
             fill: AtomicU64::new(0),
             total: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
         })
     }
@@ -109,6 +113,7 @@ impl<K: Element> JumpingWindow<K> {
             if ticket < self.sub {
                 let current = self.engines.read()[1].clone();
                 current.delegate(item);
+                self.applied.fetch_add(1, Ordering::AcqRel);
                 return;
             }
             if ticket == self.sub {
@@ -203,6 +208,14 @@ impl<K: Element> JumpingWindow<K> {
     /// Elements processed over the window's lifetime.
     pub fn processed(&self) -> u64 {
         self.total.load(Ordering::Acquire)
+    }
+
+    /// Elements whose `process` call has returned — each is flushed into
+    /// its sub-window engine, so a snapshot taken *after* reading this
+    /// covers at least this much lifetime mass. `processed() − applied()`
+    /// bounds the in-flight mass a concurrent snapshot may be missing.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
     }
 
     /// Completed rotations.

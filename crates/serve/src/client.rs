@@ -7,7 +7,7 @@ use std::time::Duration;
 use cots_core::{CotsError, CounterEntry, Result, ServiceReport};
 
 use crate::frame::{read_frame, write_frame};
-use crate::protocol::{decode, encode, QueryReq, QueryStamp, Request, Response};
+use crate::protocol::{decode, encode, QueryReq, QueryStamp, Request, Response, PROTO_VERSION};
 
 /// One connection to a `cots-serve` instance.
 pub struct Client {
@@ -16,8 +16,20 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to `addr` (e.g. `127.0.0.1:4040`).
+    /// Connect to `addr` (e.g. `127.0.0.1:4040`) and complete the
+    /// mandatory `HELLO` handshake. A version rejection surfaces as an
+    /// [`io::Error`] naming both versions.
     pub fn connect(addr: &str) -> io::Result<Self> {
+        let mut client = Self::connect_raw(addr)?;
+        client.hello().map_err(io::Error::other)?;
+        Ok(client)
+    }
+
+    /// Open the TCP connection *without* sending `HELLO` — for tests of
+    /// the handshake itself and for legacy-client simulations. Any
+    /// operation sent before [`Client::hello`] succeeds is answered
+    /// with `UNSUPPORTED_VERSION` and the server closes the connection.
+    pub fn connect_raw(addr: &str) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -25,6 +37,29 @@ impl Client {
             reader,
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// Perform the `HELLO` handshake, returning the server's protocol
+    /// version and feature flags.
+    pub fn hello(&mut self) -> Result<(u32, Vec<String>)> {
+        match self.call(&Request::Hello {
+            proto_version: PROTO_VERSION,
+            features: Vec::new(),
+        })? {
+            Response::HelloAck {
+                proto_version,
+                features,
+            } => Ok((proto_version, features)),
+            Response::UnsupportedVersion {
+                supported,
+                requested,
+            } => Err(CotsError::Protocol(format!(
+                "server rejected protocol version {requested} (it supports up to {supported})"
+            ))),
+            other => Err(CotsError::Protocol(format!(
+                "unexpected handshake response: {other:?}"
+            ))),
+        }
     }
 
     /// Set the read timeout for responses (`None` blocks forever).

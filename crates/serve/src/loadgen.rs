@@ -391,7 +391,14 @@ fn check_answers(client: &mut Client, config: &LoadConfig, stream: &[u64]) -> Re
         .iter()
         .filter(|e| {
             let t = truth.count(&e.item);
-            !(e.count >= t && e.count - e.error <= t)
+            let ok = e.count >= t && e.count - e.error <= t;
+            if !ok {
+                eprintln!(
+                    "loadgen: bound violation: item {} count {} error {} true {}",
+                    e.item, e.count, e.error, t
+                );
+            }
+            !ok
         })
         .count();
     Ok(CheckReport {

@@ -11,7 +11,24 @@
 //! by `cargo xtask audit` (lint-totality).
 
 use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};
-use cots_core::{CotsError, CounterEntry, ServiceReport, Snapshot};
+use cots_core::{ClusterReport, CotsError, CounterEntry, ServiceReport, Snapshot};
+
+/// The protocol version this build speaks. Version 2 introduced the
+/// mandatory `HELLO` handshake plus the `SNAPSHOT_PAGE` and
+/// `CLUSTER_STATS` operations; see the version-compatibility table in
+/// `docs/PROTOCOL.md` (machine-checked by `cargo xtask lint-protocol`).
+pub const PROTO_VERSION: u32 = 2;
+
+/// The oldest peer version this build still accepts in `HELLO`.
+/// Version 1 had no handshake at all, so it cannot be negotiated with:
+/// a v1 client's first frame is an operation, which the server answers
+/// with `UNSUPPORTED_VERSION` and a close.
+pub const MIN_PROTO_VERSION: u32 = 2;
+
+/// Server-side clamp on entries per `SNAPSHOT_PAGE` response. An entry
+/// serializes to well under 128 bytes, so a full page stays far below
+/// the 16 MiB frame cap no matter what `limit` the client asks for.
+pub const MAX_PAGE_ENTRIES: usize = 65_536;
 
 /// Decompose an externally-tagged enum value: `"Variant"` or
 /// `{"Variant": payload}`.
@@ -54,6 +71,16 @@ pub enum QueryReq {
 /// One client→server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Mandatory first exchange on every connection: the client
+    /// announces its protocol version and optional feature flags.
+    /// Any other first request is answered with
+    /// [`Response::UnsupportedVersion`] and the connection closes.
+    Hello {
+        /// Protocol version the client speaks (see [`PROTO_VERSION`]).
+        proto_version: u32,
+        /// Free-form feature flags the client understands.
+        features: Vec<String>,
+    },
     /// Feed a batch of keys into the stream.
     Ingest {
         /// The keys, in stream order.
@@ -65,6 +92,25 @@ pub enum Request {
     Stats,
     /// The full published snapshot.
     Snapshot,
+    /// One page of the published snapshot (delta-aware streaming
+    /// transfer: large summaries never approach the 16 MiB frame cap).
+    /// `offset == 0` pins the current snapshot to the connection and
+    /// compares its epoch against `since_epoch` (an `unchanged` page
+    /// short-circuits the transfer); later offsets page through the
+    /// pinned snapshot, so a multi-frame transfer is internally
+    /// consistent even while new snapshots publish.
+    SnapshotPage {
+        /// Epoch the requester already holds (0 = none).
+        since_epoch: u64,
+        /// Entry offset into the snapshot's sorted entry list.
+        offset: usize,
+        /// Maximum entries wanted (server clamps to
+        /// [`MAX_PAGE_ENTRIES`]).
+        limit: usize,
+    },
+    /// Cluster-wide statistics (answered by `cots-coord`; members
+    /// answer with an error pointing at the coordinator).
+    ClusterStats,
     /// Force an immediate durable checkpoint (requires `--data-dir`).
     Checkpoint,
     /// Begin graceful shutdown: stop accepting, drain queues, exit.
@@ -89,6 +135,23 @@ pub struct QueryStamp {
 /// One server→client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
+    /// The handshake succeeded; the connection may proceed.
+    HelloAck {
+        /// Protocol version the server speaks.
+        proto_version: u32,
+        /// Feature flags the server supports.
+        features: Vec<String>,
+    },
+    /// The handshake failed: the client's version is outside the
+    /// server's supported range, or the first frame was not `HELLO` at
+    /// all (`requested` is 0 in that case). The connection closes after
+    /// this response.
+    UnsupportedVersion {
+        /// Newest protocol version the server speaks.
+        supported: u32,
+        /// Version the client announced (0 = no `HELLO` was sent).
+        requested: u32,
+    },
     /// The ingest batch was accepted into the shard queues (not yet
     /// necessarily applied; see `Stats` for applied counts).
     IngestAck {
@@ -115,6 +178,27 @@ pub enum Response {
         /// Snapshot provenance.
         stamp: QueryStamp,
     },
+    /// One page of the pinned snapshot (see [`Request::SnapshotPage`]).
+    SnapshotPage {
+        /// Entries `offset..offset+len` of the sorted entry list
+        /// (empty when `unchanged`).
+        entries: Vec<CounterEntry<u64>>,
+        /// Offset this page actually starts at.
+        offset: usize,
+        /// Total entries in the pinned snapshot.
+        total_entries: usize,
+        /// Total stream mass the pinned snapshot accounts for.
+        total: u64,
+        /// No entries remain after this page.
+        done: bool,
+        /// The requester's `since_epoch` is still current: the transfer
+        /// is a no-op and no entries were shipped.
+        unchanged: bool,
+        /// Provenance of the pinned snapshot.
+        stamp: QueryStamp,
+    },
+    /// Cluster-wide statistics from a coordinator.
+    ClusterStats(ClusterReport),
     /// A durable checkpoint was committed.
     Checkpointed {
         /// WAL sequence watermark the checkpoint cuts at.
@@ -167,12 +251,35 @@ impl FromJson for QueryReq {
 impl ToJson for Request {
     fn to_json(&self) -> Json {
         match self {
+            Request::Hello {
+                proto_version,
+                features,
+            } => tagged(
+                "Hello",
+                Json::obj(vec![
+                    ("proto_version", proto_version.to_json()),
+                    ("features", features.to_json()),
+                ]),
+            ),
             Request::Ingest { keys } => {
                 tagged("Ingest", Json::obj(vec![("keys", keys.to_json())]))
             }
             Request::Query(q) => tagged("Query", q.to_json()),
             Request::Stats => Json::Str("Stats".into()),
             Request::Snapshot => Json::Str("Snapshot".into()),
+            Request::SnapshotPage {
+                since_epoch,
+                offset,
+                limit,
+            } => tagged(
+                "SnapshotPage",
+                Json::obj(vec![
+                    ("since_epoch", since_epoch.to_json()),
+                    ("offset", offset.to_json()),
+                    ("limit", limit.to_json()),
+                ]),
+            ),
+            Request::ClusterStats => Json::Str("ClusterStats".into()),
             Request::Checkpoint => Json::Str("Checkpoint".into()),
             Request::Shutdown => Json::Str("Shutdown".into()),
         }
@@ -182,12 +289,22 @@ impl ToJson for Request {
 impl FromJson for Request {
     fn from_json(v: &Json) -> JsonResult<Self> {
         match variant(v)? {
+            ("Hello", Some(p)) => Ok(Request::Hello {
+                proto_version: u32::from_json(p.field("proto_version")?)?,
+                features: Vec::<String>::from_json(p.field("features")?)?,
+            }),
             ("Ingest", Some(p)) => Ok(Request::Ingest {
                 keys: Vec::<u64>::from_json(p.field("keys")?)?,
             }),
             ("Query", Some(p)) => Ok(Request::Query(QueryReq::from_json(p)?)),
             ("Stats", None) => Ok(Request::Stats),
             ("Snapshot", None) => Ok(Request::Snapshot),
+            ("SnapshotPage", Some(p)) => Ok(Request::SnapshotPage {
+                since_epoch: u64::from_json(p.field("since_epoch")?)?,
+                offset: usize::from_json(p.field("offset")?)?,
+                limit: usize::from_json(p.field("limit")?)?,
+            }),
+            ("ClusterStats", None) => Ok(Request::ClusterStats),
             ("Checkpoint", None) => Ok(Request::Checkpoint),
             ("Shutdown", None) => Ok(Request::Shutdown),
             (name, _) => Err(JsonError(format!("unknown Request variant `{name}`"))),
@@ -220,6 +337,26 @@ impl FromJson for QueryStamp {
 impl ToJson for Response {
     fn to_json(&self) -> Json {
         match self {
+            Response::HelloAck {
+                proto_version,
+                features,
+            } => tagged(
+                "HelloAck",
+                Json::obj(vec![
+                    ("proto_version", proto_version.to_json()),
+                    ("features", features.to_json()),
+                ]),
+            ),
+            Response::UnsupportedVersion {
+                supported,
+                requested,
+            } => tagged(
+                "UnsupportedVersion",
+                Json::obj(vec![
+                    ("supported", supported.to_json()),
+                    ("requested", requested.to_json()),
+                ]),
+            ),
             Response::IngestAck { enqueued } => {
                 tagged("IngestAck", Json::obj(vec![("enqueued", enqueued.to_json())]))
             }
@@ -244,6 +381,27 @@ impl ToJson for Response {
                     ("stamp", stamp.to_json()),
                 ]),
             ),
+            Response::SnapshotPage {
+                entries,
+                offset,
+                total_entries,
+                total,
+                done,
+                unchanged,
+                stamp,
+            } => tagged(
+                "SnapshotPage",
+                Json::obj(vec![
+                    ("entries", entries.to_json()),
+                    ("offset", offset.to_json()),
+                    ("total_entries", total_entries.to_json()),
+                    ("total", total.to_json()),
+                    ("done", done.to_json()),
+                    ("unchanged", unchanged.to_json()),
+                    ("stamp", stamp.to_json()),
+                ]),
+            ),
+            Response::ClusterStats(report) => tagged("ClusterStats", report.to_json()),
             Response::Checkpointed {
                 watermark,
                 total,
@@ -267,6 +425,14 @@ impl ToJson for Response {
 impl FromJson for Response {
     fn from_json(v: &Json) -> JsonResult<Self> {
         match variant(v)? {
+            ("HelloAck", Some(p)) => Ok(Response::HelloAck {
+                proto_version: u32::from_json(p.field("proto_version")?)?,
+                features: Vec::<String>::from_json(p.field("features")?)?,
+            }),
+            ("UnsupportedVersion", Some(p)) => Ok(Response::UnsupportedVersion {
+                supported: u32::from_json(p.field("supported")?)?,
+                requested: u32::from_json(p.field("requested")?)?,
+            }),
             ("IngestAck", Some(p)) => Ok(Response::IngestAck {
                 enqueued: u64::from_json(p.field("enqueued")?)?,
             }),
@@ -281,6 +447,16 @@ impl FromJson for Response {
                 snapshot: Snapshot::<u64>::from_json(p.field("snapshot")?)?,
                 stamp: QueryStamp::from_json(p.field("stamp")?)?,
             }),
+            ("SnapshotPage", Some(p)) => Ok(Response::SnapshotPage {
+                entries: Vec::<CounterEntry<u64>>::from_json(p.field("entries")?)?,
+                offset: usize::from_json(p.field("offset")?)?,
+                total_entries: usize::from_json(p.field("total_entries")?)?,
+                total: u64::from_json(p.field("total")?)?,
+                done: bool::from_json(p.field("done")?)?,
+                unchanged: bool::from_json(p.field("unchanged")?)?,
+                stamp: QueryStamp::from_json(p.field("stamp")?)?,
+            }),
+            ("ClusterStats", Some(p)) => Ok(Response::ClusterStats(ClusterReport::from_json(p)?)),
             ("Checkpointed", Some(p)) => Ok(Response::Checkpointed {
                 watermark: u64::from_json(p.field("watermark")?)?,
                 total: u64::from_json(p.field("total")?)?,
@@ -292,6 +468,44 @@ impl FromJson for Response {
             }),
             (name, _) => Err(JsonError(format!("unknown Response variant `{name}`"))),
         }
+    }
+}
+
+/// Build the `SNAPSHOT_PAGE` response for one page of a pinned
+/// snapshot. Pure slicing over the sorted entry list: the caller pins
+/// the snapshot per connection (at `offset == 0`) and recomputes the
+/// stamp; this function never allocates more than one clamped page.
+pub fn snapshot_page_response(
+    snapshot: &Snapshot<u64>,
+    stamp: QueryStamp,
+    since_epoch: u64,
+    offset: usize,
+    limit: usize,
+) -> Response {
+    let total_entries = snapshot.len();
+    if offset == 0 && since_epoch != 0 && since_epoch == stamp.epoch {
+        return Response::SnapshotPage {
+            entries: Vec::new(),
+            offset: 0,
+            total_entries,
+            total: snapshot.total(),
+            done: true,
+            unchanged: true,
+            stamp,
+        };
+    }
+    let limit = limit.clamp(1, MAX_PAGE_ENTRIES);
+    let start = offset.min(total_entries);
+    let end = start.saturating_add(limit).min(total_entries);
+    let entries = snapshot.entries().get(start..end).unwrap_or(&[]).to_vec();
+    Response::SnapshotPage {
+        entries,
+        offset: start,
+        total_entries,
+        total: snapshot.total(),
+        done: end >= total_entries,
+        unchanged: false,
+        stamp,
     }
 }
 
@@ -322,6 +536,14 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
+        round_trip_request(Request::Hello {
+            proto_version: PROTO_VERSION,
+            features: vec!["snapshot-page".into()],
+        });
+        round_trip_request(Request::Hello {
+            proto_version: 1,
+            features: vec![],
+        });
         round_trip_request(Request::Ingest {
             keys: vec![1, 2, 3, u64::MAX],
         });
@@ -331,6 +553,12 @@ mod tests {
         round_trip_request(Request::Query(QueryReq::TopK { k: 25 }));
         round_trip_request(Request::Stats);
         round_trip_request(Request::Snapshot);
+        round_trip_request(Request::SnapshotPage {
+            since_epoch: 41,
+            offset: 65_536,
+            limit: 4_096,
+        });
+        round_trip_request(Request::ClusterStats);
         round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Shutdown);
     }
@@ -343,6 +571,14 @@ mod tests {
             staleness: 7,
             rotations: Some(2),
         };
+        round_trip_response(Response::HelloAck {
+            proto_version: PROTO_VERSION,
+            features: vec!["snapshot-page".into(), "cluster".into()],
+        });
+        round_trip_response(Response::UnsupportedVersion {
+            supported: PROTO_VERSION,
+            requested: 0,
+        });
         round_trip_response(Response::IngestAck { enqueued: 4096 });
         round_trip_response(Response::Overloaded);
         round_trip_response(Response::Answer {
@@ -355,6 +591,16 @@ mod tests {
             snapshot: Snapshot::new(vec![CounterEntry::new(1u64, 2, 0)], 2),
             stamp: QueryStamp::default(),
         });
+        round_trip_response(Response::SnapshotPage {
+            entries: vec![CounterEntry::new(5u64, 10, 1)],
+            offset: 128,
+            total_entries: 129,
+            total: 500,
+            done: true,
+            unchanged: false,
+            stamp,
+        });
+        round_trip_response(Response::ClusterStats(ClusterReport::default()));
         round_trip_response(Response::Checkpointed {
             watermark: 99,
             total: 1_000,
@@ -364,6 +610,77 @@ mod tests {
         round_trip_response(Response::Error {
             message: "no".into(),
         });
+    }
+
+    fn page(
+        resp: Response,
+    ) -> (Vec<CounterEntry<u64>>, usize, usize, u64, bool, bool) {
+        match resp {
+            Response::SnapshotPage {
+                entries,
+                offset,
+                total_entries,
+                total,
+                done,
+                unchanged,
+                ..
+            } => (entries, offset, total_entries, total, done, unchanged),
+            other => panic!("expected SnapshotPage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_pages_cover_the_summary_exactly() {
+        let entries: Vec<CounterEntry<u64>> = (0..10u64)
+            .map(|i| CounterEntry::new(i, 100 - i, 1))
+            .collect();
+        let snap = Snapshot::new(entries.clone(), 955);
+        let stamp = QueryStamp {
+            epoch: 7,
+            ..QueryStamp::default()
+        };
+
+        // Paging in chunks of 4 reassembles the exact entry list.
+        let mut got = Vec::new();
+        let mut offset = 0;
+        loop {
+            let (page_entries, off, total_entries, total, done, unchanged) =
+                page(snapshot_page_response(&snap, stamp, 0, offset, 4));
+            assert_eq!(off, offset);
+            assert_eq!(total_entries, 10);
+            assert_eq!(total, 955);
+            assert!(!unchanged);
+            got.extend(page_entries);
+            offset = got.len();
+            if done {
+                break;
+            }
+        }
+        assert_eq!(got, entries);
+
+        // A requester already holding the current epoch short-circuits.
+        let (e, _, _, _, done, unchanged) =
+            page(snapshot_page_response(&snap, stamp, 7, 0, 4));
+        assert!(unchanged && done && e.is_empty());
+        // ...but only at offset 0 (mid-transfer pages always ship).
+        let (e, _, _, _, _, unchanged) =
+            page(snapshot_page_response(&snap, stamp, 7, 8, 4));
+        assert!(!unchanged);
+        assert_eq!(e.len(), 2);
+
+        // Out-of-range offsets and degenerate limits are total.
+        let (e, off, _, _, done, _) =
+            page(snapshot_page_response(&snap, stamp, 0, 10_000, 0));
+        assert!(e.is_empty() && done);
+        assert_eq!(off, 10);
+        let (e, _, _, _, _, _) = page(snapshot_page_response(
+            &snap,
+            stamp,
+            0,
+            0,
+            usize::MAX,
+        ));
+        assert_eq!(e.len(), 10);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::net::TcpStream;
 
 use crate::frame::{FrameAssembler, MAX_FRAME};
 use crate::protocol::{decode, encode, Request, Response};
-use crate::service::Service;
+use crate::service::{ConnState, Reply, Service};
 use crate::shard::ShardSender;
 
 /// Pending-write cap: a peer that stops reading while responses pile up
@@ -75,6 +75,11 @@ pub struct Connection {
     /// Set after a framing violation or shutdown handshake: stop
     /// consuming input, flush what is queued, then close.
     closing: bool,
+    /// Protocol state: `HELLO` handshake progress plus any snapshot
+    /// pinned by a paged transfer. Lives here (not with the
+    /// `ShardSender`) because one sender is shared by every connection
+    /// on a reactor thread.
+    state: ConnState,
 }
 
 impl Connection {
@@ -86,6 +91,7 @@ impl Connection {
             wbuf: Vec::new(),
             wpos: 0,
             closing: false,
+            state: ConnState::new(),
         }
     }
 
@@ -122,17 +128,16 @@ impl Connection {
         loop {
             match self.asm.next_frame() {
                 Ok(Some(payload)) => {
-                    let response = match decode::<Request>(&payload) {
-                        Ok(request) => service.handle(request, sender),
-                        Err(e) => Response::Error {
+                    let reply = match decode::<Request>(&payload) {
+                        Ok(request) => service.serve(request, &mut self.state, sender),
+                        Err(e) => Reply::open(Response::Error {
                             message: e.to_string(),
-                        },
+                        }),
                     };
-                    let shutting = matches!(response, Response::ShuttingDown);
-                    if !self.queue_response(&response) {
+                    if !self.queue_response(&reply.response) {
                         return Drive::Close;
                     }
-                    if shutting {
+                    if reply.close {
                         self.closing = true;
                         break;
                     }

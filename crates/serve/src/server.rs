@@ -28,7 +28,7 @@ use std::time::Duration;
 use crate::frame::{is_timeout, read_frame, write_frame};
 use crate::protocol::{decode, encode, Request, Response};
 use crate::reactor::ReactorPool;
-use crate::service::{Service, ServiceConfig};
+use crate::service::{ConnState, Reply, Service, ServiceConfig};
 
 /// How long a connection read blocks before re-checking the shutdown
 /// flag.
@@ -241,6 +241,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
     };
     let mut writer = io::BufWriter::new(stream);
     let mut sender = service.connect();
+    let mut conn = ConnState::new();
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
@@ -261,16 +262,16 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                 return;
             }
         };
-        let response = match decode::<Request>(&payload) {
-            Ok(request) => service.handle(request, &mut sender),
-            Err(e) => Response::Error {
+        let reply = match decode::<Request>(&payload) {
+            Ok(request) => service.serve(request, &mut conn, &mut sender),
+            Err(e) => Reply::open(Response::Error {
                 message: e.to_string(),
-            },
+            }),
         };
-        if write_frame(&mut writer, &encode(&response)).is_err() {
+        if write_frame(&mut writer, &encode(&reply.response)).is_err() {
             return;
         }
-        if matches!(response, Response::ShuttingDown) {
+        if reply.close {
             return;
         }
     }

@@ -30,8 +30,72 @@ use cots_core::{CotsConfig, CotsError, RecoveryReport, Result, ServiceReport, Sn
 use cots_profiling::IngestTally;
 
 use crate::persistence::{PersistOptions, Persistence};
-use crate::protocol::{QueryReq, QueryStamp, Request, Response};
+use crate::protocol::{
+    snapshot_page_response, QueryReq, QueryStamp, Request, Response, MIN_PROTO_VERSION,
+    PROTO_VERSION,
+};
 use crate::shard::{Backend, SendOutcome, ShardPool, ShardSender};
+
+/// Feature flags a member instance advertises in `HELLO_ACK`.
+const MEMBER_FEATURES: &[&str] = &["snapshot-page"];
+
+/// Per-connection protocol state: handshake progress plus the snapshot
+/// pinned by an in-progress paged transfer. Owned by the connection (a
+/// blocking thread or a reactor slab slot), never shared.
+#[derive(Default)]
+pub struct ConnState {
+    greeted: bool,
+    pinned: Option<Arc<cots::StampedSnapshot<u64>>>,
+}
+
+impl ConnState {
+    /// Fresh state for a newly accepted connection: the first frame must
+    /// be `HELLO`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A state that skips the handshake — for in-process callers and
+    /// tests that drive [`Service::serve`] without a socket.
+    pub fn pre_greeted() -> Self {
+        Self {
+            greeted: true,
+            pinned: None,
+        }
+    }
+
+    /// Whether the handshake has completed on this connection.
+    pub fn is_greeted(&self) -> bool {
+        self.greeted
+    }
+}
+
+/// What a connection should do with one request's outcome.
+pub struct Reply {
+    /// The response to write.
+    pub response: Response,
+    /// Close the connection after flushing the response (handshake
+    /// rejection, graceful shutdown).
+    pub close: bool,
+}
+
+impl Reply {
+    /// A response that keeps the connection open.
+    pub fn open(response: Response) -> Self {
+        Self {
+            response,
+            close: false,
+        }
+    }
+
+    /// A response after which the connection closes.
+    pub fn closing(response: Response) -> Self {
+        Self {
+            response,
+            close: true,
+        }
+    }
+}
 
 /// Service deployment knobs.
 #[derive(Debug, Clone)]
@@ -180,17 +244,38 @@ impl Service {
             std::thread::Builder::new()
                 .name("cots-publisher".into())
                 .spawn(move || {
+                    // Hold the epoch steady once the service quiesces:
+                    // that is what lets delta pullers (`SNAPSHOT_PAGE {
+                    // since_epoch }`) get a tiny `unchanged` answer
+                    // instead of the full summary. One *confirming*
+                    // publish still happens after the counters settle,
+                    // because a capture can race in-flight batch
+                    // application (snapshot vs. counter reads are not
+                    // one atomic step) — the confirmation replaces any
+                    // such torn capture with a clean one before the
+                    // epoch freezes.
+                    let mut last: Option<(u64, Option<u64>)> = None;
+                    let mut confirmed = false;
                     while !shutdown.load(Ordering::Acquire) {
                         let (snapshot, total, rotations) =
                             capture_merged(&backend, base.as_deref(), base_total, capacity);
-                        publisher.publish(snapshot, total, rotations);
+                        if last != Some((total, rotations)) {
+                            publisher.publish(snapshot, total, rotations);
+                            last = Some((total, rotations));
+                            confirmed = false;
+                        } else if !confirmed {
+                            publisher.publish(snapshot, total, rotations);
+                            confirmed = true;
+                        }
                         std::thread::sleep(refresh);
                     }
                     // One final publish so post-drain queries see the
                     // quiescent state with zero staleness.
                     let (snapshot, total, rotations) =
                         capture_merged(&backend, base.as_deref(), base_total, capacity);
-                    publisher.publish(snapshot, total, rotations);
+                    if last != Some((total, rotations)) || !confirmed {
+                        publisher.publish(snapshot, total, rotations);
+                    }
                 })
                 .map_err(|e| CotsError::Report(format!("spawn publisher: {e}")))?
         };
@@ -271,9 +356,73 @@ impl Service {
         self.pool.begin_shutdown();
     }
 
+    /// Serve one request on behalf of a real connection: enforce the
+    /// `HELLO` handshake, keep paged snapshot transfers pinned to one
+    /// snapshot, and say whether the connection should close afterwards.
+    ///
+    /// The first frame on every connection must be `HELLO` with a
+    /// supported version; anything else is answered with
+    /// `UNSUPPORTED_VERSION` (requested = 0 when no `HELLO` was sent at
+    /// all) and the connection closes. In-process callers that need no
+    /// handshake use [`Service::handle`] or [`ConnState::pre_greeted`].
+    pub fn serve(&self, request: Request, conn: &mut ConnState, sender: &mut ShardSender) -> Reply {
+        if let Request::Hello { proto_version, .. } = request {
+            return if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto_version) {
+                conn.greeted = true;
+                Reply::open(self.hello_ack())
+            } else {
+                Reply::closing(Response::UnsupportedVersion {
+                    supported: PROTO_VERSION,
+                    requested: proto_version,
+                })
+            };
+        }
+        if !conn.greeted {
+            return Reply::closing(Response::UnsupportedVersion {
+                supported: PROTO_VERSION,
+                requested: 0,
+            });
+        }
+        if let Request::SnapshotPage {
+            since_epoch,
+            offset,
+            limit,
+        } = request
+        {
+            // Offset 0 (re)pins the freshest published snapshot; later
+            // pages keep reading the pinned one, so a multi-frame
+            // transfer never sees a torn summary.
+            if offset == 0 || conn.pinned.is_none() {
+                conn.pinned = Some(self.publisher.current());
+            }
+            let response = match &conn.pinned {
+                Some(snap) => {
+                    let stamp = self.stamp_for(snap);
+                    snapshot_page_response(&snap.snapshot, stamp, since_epoch, offset, limit)
+                }
+                None => Response::Error {
+                    message: "no snapshot published yet".into(),
+                },
+            };
+            return Reply::open(response);
+        }
+        let response = self.handle(request, sender);
+        let close = matches!(response, Response::ShuttingDown);
+        Reply { response, close }
+    }
+
+    /// The `HELLO_ACK` this instance answers a successful handshake with.
+    fn hello_ack(&self) -> Response {
+        Response::HelloAck {
+            proto_version: PROTO_VERSION,
+            features: MEMBER_FEATURES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
     /// Handle one request on behalf of a connection.
     pub fn handle(&self, request: Request, sender: &mut ShardSender) -> Response {
         match request {
+            Request::Hello { .. } => self.hello_ack(),
             Request::Ingest { keys } => match sender.send(&keys) {
                 SendOutcome::Enqueued => {
                     self.tally.ingest(keys.len() as u64);
@@ -298,6 +447,21 @@ impl Service {
                     stamp,
                 }
             }
+            Request::SnapshotPage {
+                since_epoch,
+                offset,
+                limit,
+            } => {
+                // Pin-free in-process path; real connections go through
+                // [`Service::serve`], which pins across pages.
+                let (snap, stamp) = self.published();
+                snapshot_page_response(&snap.snapshot, stamp, since_epoch, offset, limit)
+            }
+            Request::ClusterStats => Response::Error {
+                message: "this instance is a member, not a coordinator \
+                          (CLUSTER_STATS is answered by cots-coord)"
+                    .into(),
+            },
             Request::Checkpoint => match &self.persistence {
                 Some(p) => match p.checkpoint_now(&self.backend, self.base.as_deref(), &self.publisher)
                 {
@@ -346,13 +510,18 @@ impl Service {
     /// The current published snapshot plus its provenance stamp.
     fn published(&self) -> (Arc<cots::StampedSnapshot<u64>>, QueryStamp) {
         let snap = self.publisher.current();
-        let stamp = QueryStamp {
+        let stamp = self.stamp_for(&snap);
+        (snap, stamp)
+    }
+
+    /// Provenance stamp for an arbitrary (possibly pinned) snapshot.
+    fn stamp_for(&self, snap: &cots::StampedSnapshot<u64>) -> QueryStamp {
+        QueryStamp {
             epoch: snap.epoch,
             captured_total: snap.captured_total,
             staleness: self.total_processed().saturating_sub(snap.captured_total),
             rotations: snap.rotations,
-        };
-        (snap, stamp)
+        }
     }
 
     /// Current service statistics.
@@ -436,6 +605,19 @@ mod tests {
         panic!("service did not quiesce at {n} applied keys");
     }
 
+    /// Wait until the publisher epoch holds still (the refresher's
+    /// confirming publish after quiescence has landed).
+    fn settled_epoch(service: &Service) -> u64 {
+        for _ in 0..1_000 {
+            let epoch = service.publisher.epoch();
+            std::thread::sleep(Duration::from_millis(25));
+            if service.publisher.epoch() == epoch {
+                return epoch;
+            }
+        }
+        panic!("publisher epoch never settled");
+    }
+
     #[test]
     fn ingest_then_query_round_trip() {
         let service = Service::start(ServiceConfig {
@@ -497,6 +679,188 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         assert!(service.shutdown_requested());
+        drop(sender);
+        service.drain();
+    }
+
+    #[test]
+    fn handshake_gates_real_connections() {
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 16,
+            refresh: Duration::from_millis(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+
+        // Any operation before HELLO is rejected and the connection closes.
+        let mut conn = ConnState::new();
+        let reply = service.serve(Request::Stats, &mut conn, &mut sender);
+        match reply.response {
+            Response::UnsupportedVersion {
+                supported,
+                requested,
+            } => {
+                assert_eq!(supported, PROTO_VERSION);
+                assert_eq!(requested, 0, "no HELLO at all is flagged as version 0");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(reply.close);
+        assert!(!conn.is_greeted());
+
+        // An unsupported version is named in the rejection.
+        let mut conn = ConnState::new();
+        let reply = service.serve(
+            Request::Hello {
+                proto_version: 1,
+                features: vec![],
+            },
+            &mut conn,
+            &mut sender,
+        );
+        assert!(matches!(
+            reply.response,
+            Response::UnsupportedVersion { requested: 1, .. }
+        ));
+        assert!(reply.close);
+
+        // The proper handshake opens the connection for business.
+        let mut conn = ConnState::new();
+        let reply = service.serve(
+            Request::Hello {
+                proto_version: PROTO_VERSION,
+                features: vec!["snapshot-page".into()],
+            },
+            &mut conn,
+            &mut sender,
+        );
+        match reply.response {
+            Response::HelloAck {
+                proto_version,
+                features,
+            } => {
+                assert_eq!(proto_version, PROTO_VERSION);
+                assert!(features.iter().any(|f| f == "snapshot-page"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(!reply.close);
+        assert!(conn.is_greeted());
+        let reply = service.serve(Request::Stats, &mut conn, &mut sender);
+        assert!(matches!(reply.response, Response::Stats(_)));
+        assert!(!reply.close);
+
+        // Shutdown still closes through the serve path.
+        let reply = service.serve(Request::Shutdown, &mut conn, &mut sender);
+        assert!(matches!(reply.response, Response::ShuttingDown));
+        assert!(reply.close);
+        drop(sender);
+        service.drain();
+    }
+
+    #[test]
+    fn snapshot_pages_stay_pinned_across_republishes() {
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+        let mut conn = ConnState::pre_greeted();
+        let keys: Vec<u64> = (0..1_000u64).map(|i| i % 10).collect();
+        drive(&service, &mut sender, &keys, 128);
+        await_applied(&service, 1_000);
+
+        // First page pins the current snapshot.
+        let first = service.serve(
+            Request::SnapshotPage {
+                since_epoch: 0,
+                offset: 0,
+                limit: 4,
+            },
+            &mut conn,
+            &mut sender,
+        );
+        let (first_epoch, first_entries) = match first.response {
+            Response::SnapshotPage {
+                entries,
+                stamp,
+                total_entries,
+                done,
+                ..
+            } => {
+                assert_eq!(total_entries, 10);
+                assert!(!done);
+                (stamp.epoch, entries)
+            }
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(first_entries.len(), 4);
+
+        // New data publishes new epochs underneath the transfer...
+        drive(&service, &mut sender, &keys, 128);
+        await_applied(&service, 2_000);
+        assert!(service.publisher.epoch() > first_epoch);
+
+        // ...but later pages still read the pinned snapshot.
+        let second = service.serve(
+            Request::SnapshotPage {
+                since_epoch: 0,
+                offset: 4,
+                limit: 100,
+            },
+            &mut conn,
+            &mut sender,
+        );
+        match second.response {
+            Response::SnapshotPage {
+                entries,
+                stamp,
+                total,
+                done,
+                ..
+            } => {
+                assert_eq!(stamp.epoch, first_epoch, "transfer stays on the pinned epoch");
+                assert_eq!(total, 1_000, "pinned mass, not the republished one");
+                assert_eq!(entries.len(), 6);
+                assert!(done);
+                assert!(
+                    stamp.staleness >= 1_000,
+                    "staleness against the pinned snapshot is honest: {}",
+                    stamp.staleness
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Offset 0 re-pins; a holder of the fresh epoch gets `unchanged`.
+        let epoch_now = settled_epoch(&service);
+        let third = service.serve(
+            Request::SnapshotPage {
+                since_epoch: epoch_now,
+                offset: 0,
+                limit: 100,
+            },
+            &mut conn,
+            &mut sender,
+        );
+        match third.response {
+            Response::SnapshotPage {
+                entries,
+                unchanged,
+                done,
+                stamp,
+                ..
+            } => {
+                assert!(unchanged && done && entries.is_empty());
+                assert_eq!(stamp.epoch, epoch_now);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
         drop(sender);
         service.drain();
     }

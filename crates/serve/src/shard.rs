@@ -63,18 +63,26 @@ impl Backend {
 
     /// Capture a queryable view: `(snapshot, captured_total, rotations)`.
     ///
-    /// `captured_total` is read *before* the capture, so the staleness a
-    /// client computes from it (`processed - captured_total`) is an upper
-    /// bound. Safe (and designed to be called) while producers run.
+    /// `captured_total` is the backend's *applied* counter — elements
+    /// whose delegation call has returned — read *before* the drain and
+    /// snapshot. Every element it counts was already flushed into the
+    /// summary when it was read, so the snapshot taken afterwards covers
+    /// at least that mass, and the staleness a client computes from it
+    /// (`processed − captured_total`) is an upper bound on what the
+    /// snapshot is missing. Reading `processed()` here instead would be
+    /// unsound: that counter is bumped *before* a batch is applied, so a
+    /// capture racing in-flight batches would over-claim and staleness
+    /// could read 0 while heavy hitters are still short the in-flight
+    /// mass. Safe (and designed to be called) while producers run.
     pub fn capture(&self) -> (Snapshot<u64>, u64, Option<u64>) {
         match self {
             Backend::Engine(e) => {
-                let total = e.processed();
+                let total = e.applied();
                 e.drain_pending();
                 (cots_core::QueryableSummary::snapshot(&**e), total, None)
             }
             Backend::Window(w) => {
-                let total = w.processed();
+                let total = w.applied();
                 let snap = w.snapshot();
                 let rotations = snap.rotations;
                 (snap.snapshot, total, Some(rotations))

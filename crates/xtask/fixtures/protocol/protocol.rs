@@ -1,4 +1,9 @@
-//! Fixture: wire enums with one undocumented variant.
+//! Fixture: wire enums with one undocumented variant, plus a versioned
+//! protocol whose compatibility table has drifted.
+
+/// The version the fixture code speaks (the fixture doc's `current`
+/// row deliberately disagrees).
+pub const PROTO_VERSION: u32 = 2;
 
 /// Requests.
 pub enum Request {
@@ -8,6 +13,8 @@ pub enum Request {
     Stats,
     /// Absent from the fixture doc.
     Ghost, //~ EXPECT: protocol doc-missing
+    /// Documented, but attributed to no version row.
+    Probe, //~ EXPECT: protocol version-missing
 }
 
 /// Queries.

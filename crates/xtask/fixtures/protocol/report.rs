@@ -27,3 +27,15 @@ pub struct PersistReport {
     /// Documented in the fixture doc.
     pub checkpoints: u64,
 }
+
+/// Per-member cluster counters.
+pub struct MemberReport {
+    /// Documented in the fixture doc.
+    pub member: usize,
+}
+
+/// Cluster-wide counters.
+pub struct ClusterReport {
+    /// Documented in the fixture doc.
+    pub staleness: u64,
+}

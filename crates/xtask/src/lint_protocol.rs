@@ -20,6 +20,25 @@
 //! code no longer has is `doc-stale`. As a weaker prose check, every
 //! request/query op name must also appear somewhere in
 //! `docs/service.md` (`service-doc`).
+//!
+//! The section also carries a **`### Version compatibility`** table
+//! mapping protocol versions to the request ops they introduced:
+//!
+//! ```markdown
+//! ### Version compatibility
+//!
+//! | version | status | ops |
+//! |---|---|---|
+//! | 1 | unsupported | `Ingest`, `Query`, ... |
+//! | 2 | current | `Hello`, `SnapshotPage`, ... |
+//! ```
+//!
+//! It is cross-checked against `pub const PROTO_VERSION` in both
+//! directions: the single `current` row must carry the code's version
+//! number (`version-table`), every `Request` variant must be attributed
+//! to some version row (`version-missing`, anchored at the variant),
+//! and every op a row lists must still exist in the code
+//! (`version-stale`, anchored at the row).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -31,7 +50,14 @@ use crate::report::Finding;
 const ENUMS: &[&str] = &["Request", "QueryReq", "Response"];
 
 /// Structs in `core::report` whose public fields are STATS report keys.
-const STRUCTS: &[&str] = &["ServiceReport", "ShardReport", "RecoveryReport", "PersistReport"];
+const STRUCTS: &[&str] = &[
+    "ServiceReport",
+    "ShardReport",
+    "RecoveryReport",
+    "PersistReport",
+    "MemberReport",
+    "ClusterReport",
+];
 
 /// The heading that opens the machine-checked section.
 const SECTION: &str = "Wire protocol reference";
@@ -113,7 +139,8 @@ pub fn check(root: &Path, paths: &ProtocolPaths) -> Vec<Finding> {
 
     // Gather what the doc declares: (type, name, md line).
     let md_file = rel(&paths.protocol_md);
-    let (doc, documented_types) = parse_wire_reference(&md_src);
+    let wire_doc = parse_wire_reference(&md_src);
+    let (doc, documented_types) = (&wire_doc.entries, &wire_doc.types);
     if documented_types.is_empty() {
         findings.push(Finding {
             pass: "protocol",
@@ -145,7 +172,7 @@ pub fn check(root: &Path, paths: &ProtocolPaths) -> Vec<Finding> {
     }
 
     // Doc → code: every documented name must still exist.
-    for (ty, name, md_line) in &doc {
+    for (ty, name, md_line) in doc {
         let known_type = ENUMS.contains(&ty.as_str()) || STRUCTS.contains(&ty.as_str());
         if !known_type {
             findings.push(Finding {
@@ -167,6 +194,98 @@ pub fn check(root: &Path, paths: &ProtocolPaths) -> Vec<Finding> {
                 line: *md_line,
                 message: format!("documented `{ty}::{name}` no longer exists in the code"),
             });
+        }
+    }
+
+    // Version compatibility: PROTO_VERSION and the version table cannot
+    // drift from each other or from the Request op set.
+    let proto_file = rel(&paths.protocol_rs);
+    match (&wire_doc.version_table, proto_version(&protocol_lines)) {
+        (None, _) => findings.push(Finding {
+            pass: "protocol",
+            rule: "version-table",
+            file: md_file.clone(),
+            line: 0,
+            message: format!(
+                "no `### {VERSION_HEADING}` table in the {SECTION} section; \
+                 add one mapping protocol versions to the ops they introduced"
+            ),
+        }),
+        (Some(_), None) => findings.push(Finding {
+            pass: "protocol",
+            rule: "version-table",
+            file: proto_file.clone(),
+            line: 0,
+            message: format!(
+                "a `### {VERSION_HEADING}` table is documented but the code \
+                 declares no `pub const PROTO_VERSION`"
+            ),
+        }),
+        (Some(table), Some((version, version_line))) => {
+            let current: Vec<&VersionRow> =
+                table.rows.iter().filter(|r| r.status == "current").collect();
+            match current.as_slice() {
+                [row] if row.version != version => findings.push(Finding {
+                    pass: "protocol",
+                    rule: "version-table",
+                    file: md_file.clone(),
+                    line: row.line,
+                    message: format!(
+                        "the `current` row declares version {} but the code's \
+                         PROTO_VERSION is {version}",
+                        row.version
+                    ),
+                }),
+                [_] => {}
+                _ => findings.push(Finding {
+                    pass: "protocol",
+                    rule: "version-table",
+                    file: md_file.clone(),
+                    line: table.line,
+                    message: format!(
+                        "the `### {VERSION_HEADING}` table must have exactly one \
+                         `current` row (found {}); code PROTO_VERSION is {version} \
+                         (declared at line {version_line})",
+                        current.len()
+                    ),
+                }),
+            }
+            // Code → table: every request op belongs to some version.
+            for (ty, name, line, file) in &code {
+                if ty != "Request" {
+                    continue;
+                }
+                if !table.rows.iter().any(|r| r.ops.iter().any(|op| op == name)) {
+                    findings.push(Finding {
+                        pass: "protocol",
+                        rule: "version-missing",
+                        file: file.clone(),
+                        line: *line,
+                        message: format!(
+                            "`Request::{name}` appears in no row of the \
+                             `### {VERSION_HEADING}` table in {md_file}"
+                        ),
+                    });
+                }
+            }
+            // Table → code: every listed op must still be a request op.
+            for row in &table.rows {
+                for op in &row.ops {
+                    if !code.iter().any(|(t, n, _, _)| t == "Request" && n == op) {
+                        findings.push(Finding {
+                            pass: "protocol",
+                            rule: "version-stale",
+                            file: md_file.clone(),
+                            line: row.line,
+                            message: format!(
+                                "version {} attributes op `{op}`, which is not a \
+                                 `Request` variant",
+                                row.version
+                            ),
+                        });
+                    }
+                }
+            }
         }
     }
 
@@ -269,41 +388,146 @@ fn member_on(code: &str, is_enum: bool) -> Option<String> {
     }
 }
 
-/// Parse the wire reference section: `(type, name, line)` triples plus the
-/// set of `###` group headings seen.
-fn parse_wire_reference(md: &str) -> (Vec<(String, String, usize)>, Vec<String>) {
-    let mut entries = Vec::new();
-    let mut types = Vec::new();
+/// One row of the `### Version compatibility` table.
+struct VersionRow {
+    /// The literal version cell (digits expected).
+    version: String,
+    /// The status cell, e.g. `current`, `unsupported`, `frozen`.
+    status: String,
+    /// Op names the row attributes to this version (backticks stripped).
+    ops: Vec<String>,
+    /// 1-based markdown line of the row.
+    line: usize,
+}
+
+/// The parsed `### Version compatibility` subsection.
+struct VersionTable {
+    /// 1-based markdown line of the heading.
+    line: usize,
+    /// Data rows (header and separator rows excluded).
+    rows: Vec<VersionRow>,
+}
+
+/// Everything the wire reference section of the markdown declares.
+struct WireDoc {
+    /// `(type, name, line)` triples from the `### TypeName` groups.
+    entries: Vec<(String, String, usize)>,
+    /// The `### TypeName` group headings seen, in order.
+    types: Vec<String>,
+    /// The version compatibility table, if present.
+    version_table: Option<VersionTable>,
+}
+
+/// The subsection heading that opens the version table.
+const VERSION_HEADING: &str = "Version compatibility";
+
+/// Parse the wire reference section: type groups plus the version table.
+fn parse_wire_reference(md: &str) -> WireDoc {
+    let mut doc = WireDoc {
+        entries: Vec::new(),
+        types: Vec::new(),
+        version_table: None,
+    };
     let mut in_section = false;
     let mut group: Option<String> = None;
+    let mut in_version_table = false;
     for (i, line) in md.lines().enumerate() {
         if line.starts_with("## ") {
             in_section = line.contains(SECTION);
             group = None;
+            in_version_table = false;
             continue;
         }
         if !in_section {
             continue;
         }
         if let Some(heading) = line.strip_prefix("### ") {
+            group = None;
+            in_version_table = heading.trim().starts_with(VERSION_HEADING);
+            if in_version_table {
+                doc.version_table = Some(VersionTable {
+                    line: i + 1,
+                    rows: Vec::new(),
+                });
+                continue;
+            }
             let ty: String = heading
                 .trim()
                 .chars()
                 .take_while(|c| c.is_alphanumeric() || *c == '_')
                 .collect();
             if !ty.is_empty() {
-                types.push(ty.clone());
+                doc.types.push(ty.clone());
                 group = Some(ty);
+            }
+            continue;
+        }
+        if in_version_table {
+            if let (Some(table), Some(row)) = (&mut doc.version_table, version_row(line, i + 1)) {
+                table.rows.push(row);
             }
             continue;
         }
         if let (Some(ty), Some(rest)) = (&group, line.trim_start().strip_prefix("- `")) {
             if let Some(end) = rest.find('`') {
-                entries.push((ty.clone(), rest[..end].to_string(), i + 1));
+                doc.entries.push((ty.clone(), rest[..end].to_string(), i + 1));
             }
         }
     }
-    (entries, types)
+    doc
+}
+
+/// Parse one version-table data row; `None` for non-table, header, and
+/// separator lines.
+fn version_row(line: &str, line_no: usize) -> Option<VersionRow> {
+    let trimmed = line.trim_start();
+    if !trimmed.starts_with('|') {
+        return None;
+    }
+    let cells: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+    // `| a | b | c |` splits into ["", a, b, c, ""] (tail cells ignored).
+    if cells.len() < 5 {
+        return None;
+    }
+    let version = cells[1].to_string();
+    if version.is_empty()
+        || version == "version"
+        || version.chars().all(|c| c == '-' || c == ':')
+    {
+        return None;
+    }
+    let ops = cells[3]
+        .split(',')
+        .map(|op| op.trim().trim_matches('`').to_string())
+        .filter(|op| !op.is_empty())
+        .collect();
+    Some(VersionRow {
+        version,
+        status: cells[2].to_string(),
+        ops,
+        line: line_no,
+    })
+}
+
+/// The value of `pub const PROTO_VERSION` with its 1-based line.
+fn proto_version(lines: &[LexedLine]) -> Option<(String, usize)> {
+    for (i, line) in lines.iter().enumerate() {
+        if find_word(&line.code, "PROTO_VERSION", 0).is_none()
+            || find_word(&line.code, "const", 0).is_none()
+        {
+            continue;
+        }
+        let rest = line.code.split('=').nth(1)?;
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .collect();
+        if !digits.is_empty() {
+            return Some((digits.replace('_', ""), i + 1));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -332,9 +556,10 @@ mod tests {
     #[test]
     fn wire_reference_parses_groups_and_entries() {
         let md = "# Title\n\n## 1. Other\n- `NotParsed`\n\n## 2. Wire protocol reference (machine-checked)\n\n### Request\n\n- `Ingest` — enqueue keys.\n- `Stats` — report.\n\n### ServiceReport\n\n- `ingested_keys` — total.\n\n## 3. After\n- `AlsoNotParsed`\n";
-        let (entries, types) = parse_wire_reference(md);
-        assert_eq!(types, vec!["Request", "ServiceReport"]);
-        let names: Vec<(&str, &str)> = entries
+        let doc = parse_wire_reference(md);
+        assert_eq!(doc.types, vec!["Request", "ServiceReport"]);
+        let names: Vec<(&str, &str)> = doc
+            .entries
             .iter()
             .map(|(t, n, _)| (t.as_str(), n.as_str()))
             .collect();
@@ -346,6 +571,31 @@ mod tests {
                 ("ServiceReport", "ingested_keys")
             ]
         );
+        assert!(doc.version_table.is_none());
+    }
+
+    #[test]
+    fn version_table_rows_are_parsed_and_do_not_leak_into_groups() {
+        let md = "## 1. Wire protocol reference (machine-checked)\n\n### Request\n\n- `Ingest` — enqueue keys.\n\n### Version compatibility\n\n| version | status | ops |\n|---|---|---|\n| 1 | unsupported | `Ingest`, `Stats` |\n| 2 | current | `Hello` |\n";
+        let doc = parse_wire_reference(md);
+        assert_eq!(doc.types, vec!["Request"], "the table is not a type group");
+        let table = doc.version_table.expect("table parsed");
+        assert_eq!(table.rows.len(), 2, "header and separator are skipped");
+        assert_eq!(table.rows[0].version, "1");
+        assert_eq!(table.rows[0].status, "unsupported");
+        assert_eq!(table.rows[0].ops, vec!["Ingest", "Stats"]);
+        assert_eq!(table.rows[1].version, "2");
+        assert_eq!(table.rows[1].status, "current");
+        assert_eq!(table.rows[1].ops, vec!["Hello"]);
+    }
+
+    #[test]
+    fn proto_version_const_is_extracted() {
+        let src = "/// Doc.\npub const MIN_PROTO_VERSION: u32 = 1;\n/// Doc.\npub const PROTO_VERSION: u32 = 2;\n";
+        let lines = lex(src);
+        let (version, line) = proto_version(&lines).unwrap();
+        assert_eq!(version, "2");
+        assert_eq!(line, 4, "MIN_PROTO_VERSION must not match by substring");
     }
 
     #[test]
