@@ -10,7 +10,8 @@
 //! serve-bench [--items N] [--shards S] [--qps Q] [--seed SEED]
 //!             [--alphabet A] [--alpha Z] [--capacity C] [--connections K]
 //!             [--io-model reactor|threads] [--repeats R]
-//!             [--connection-sweep] [--sweep-items N] [--strict]
+//!             [--connection-sweep] [--scaling-sweep] [--sweep-items N]
+//!             [--strict]
 //! ```
 //!
 //! Each pass starts a fresh in-process server on an ephemeral loopback
@@ -31,6 +32,14 @@
 //! the reactor must sustain C = 512 with a clean accuracy check (the
 //! threaded model is allowed to fail there; C = 4096 is recorded but
 //! not gating, so fd-limited CI runners cannot flake the gate).
+//!
+//! `--scaling-sweep` measures quiet ingest throughput over the full
+//! shard-count × skew matrix S ∈ {1, 2, 4, 8} × θ ∈ {1.1, 1.5, 2.0} —
+//! the paper's scalability experiment on the served path. Results land
+//! in a `scaling` section of `BENCH_serve.json` (and the table in
+//! `EXPERIMENTS.md` is regenerated from them). The sweep gates only on
+//! every cell completing with all items applied; speedup ratios are
+//! recorded, not gated, because CI cores vary.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +69,14 @@ const THREADED_CEILING: usize = 512;
 /// The sweep gate requires the reactor to sustain this many connections.
 const SUSTAIN_FLOOR: usize = 512;
 
+/// Zipf skew parameters the scaling sweep visits (θ in the paper).
+const SCALING_ALPHAS: [f64; 3] = [1.1, 1.5, 2.0];
+
+/// Shard counts the scaling sweep visits (worker threads in the paper's
+/// thread-scaling experiment).
+const SCALING_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Clone)]
 struct BenchArgs {
     items: u64,
     shards: usize,
@@ -72,6 +89,7 @@ struct BenchArgs {
     io_model: IoModel,
     repeats: usize,
     connection_sweep: bool,
+    scaling_sweep: bool,
     sweep_items: u64,
     strict: bool,
 }
@@ -90,6 +108,7 @@ impl Default for BenchArgs {
             io_model: IoModel::default_for_platform(),
             repeats: 1,
             connection_sweep: false,
+            scaling_sweep: false,
             sweep_items: 0, // 0 = auto: min(items, 2M)
             strict: false,
         }
@@ -101,7 +120,7 @@ fn usage() -> ! {
         "usage: serve-bench [--items N] [--shards S] [--qps Q] [--seed SEED] \
          [--alphabet A] [--alpha Z] [--capacity C] [--connections K] \
          [--io-model reactor|threads] [--repeats R] [--connection-sweep] \
-         [--sweep-items N] [--strict]"
+         [--scaling-sweep] [--sweep-items N] [--strict]"
     );
     std::process::exit(2);
 }
@@ -139,6 +158,7 @@ fn bench_args() -> BenchArgs {
             "--io-model" => a.io_model = parse("--io-model", args.next()),
             "--repeats" => a.repeats = parse("--repeats", args.next()),
             "--connection-sweep" => a.connection_sweep = true,
+            "--scaling-sweep" => a.scaling_sweep = true,
             "--sweep-items" => a.sweep_items = parse("--sweep-items", args.next()),
             "--strict" => a.strict = true,
             "--help" | "-h" => usage(),
@@ -526,6 +546,81 @@ fn connection_sweep(a: &BenchArgs) -> (Json, bool) {
     (section, gate_passed)
 }
 
+/// Run the shards × skew scaling matrix and build the `scaling` JSON
+/// section plus the gate verdict. Returns `(section, gate_passed)`.
+///
+/// Each cell is a quiet (no queries) best-of-`repeats` pass at that
+/// shard count and Zipf θ; the gate only requires every cell to
+/// complete, because absolute speedups depend on the runner's cores.
+fn scaling_sweep(a: &BenchArgs) -> (Json, bool) {
+    let items = if a.sweep_items > 0 {
+        a.sweep_items
+    } else {
+        a.items.min(2_000_000)
+    };
+    let mut points = Vec::new();
+    let mut gate_passed = true;
+
+    for &alpha in &SCALING_ALPHAS {
+        let mut base_meps: Option<f64> = None;
+        for &shards in &SCALING_SHARDS {
+            let cell = BenchArgs {
+                items,
+                shards,
+                alpha,
+                ..a.clone()
+            };
+            println!(
+                "scaling sweep: theta={alpha} shards={shards} ({items} items, best of {})",
+                a.repeats
+            );
+            let outcome = best_of(&cell, 0, false);
+            let (meps, elapsed, speedup) = match &outcome {
+                Ok(r) => {
+                    if shards == 1 {
+                        base_meps = Some(r.meps);
+                    }
+                    let speedup = base_meps.filter(|&b| b > 0.0).map(|b| r.meps / b);
+                    println!(
+                        "  {:.2} M items/s ({:.2}s{})",
+                        r.meps,
+                        r.elapsed_secs,
+                        speedup
+                            .map(|s| format!(", {s:.2}x vs 1 shard"))
+                            .unwrap_or_default()
+                    );
+                    (Some(r.meps), Some(r.elapsed_secs), speedup)
+                }
+                Err(e) => {
+                    println!("  FAILED: {e}");
+                    gate_passed = false;
+                    (None, None, None)
+                }
+            };
+            points.push(Json::obj(vec![
+                ("alpha", alpha.to_json()),
+                ("shards", shards.to_json()),
+                ("meps", meps.to_json()),
+                ("elapsed_secs", elapsed.to_json()),
+                ("speedup_vs_one_shard", speedup.to_json()),
+            ]));
+        }
+    }
+
+    println!(
+        "scaling gate: all cells completed => {}",
+        if gate_passed { "PASS" } else { "FAIL" }
+    );
+    let section = Json::obj(vec![
+        ("sweep_items", items.to_json()),
+        ("alphas", Json::Arr(SCALING_ALPHAS.iter().map(|a| a.to_json()).collect())),
+        ("shards", Json::Arr(SCALING_SHARDS.iter().map(|s| s.to_json()).collect())),
+        ("points", Json::Arr(points)),
+        ("gate", Json::obj(vec![("passed", gate_passed.to_json())])),
+    ]);
+    (section, gate_passed)
+}
+
 fn main() {
     let a = bench_args();
     println!(
@@ -565,6 +660,12 @@ fn main() {
     } else {
         (None, true)
     };
+    let (scaling_section, scaling_gate_passed) = if a.scaling_sweep {
+        let (section, passed) = scaling_sweep(&a);
+        (Some(section), passed)
+    } else {
+        (None, true)
+    };
 
     let report = Json::obj(vec![
         ("items", a.items.to_json()),
@@ -590,6 +691,7 @@ fn main() {
             ]),
         ),
         ("connections", sweep_section.to_json()),
+        ("scaling", scaling_section.to_json()),
         ("check_passed", check_passed.to_json()),
     ]);
     let out_path = repo_root().join("BENCH_serve.json");
@@ -626,6 +728,10 @@ fn main() {
     }
     if !sweep_gate_passed {
         eprintln!("serve-bench: connection sweep gate failed");
+        std::process::exit(1);
+    }
+    if !scaling_gate_passed {
+        eprintln!("serve-bench: scaling sweep gate failed");
         std::process::exit(1);
     }
 }

@@ -1,18 +1,25 @@
 //! `cots-coord` — the CoTS cluster coordinator.
 //!
 //! ```text
-//! cots-coord --members HOST:PORT,HOST:PORT[,...]
+//! cots-coord --members MEMBER,MEMBER[,...]
 //!            [--addr 127.0.0.1:4060] [--capacity 1000]
 //!            [--pull-ms 50] [--timeout-ms 2000] [--forward-deadline-ms 10000]
 //!            [--coalesce-keys 0]
 //! ```
+//!
+//! Each `MEMBER` is an address (`host:port`) or a replica pair
+//! (`PRIMARY:STANDBY`, e.g. `127.0.0.1:7001:127.0.0.1:8001` — the
+//! standby runs `cots-member --standby`, the primary ships its WAL to
+//! it with `--peer`).
 //!
 //! Key-routes `INGEST` batches across the members, pulls their
 //! summaries as streamed `SNAPSHOT_PAGE` deltas, merges them into one
 //! federated snapshot, and answers `QUERY`/`STATS`/`CLUSTER_STATS` with
 //! a cluster-wide staleness + error envelope. Members that die keep
 //! contributing their last good snapshot (degraded mode, widened
-//! bound); members that restart are re-pulled automatically.
+//! bound); members that restart are re-pulled automatically. A dead
+//! primary with a standby is failed over: the coordinator sends
+//! `REPL_PROMOTE` and flips the slot's routing to the standby.
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for this
 //! line), serves until a `SHUTDOWN` request arrives, and exits 0.
@@ -23,9 +30,11 @@ use cots_cluster::{CoordConfig, CoordServer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cots-coord --members HOST:PORT[,HOST:PORT...] [--addr HOST:PORT] \
+        "usage: cots-coord --members MEMBER[,MEMBER...] [--addr HOST:PORT] \
          [--capacity M] [--pull-ms MS] [--timeout-ms MS] [--forward-deadline-ms MS] \
-         [--coalesce-keys K]"
+         [--coalesce-keys K]\n\
+         MEMBER = HOST:PORT | PRIMARY:STANDBY (replica pair, coordinator \
+         promotes the standby on primary death)"
     );
     std::process::exit(2);
 }
@@ -77,7 +86,7 @@ fn main() {
         }
     }
     if config.members.is_empty() {
-        eprintln!("--members is required (comma-separated host:port list)");
+        eprintln!("--members is required (comma-separated ADDR or PRIMARY:STANDBY list)");
         usage();
     }
     if config.capacity == 0 {

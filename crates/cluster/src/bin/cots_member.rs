@@ -11,12 +11,20 @@
 //!             [--io-model reactor|threads] [--reactor-threads R]
 //!             [--data-dir DIR] [--fsync always|grouped|off]
 //!             [--checkpoint-ms 5000] [--wal-segment-mb 8]
+//!             [--standby] [--peer HOST:PORT]
 //! ```
 //!
 //! With `--data-dir`, startup recovers checkpoint + WAL tail before the
 //! listener opens — which is exactly what lets a crashed member rejoin
 //! its coordinator with its acknowledged state intact. Prints
 //! `listening on <addr>` once ready.
+//!
+//! Replication (both flags need `--data-dir`): `--standby` starts the
+//! node refusing `INGEST` and applying `REPL_*` frames until it is
+//! promoted; `--peer` starts a WAL shipper streaming this node's
+//! committed log to the peer standby. A rejoining ex-primary runs with
+//! *both*: it parks as a standby and its shipper stays idle unless it
+//! is promoted again.
 
 use std::time::Duration;
 
@@ -28,7 +36,7 @@ fn usage() -> ! {
         "usage: cots-member [--addr HOST:PORT] [--shards N] [--capacity M] \
          [--refresh-ms MS] [--queue-batches Q] [--io-model reactor|threads] \
          [--reactor-threads R] [--data-dir DIR] [--fsync always|grouped|off] \
-         [--checkpoint-ms MS] [--wal-segment-mb MB]"
+         [--checkpoint-ms MS] [--wal-segment-mb MB] [--standby] [--peer HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -52,6 +60,7 @@ fn main() {
     let mut fsync = cots_persist::FsyncPolicy::default();
     let mut checkpoint_ms: u64 = 5_000;
     let mut wal_segment_mb: u64 = 8;
+    let mut peer: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,6 +77,8 @@ fn main() {
             "--fsync" => fsync = parse("--fsync", args.next()),
             "--checkpoint-ms" => checkpoint_ms = parse("--checkpoint-ms", args.next()),
             "--wal-segment-mb" => wal_segment_mb = parse("--wal-segment-mb", args.next()),
+            "--standby" => config.standby = true,
+            "--peer" => peer = Some(parse("--peer", args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -90,6 +101,11 @@ fn main() {
         opts.segment_bytes = wal_segment_mb.saturating_mul(1024 * 1024).max(1);
         config.persist = Some(opts);
     }
+    if (config.standby || peer.is_some()) && config.persist.is_none() {
+        eprintln!("--standby and --peer need --data-dir (replication ships the WAL)");
+        usage();
+    }
+    config.repl_peer = peer.clone();
     let server = match Server::bind_with(&addr, config, io) {
         Ok(s) => s,
         Err(e) => {
@@ -110,6 +126,16 @@ fn main() {
             rec.elapsed_secs
         );
     }
+    // The shipper parks while this node is a standby, so a rejoining
+    // ex-primary can carry `--standby --peer OLD_SELF` and the pair
+    // stays symmetric across promotions.
+    let _shipper = peer.map(|p| {
+        cots_repl::spawn(server.service().clone(), cots_repl::ShipperConfig::new(p))
+            .unwrap_or_else(|e| {
+                eprintln!("cots-member: cannot start WAL shipper: {e}");
+                std::process::exit(1);
+            })
+    });
     println!("listening on {}", server.local_addr());
     if let Err(e) = server.run() {
         eprintln!("cots-member: {e}");

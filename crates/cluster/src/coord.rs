@@ -49,12 +49,20 @@ use cots_serve::{Client, QueryReq, QueryStamp, Request, Response};
 use crate::federate;
 use crate::fetch::{fetch_snapshot, Fetched};
 use crate::member::MemberTracker;
-use crate::topology::Topology;
+use crate::topology::{parse_members, Topology};
+
+/// Consecutive failed contacts before the coordinator promotes a
+/// slot's standby. One failure is routinely a blip (restart, GC-less
+/// but still slow fsync, transient refusal under backoff); two in a
+/// row with backoff between them means the primary is really gone.
+const PROMOTE_AFTER: u32 = 2;
 
 /// Coordinator tuning knobs.
 #[derive(Debug, Clone)]
 pub struct CoordConfig {
-    /// Member addresses (`host:port`), index order = routing order.
+    /// Member specs (`host:port`, or `PRIMARY:STANDBY` for a replica
+    /// pair — see [`crate::topology::parse_member_spec`]), index order
+    /// = routing order.
     pub members: Vec<String>,
     /// Counter budget of the federated summary.
     pub capacity: usize,
@@ -131,12 +139,13 @@ impl Coordinator {
                 "coordinator capacity must be positive".into(),
             ));
         }
-        let topology = Topology::new(config.members.clone())?;
-        let members: Vec<Arc<MemberTracker>> = config
-            .members
-            .iter()
+        let (primaries, standbys) = parse_members(&config.members)?;
+        let topology = Topology::new(primaries.clone())?;
+        let members: Vec<Arc<MemberTracker>> = primaries
+            .into_iter()
+            .zip(standbys)
             .enumerate()
-            .map(|(i, addr)| Arc::new(MemberTracker::new(i, addr.clone())))
+            .map(|(i, (addr, standby))| Arc::new(MemberTracker::new(i, addr, standby)))
             .collect();
         let coord = Arc::new(Self {
             topology,
@@ -203,26 +212,37 @@ impl Coordinator {
         }
     }
 
-    /// One puller: keep a connection to member `idx`, pull snapshot
-    /// deltas, re-merge on change.
+    /// One puller: keep a connection to the slot's current primary,
+    /// pull snapshot deltas, re-merge on change. The health checks live
+    /// here too: repeated failures hand the slot to [`Self::maybe_promote`],
+    /// and because the connection target is re-read from the tracker on
+    /// every reconnect, a completed promotion flips this puller (and
+    /// every ingest router) to the new primary without restarts.
     fn puller_loop(&self, idx: usize, interval: Duration) {
         let Some(tracker) = self.members.get(idx).cloned() else {
             return;
         };
         let mut conn: Option<Client> = None;
+        let mut conn_addr = String::new();
         while !self.shutdown_requested() {
             if !tracker.ready(Instant::now()) {
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
+            let addr = tracker.addr();
+            if conn_addr != addr {
+                conn = None;
+            }
             if conn.is_none() {
-                match Client::connect(tracker.addr()) {
+                match Client::connect(&addr) {
                     Ok(mut c) => {
                         let _ = c.set_timeout(Some(self.io_timeout));
                         conn = Some(c);
+                        conn_addr = addr;
                     }
                     Err(_) => {
                         tracker.record_failure(Instant::now());
+                        self.maybe_promote(&tracker);
                         continue;
                     }
                 }
@@ -237,10 +257,49 @@ impl Coordinator {
                 Err(_) => {
                     conn = None;
                     tracker.record_failure(Instant::now());
+                    self.maybe_promote(&tracker);
                     continue;
                 }
             }
+            // Piggyback a STATS pull on the same connection: the
+            // primary's reported un-acked replication tail is what a
+            // promotion would lose, so it must be current when the
+            // primary dies, not reconstructed after.
+            if let Some(client) = conn.as_mut() {
+                if let Ok(stats) = client.stats() {
+                    tracker.record_repl_unacked(
+                        stats.repl.as_ref().map_or(0, |r| r.unacked_keys),
+                    );
+                }
+            }
             std::thread::sleep(interval);
+        }
+    }
+
+    /// Promote the slot's standby once the primary looks dead. The
+    /// standby must acknowledge `REPL_PROMOTE` before routing flips —
+    /// a dead standby leaves the slot degraded-but-honest (its keys
+    /// stay inside the staleness bound) rather than routed into a
+    /// void. After the flip the staleness envelope widens by exactly
+    /// the un-acked WAL tail, automatically: the slot's `forwarded`
+    /// counter is untouched while the promoted standby's
+    /// `captured_total` is missing the tail the old primary never
+    /// shipped — the difference *is* the loss, counted once.
+    fn maybe_promote(&self, tracker: &MemberTracker) {
+        if tracker.consecutive_failures() < PROMOTE_AFTER {
+            return;
+        }
+        let Some(standby) = tracker.standby() else {
+            return;
+        };
+        let Ok(mut client) = Client::connect(&standby) else {
+            return;
+        };
+        let _ = client.set_timeout(Some(self.io_timeout));
+        if let Ok(Response::ReplAck { .. }) = client.call(&Request::ReplPromote) {
+            if tracker.complete_promotion() {
+                self.remerge();
+            }
         }
     }
 
@@ -385,8 +444,18 @@ impl Coordinator {
         let Some(slot) = router.conns.get_mut(target) else {
             return SendOutcome::Down;
         };
+        // Resolve the address through the tracker, not the static
+        // topology: after a promotion the slot's primary is the old
+        // standby, and routers must follow the flip. A connection to a
+        // since-replaced address dies on its next use and reconnects
+        // here to the current one.
+        let addr = self
+            .members
+            .get(target)
+            .map(|t| t.addr())
+            .unwrap_or_default();
         if slot.is_none() {
-            match Client::connect(self.topology.addr(target)) {
+            match Client::connect(&addr) {
                 Ok(mut c) => {
                     let _ = c.set_timeout(Some(self.io_timeout));
                     *slot = Some(c);
@@ -488,6 +557,7 @@ impl Coordinator {
             shards,
             recovery: None,
             persist: None,
+            repl: None,
         }
     }
 
@@ -508,6 +578,8 @@ impl Coordinator {
             degraded_staleness: degraded.iter().map(|m| m.staleness).sum(),
             merges: self.merges.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
+            promotions: members.iter().map(|m| m.promotions).sum(),
+            repl_unacked_keys: members.iter().map(|m| m.repl_unacked_keys).sum(),
             members,
         }
     }

@@ -273,6 +273,17 @@ fn handle(
             },
             false,
         ),
+        Request::ReplSubscribe { .. }
+        | Request::ReplBatch { .. }
+        | Request::ReplSnapshot { .. }
+        | Request::ReplPromote => (
+            Response::Error {
+                message: "coordinator is not a replica; REPL ops go to members \
+                          (the coordinator promotes standbys itself)"
+                    .into(),
+            },
+            false,
+        ),
         Request::Shutdown => {
             coord.begin_shutdown();
             (Response::ShuttingDown, true)

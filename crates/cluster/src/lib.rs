@@ -36,6 +36,15 @@
 //! counts acknowledged keys not yet pulled into the federated merge —
 //! including, after a member crash, the permanently lost tail, so
 //! degraded answers never silently under-report.
+//!
+//! Members may be **replica pairs** (`--members PRIMARY:STANDBY`): the
+//! primary ships its WAL to the standby via `cots-repl`, and when the
+//! coordinator's health checks see the primary dead it sends
+//! `REPL_PROMOTE` to the standby and flips the slot's routing to it —
+//! no restarts, answers keep flowing, and the staleness envelope
+//! widens by exactly the un-acked WAL tail the standby never received
+//! (counted once, through the same forwarded-vs-captured difference as
+//! every other loss). See `docs/replication.md`.
 
 #![deny(missing_docs)]
 
@@ -50,4 +59,4 @@ pub use coord::{CoordConfig, Coordinator, Router};
 pub use fetch::{fetch_snapshot, Fetched, FetchedSnapshot};
 pub use front::CoordServer;
 pub use member::MemberTracker;
-pub use topology::Topology;
+pub use topology::{parse_member_spec, parse_members, Topology};

@@ -37,6 +37,14 @@ const BACKOFF_CAP: Duration = Duration::from_secs(5);
 
 /// Mutable member state (mutex-guarded; plain data only).
 struct Inner {
+    /// Where this slot's *current primary* listens. Promotion swaps the
+    /// standby address in here — that single write is the atomic
+    /// routing flip every router and puller observes.
+    addr: String,
+    /// Standby address, when this slot is a replica pair. Consumed by
+    /// promotion (a promoted slot has no standby until an ex-primary
+    /// rejoins out of band).
+    standby: Option<String>,
     /// Last contact attempt succeeded.
     healthy: bool,
     /// Consecutive failures, for backoff sizing.
@@ -50,21 +58,32 @@ struct Inner {
 /// Shared tracking for one cluster member.
 pub struct MemberTracker {
     index: usize,
-    addr: String,
     inner: Mutex<Inner>,
     forwarded: AtomicU64,
     spilled: AtomicU64,
     pulls: AtomicU64,
     pull_failures: AtomicU64,
+    /// Times this slot's standby was promoted to primary.
+    promotions: AtomicU64,
+    /// Un-acked replication tail last reported by the slot's primary
+    /// (`STATS` → `repl.unacked_keys`). On promotion this freezes into
+    /// the loss attribution: keys the old primary acknowledged but the
+    /// promoted standby never received. Informational — the keys are
+    /// already inside the coordinator's forwarded-vs-captured staleness
+    /// bound, never added on top of it.
+    repl_unacked: AtomicU64,
+    /// Frozen-at-promotion loss attribution (see `repl_unacked`).
+    lost_unacked: AtomicU64,
 }
 
 impl MemberTracker {
     /// A fresh tracker: healthy, ready, nothing pulled yet.
-    pub fn new(index: usize, addr: String) -> Self {
+    pub fn new(index: usize, addr: String, standby: Option<String>) -> Self {
         Self {
             index,
-            addr,
             inner: Mutex::new(Inner {
+                addr,
+                standby,
                 healthy: true,
                 failures: 0,
                 retry_at: None,
@@ -74,12 +93,58 @@ impl MemberTracker {
             spilled: AtomicU64::new(0),
             pulls: AtomicU64::new(0),
             pull_failures: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            repl_unacked: AtomicU64::new(0),
+            lost_unacked: AtomicU64::new(0),
         }
     }
 
-    /// The member's address.
-    pub fn addr(&self) -> &str {
-        &self.addr
+    /// The slot's current primary address.
+    pub fn addr(&self) -> String {
+        self.inner.lock().addr.clone()
+    }
+
+    /// The slot's standby address, if it still has one.
+    pub fn standby(&self) -> Option<String> {
+        self.inner.lock().standby.clone()
+    }
+
+    /// Consecutive failed contact attempts (0 after any success).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.inner.lock().failures
+    }
+
+    /// Times this slot's standby was promoted.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Record the un-acked replication tail the primary reported in its
+    /// last `STATS` pull.
+    pub fn record_repl_unacked(&self, keys: u64) {
+        self.repl_unacked.store(keys, Ordering::Relaxed);
+    }
+
+    /// Flip routing to the standby after it acknowledged `REPL_PROMOTE`:
+    /// the standby address becomes the slot's primary address, the slot
+    /// loses its standby, health resets so pullers reconnect
+    /// immediately, and the last reported un-acked tail freezes as this
+    /// slot's loss attribution. Returns `false` (and changes nothing)
+    /// when the slot has no standby — a lost promotion race.
+    pub fn complete_promotion(&self) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(standby) = inner.standby.take() else {
+            return false;
+        };
+        inner.addr = standby;
+        inner.healthy = true;
+        inner.failures = 0;
+        inner.retry_at = None;
+        drop(inner);
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        let lost = self.repl_unacked.swap(0, Ordering::Relaxed);
+        self.lost_unacked.fetch_add(lost, Ordering::Relaxed);
+        true
     }
 
     /// Record `keys` acknowledged by this member; `spilled` marks keys
@@ -167,7 +232,8 @@ impl MemberTracker {
             .map_or((0, 0), |f| (f.epoch, f.captured_total));
         MemberReport {
             member: self.index,
-            addr: self.addr.clone(),
+            addr: inner.addr.clone(),
+            standby: inner.standby.clone(),
             healthy: inner.healthy,
             epoch,
             captured_total,
@@ -176,6 +242,11 @@ impl MemberTracker {
             pulls: self.pulls.load(Ordering::Relaxed),
             pull_failures: self.pull_failures.load(Ordering::Relaxed),
             staleness: forwarded.saturating_sub(captured_total),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            repl_unacked_keys: self
+                .lost_unacked
+                .load(Ordering::Relaxed)
+                .saturating_add(self.repl_unacked.load(Ordering::Relaxed)),
         }
     }
 }
@@ -195,7 +266,7 @@ mod tests {
 
     #[test]
     fn failures_back_off_exponentially_and_success_clears() {
-        let t = MemberTracker::new(0, "127.0.0.1:1".into());
+        let t = MemberTracker::new(0, "127.0.0.1:1".into(), None);
         let now = Instant::now();
         assert!(t.ready(now) && t.healthy());
 
@@ -221,7 +292,7 @@ mod tests {
 
     #[test]
     fn degraded_member_keeps_its_last_snapshot() {
-        let t = MemberTracker::new(1, "127.0.0.1:2".into());
+        let t = MemberTracker::new(1, "127.0.0.1:2".into(), None);
         t.record_forward(25, false);
         t.record_forward(5, true);
         t.record_pull(fetched(7, 20));
@@ -239,11 +310,36 @@ mod tests {
 
     #[test]
     fn unchanged_pull_is_proof_of_life() {
-        let t = MemberTracker::new(0, "m".into());
+        let t = MemberTracker::new(0, "m".into(), None);
         t.record_failure(Instant::now());
         assert!(!t.healthy());
         t.record_unchanged();
         assert!(t.healthy());
         assert_eq!(t.report().pulls, 1);
+    }
+
+    #[test]
+    fn promotion_flips_routing_and_freezes_the_unacked_tail() {
+        let t = MemberTracker::new(0, "primary:1".into(), Some("standby:2".into()));
+        t.record_repl_unacked(40);
+        t.record_failure(Instant::now());
+        assert!(!t.healthy());
+
+        assert!(t.complete_promotion());
+        assert_eq!(t.addr(), "standby:2", "routing flipped to the standby");
+        assert_eq!(t.standby(), None, "promoted slot has no standby left");
+        assert!(t.healthy() && t.consecutive_failures() == 0);
+
+        let r = t.report();
+        assert_eq!(r.promotions, 1);
+        assert_eq!(r.repl_unacked_keys, 40, "lost tail stays attributed");
+
+        // Fresh repl reports from the new primary add on top of the
+        // frozen loss, but a second promotion without a standby is a
+        // no-op.
+        t.record_repl_unacked(3);
+        assert_eq!(t.report().repl_unacked_keys, 43);
+        assert!(!t.complete_promotion(), "no standby left to promote");
+        assert_eq!(t.report().promotions, 1);
     }
 }

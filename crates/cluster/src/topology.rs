@@ -10,6 +10,57 @@
 
 use cots_core::{CotsError, MulHash, Result};
 
+/// Parse one `--members` entry into `(primary, standby)`.
+///
+/// A member is an address (`host:port` or a bare token); a replica pair
+/// is `primary:standby`. Because addresses themselves contain `:`, the
+/// split is resolved by shape — a segment that is all digits is a port,
+/// everything else starts a new address:
+///
+/// * `a` / `host:1234` — a single member, no standby;
+/// * `a:b` — a pair of bare tokens;
+/// * `host:1234:standby`, `primary:host:1234` — mixed pairs;
+/// * `host:1234:host:5678` — a pair of full addresses.
+pub fn parse_member_spec(spec: &str) -> Result<(String, Option<String>)> {
+    let is_port = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    let segs: Vec<&str> = spec.split(':').collect();
+    let parsed = match segs.as_slice() {
+        [a] if !a.is_empty() => Some((a.to_string(), None)),
+        [h, p] if is_port(p) => Some((format!("{h}:{p}"), None)),
+        [a, b] if !a.is_empty() && !b.is_empty() => {
+            Some((a.to_string(), Some(b.to_string())))
+        }
+        [h, p, b] if is_port(p) && !b.is_empty() => {
+            Some((format!("{h}:{p}"), Some(b.to_string())))
+        }
+        [a, h, p] if is_port(p) && !a.is_empty() => {
+            Some((a.to_string(), Some(format!("{h}:{p}"))))
+        }
+        [h1, p1, h2, p2] if is_port(p1) && is_port(p2) => {
+            Some((format!("{h1}:{p1}"), Some(format!("{h2}:{p2}"))))
+        }
+        _ => None,
+    };
+    parsed.ok_or_else(|| {
+        CotsError::InvalidConfig(format!(
+            "cannot parse member spec `{spec}` (expected ADDR or PRIMARY:STANDBY)"
+        ))
+    })
+}
+
+/// Parse a full `--members` list into parallel `(primaries, standbys)`
+/// vectors; slot `i` of `standbys` is `None` for unreplicated members.
+pub fn parse_members(specs: &[String]) -> Result<(Vec<String>, Vec<Option<String>>)> {
+    let mut primaries = Vec::with_capacity(specs.len());
+    let mut standbys = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let (primary, standby) = parse_member_spec(spec)?;
+        primaries.push(primary);
+        standbys.push(standby);
+    }
+    Ok((primaries, standbys))
+}
+
 /// An ordered list of member addresses plus the routing function.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -116,6 +167,41 @@ mod tests {
         let topo = Topology::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
         let order: Vec<usize> = topo.route_order(1).collect();
         assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn member_specs_parse_by_shape() {
+        assert_eq!(parse_member_spec("a").unwrap(), ("a".into(), None));
+        assert_eq!(
+            parse_member_spec("127.0.0.1:7001").unwrap(),
+            ("127.0.0.1:7001".into(), None)
+        );
+        assert_eq!(
+            parse_member_spec("a:b").unwrap(),
+            ("a".into(), Some("b".into()))
+        );
+        assert_eq!(
+            parse_member_spec("127.0.0.1:7001:127.0.0.1:8001").unwrap(),
+            ("127.0.0.1:7001".into(), Some("127.0.0.1:8001".into()))
+        );
+        assert_eq!(
+            parse_member_spec("127.0.0.1:7001:b").unwrap(),
+            ("127.0.0.1:7001".into(), Some("b".into()))
+        );
+        assert_eq!(
+            parse_member_spec("a:127.0.0.1:8001").unwrap(),
+            ("a".into(), Some("127.0.0.1:8001".into()))
+        );
+        assert!(parse_member_spec("").is_err());
+        assert!(parse_member_spec("a:b:c:d:e").is_err());
+
+        let (primaries, standbys) = parse_members(&[
+            "127.0.0.1:7001:127.0.0.1:8001".to_string(),
+            "127.0.0.1:7002".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(primaries, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(standbys, vec![Some("127.0.0.1:8001".to_string()), None]);
     }
 
     #[test]

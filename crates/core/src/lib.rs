@@ -63,7 +63,7 @@ pub use invariants::{CheckInvariants, Violation};
 pub use json::{FromJson, Json, ToJson};
 pub use query::{PointQuery, QueryAnswer, SetQuery, Threshold};
 pub use report::{
-    ClusterReport, MemberReport, PersistReport, RecoveryReport, RunStats, ServiceReport,
-    ShardReport, WorkCounters,
+    ClusterReport, MemberReport, PersistReport, RecoveryReport, ReplReport, RunStats,
+    ServiceReport, ShardReport, WorkCounters,
 };
 pub use traits::{ConcurrentCounter, FrequencyCounter, QueryableSummary};

@@ -11,6 +11,8 @@
 //!
 //! The merged entries satisfy the same contract as a single summary:
 //! `count >= true_total >= count - error`.
+//!
+//! AUDIT: total
 
 use std::collections::HashMap;
 
@@ -46,6 +48,9 @@ pub fn combined_absent_bound<K: Element>(snapshots: &[Snapshot<K>], capacity: us
 /// This is the *serial merge* primitive; the hierarchical merge of the
 /// independent design is built by applying it pairwise along a tree.
 pub fn merge_snapshots<K: Element>(snapshots: &[Snapshot<K>], capacity: usize) -> Snapshot<K> {
+    // PANIC-OK: a zero-capacity merge is a caller bug, not a data-dependent
+    // condition — no byte stream reaches this branch; the contract is tested
+    // by `zero_capacity_panics`.
     assert!(capacity > 0, "merge capacity must be positive");
     let bounds: Vec<u64> = snapshots
         .iter()

@@ -347,6 +347,49 @@ pub struct PersistReport {
     pub io_errors: u64,
 }
 
+/// Live replication state of one member of a primary/standby pair
+/// (`cots-repl`), reported in `STATS` responses.
+///
+/// On a primary the counters describe the WAL shipper: batches tailed
+/// from the local log and streamed to the standby, and the ack
+/// watermark the standby has confirmed durable. `unacked_keys` is the
+/// loss bound of this instant: if the primary dies *right now*, the
+/// promoted standby is missing exactly the keys logged locally past
+/// `acked_seq` — no more, no less. On a standby the same counters
+/// describe the apply side: batches received, logged to its own WAL
+/// copy, and applied to the warm engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplReport {
+    /// `"primary"` (shipping) or `"standby"` (applying).
+    pub role: String,
+    /// Peer address of the pair (standby for a primary, primary for a
+    /// standby).
+    pub peer: String,
+    /// The replication stream is currently established.
+    pub connected: bool,
+    /// Batches shipped (primary) or applied (standby).
+    pub streamed_batches: u64,
+    /// Keys those batches carried.
+    pub streamed_keys: u64,
+    /// Ack watermark: every batch with `seq < acked_seq` is durable on
+    /// both sides of the pair.
+    pub acked_seq: u64,
+    /// First unused local WAL sequence number.
+    pub next_seq: u64,
+    /// Batches logged locally but not yet acknowledged by the peer
+    /// (`next_seq − acked_seq`, saturating).
+    pub unacked_batches: u64,
+    /// Keys inside those batches — the mass a failover would lose.
+    pub unacked_keys: u64,
+    /// Catch-up snapshots sent (primary) or installed (standby).
+    pub snapshots: u64,
+    /// Re-shipped batches skipped by sequence dedup (exactly-once
+    /// apply under reconnect/replay).
+    pub duplicates: u64,
+    /// Standby → primary transitions this process has performed.
+    pub promotions: u64,
+}
+
 /// One member's view from a `cots-coord` coordinator.
 ///
 /// `forwarded_keys − captured_total` is this member's contribution to
@@ -380,6 +423,14 @@ pub struct MemberReport {
     /// `forwarded_keys − captured_total` (saturating): acknowledged
     /// keys not yet reflected in the last good snapshot.
     pub staleness: u64,
+    /// Standby address of this slot's replica pair, when configured.
+    pub standby: Option<String>,
+    /// Times this slot's routing flipped to the standby.
+    pub promotions: u64,
+    /// Un-acked replication tail: keys the active primary had logged
+    /// but its standby had not acknowledged at the last health check —
+    /// frozen at promotion as the slot's failover loss bound.
+    pub repl_unacked_keys: u64,
 }
 
 /// Cluster-wide statistics from a `cots-coord` coordinator.
@@ -403,6 +454,14 @@ pub struct ClusterReport {
     /// Staleness attributable to degraded members — the part of the
     /// error envelope that cannot shrink until they rejoin.
     pub degraded_staleness: u64,
+    /// Standby promotions performed cluster-wide.
+    pub promotions: u64,
+    /// Summed failover loss bound of slots currently running on a
+    /// promoted standby: keys acknowledged by a dead primary that its
+    /// standby had not received. Widens the answer envelope exactly
+    /// once (it is the frozen part of `staleness`, never added on
+    /// top), and cannot shrink until the ex-primary resyncs.
+    pub repl_unacked_keys: u64,
     /// Federated merges published.
     pub merges: u64,
     /// Queries answered by the coordinator.
@@ -434,6 +493,9 @@ pub struct ServiceReport {
     pub recovery: Option<RecoveryReport>,
     /// Persistence-pipeline counters, when running with a data directory.
     pub persist: Option<PersistReport>,
+    /// Replication counters, when this instance is half of a
+    /// primary/standby pair.
+    pub repl: Option<ReplReport>,
 }
 
 impl ServiceReport {
@@ -531,6 +593,44 @@ impl FromJson for PersistReport {
     }
 }
 
+impl ToJson for ReplReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("role", self.role.to_json()),
+            ("peer", self.peer.to_json()),
+            ("connected", self.connected.to_json()),
+            ("streamed_batches", self.streamed_batches.to_json()),
+            ("streamed_keys", self.streamed_keys.to_json()),
+            ("acked_seq", self.acked_seq.to_json()),
+            ("next_seq", self.next_seq.to_json()),
+            ("unacked_batches", self.unacked_batches.to_json()),
+            ("unacked_keys", self.unacked_keys.to_json()),
+            ("snapshots", self.snapshots.to_json()),
+            ("duplicates", self.duplicates.to_json()),
+            ("promotions", self.promotions.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ReplReport {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            role: String::from_json(v.field("role")?)?,
+            peer: String::from_json(v.field("peer")?)?,
+            connected: bool::from_json(v.field("connected")?)?,
+            streamed_batches: u64::from_json(v.field("streamed_batches")?)?,
+            streamed_keys: u64::from_json(v.field("streamed_keys")?)?,
+            acked_seq: u64::from_json(v.field("acked_seq")?)?,
+            next_seq: u64::from_json(v.field("next_seq")?)?,
+            unacked_batches: u64::from_json(v.field("unacked_batches")?)?,
+            unacked_keys: u64::from_json(v.field("unacked_keys")?)?,
+            snapshots: u64::from_json(v.field("snapshots")?)?,
+            duplicates: u64::from_json(v.field("duplicates")?)?,
+            promotions: u64::from_json(v.field("promotions")?)?,
+        })
+    }
+}
+
 impl ToJson for MemberReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -544,6 +644,9 @@ impl ToJson for MemberReport {
             ("pulls", self.pulls.to_json()),
             ("pull_failures", self.pull_failures.to_json()),
             ("staleness", self.staleness.to_json()),
+            ("standby", self.standby.to_json()),
+            ("promotions", self.promotions.to_json()),
+            ("repl_unacked_keys", self.repl_unacked_keys.to_json()),
         ])
     }
 }
@@ -561,6 +664,9 @@ impl FromJson for MemberReport {
             pulls: u64::from_json(v.field("pulls")?)?,
             pull_failures: u64::from_json(v.field("pull_failures")?)?,
             staleness: u64::from_json(v.field("staleness")?)?,
+            standby: Option::<String>::from_json(v.field("standby")?)?,
+            promotions: u64::from_json(v.field("promotions")?)?,
+            repl_unacked_keys: u64::from_json(v.field("repl_unacked_keys")?)?,
         })
     }
 }
@@ -575,6 +681,8 @@ impl ToJson for ClusterReport {
             ("staleness", self.staleness.to_json()),
             ("degraded_members", self.degraded_members.to_json()),
             ("degraded_staleness", self.degraded_staleness.to_json()),
+            ("promotions", self.promotions.to_json()),
+            ("repl_unacked_keys", self.repl_unacked_keys.to_json()),
             ("merges", self.merges.to_json()),
             ("queries", self.queries.to_json()),
         ])
@@ -591,6 +699,8 @@ impl FromJson for ClusterReport {
             staleness: u64::from_json(v.field("staleness")?)?,
             degraded_members: usize::from_json(v.field("degraded_members")?)?,
             degraded_staleness: u64::from_json(v.field("degraded_staleness")?)?,
+            promotions: u64::from_json(v.field("promotions")?)?,
+            repl_unacked_keys: u64::from_json(v.field("repl_unacked_keys")?)?,
             merges: u64::from_json(v.field("merges")?)?,
             queries: u64::from_json(v.field("queries")?)?,
         })
@@ -610,6 +720,7 @@ impl ToJson for ServiceReport {
             ("shards", self.shards.to_json()),
             ("recovery", self.recovery.to_json()),
             ("persist", self.persist.to_json()),
+            ("repl", self.repl.to_json()),
         ])
     }
 }
@@ -627,6 +738,7 @@ impl FromJson for ServiceReport {
             shards: Vec::<ShardReport>::from_json(v.field("shards")?)?,
             recovery: Option::<RecoveryReport>::from_json(v.field("recovery")?)?,
             persist: Option::<PersistReport>::from_json(v.field("persist")?)?,
+            repl: Option::<ReplReport>::from_json(v.field("repl")?)?,
         })
     }
 }
@@ -786,6 +898,20 @@ mod tests {
                 wal_syncs: 4,
                 io_errors: 0,
             }),
+            repl: Some(ReplReport {
+                role: "primary".into(),
+                peer: "127.0.0.1:6060".into(),
+                connected: true,
+                streamed_batches: 12,
+                streamed_keys: 1_200,
+                acked_seq: 11,
+                next_seq: 13,
+                unacked_batches: 2,
+                unacked_keys: 150,
+                snapshots: 1,
+                duplicates: 3,
+                promotions: 0,
+            }),
         };
         assert_eq!(r.applied_keys(), 1_000);
         let json = crate::json::to_string(&r);
@@ -796,6 +922,7 @@ mod tests {
             crate::json::from_str(&crate::json::to_string(&bare)).unwrap();
         assert_eq!(back.recovery, None);
         assert_eq!(back.persist, None);
+        assert_eq!(back.repl, None);
     }
 
     #[test]
@@ -813,6 +940,9 @@ mod tests {
                     pulls: 40,
                     pull_failures: 0,
                     staleness: 500,
+                    standby: Some("127.0.0.1:6050".into()),
+                    promotions: 1,
+                    repl_unacked_keys: 120,
                 },
                 MemberReport {
                     member: 1,
@@ -825,6 +955,9 @@ mod tests {
                     pulls: 21,
                     pull_failures: 3,
                     staleness: 300,
+                    standby: None,
+                    promotions: 0,
+                    repl_unacked_keys: 0,
                 },
             ],
             epoch: 9,
@@ -833,6 +966,8 @@ mod tests {
             staleness: 800,
             degraded_members: 1,
             degraded_staleness: 300,
+            promotions: 1,
+            repl_unacked_keys: 120,
             merges: 61,
             queries: 14,
         };

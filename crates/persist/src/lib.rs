@@ -34,6 +34,7 @@ pub mod checkpoint;
 pub mod codec;
 pub mod crc;
 pub mod recover;
+pub mod tail;
 pub mod wal;
 
 pub use checkpoint::{
@@ -43,6 +44,7 @@ pub use checkpoint::{
 pub use codec::{decode_record, encode_record, RecordError, MAX_RECORD};
 pub use crc::crc32;
 pub use recover::{recover, Recovery};
+pub use tail::{load_ack, oldest_segment_seq, store_ack, TailStats, WalTailer, ACK_FILE};
 pub use wal::{
     parse_segment_name, prune_wal, scan_wal, CommitStats, FsyncPolicy, WalBatch, WalScan,
     WalWriter, DEFAULT_SEGMENT_BYTES,

@@ -1,0 +1,493 @@
+//! Incremental WAL tailing and replication ack watermarks.
+//!
+//! [`WalTailer`] is the read side of the replication shipper: it follows
+//! the segmented log *while a writer is still appending*, returning each
+//! committed batch exactly once, in sequence order. Unlike
+//! [`scan_wal`](crate::wal::scan_wal) (which reads a quiescent directory
+//! once, at recovery), the tailer keeps a cursor per segment and treats
+//! an incomplete frame at the end of the newest segment as "not written
+//! yet, retry later" rather than as a torn tail.
+//!
+//! The same rules as recovery apply to damage: a bad frame in a segment
+//! that is no longer the newest ends that segment's contribution (the
+//! framing beyond it is untrusted) and the remaining bytes are counted
+//! as dropped — shipping then under-ships exactly the mass recovery
+//! would have dropped, never something else.
+//!
+//! [`load_ack`] / [`store_ack`] persist the standby's acknowledged
+//! sequence number on the primary, CRC-framed. The primary uses it as a
+//! *prune floor*: segments holding batches the standby has not yet
+//! acknowledged survive checkpoint pruning, so a slow or briefly
+//! disconnected standby can always catch up from the log instead of
+//! needing a full snapshot resync.
+//!
+//! AUDIT: total — the tail path decodes arbitrary disk bytes while they
+//! are being written; enforced by `cargo xtask audit` (lint-totality).
+
+use std::fs::{self, File};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use cots_core::Result;
+
+use crate::codec::{decode_record, encode_record, read_u64_le, RecordError};
+use crate::wal::{parse_segment_name, WalBatch, WAL_MAGIC};
+
+/// File name of the persisted replication ack watermark.
+pub const ACK_FILE: &str = "repl-ack";
+
+/// Cumulative accounting of everything a tailer has read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailStats {
+    /// Valid records decoded (including ones below the start sequence).
+    pub records: u64,
+    /// Keys inside batches actually returned to the caller.
+    pub keys: u64,
+    /// Frames abandoned to framing damage or malformed payloads.
+    pub torn_frames: u64,
+    /// Bytes those abandoned regions spanned.
+    pub dropped_bytes: u64,
+    /// Segments fully consumed (read to their final frame).
+    pub segments_done: u64,
+}
+
+/// Per-segment read cursor.
+#[derive(Debug)]
+struct SegCursor {
+    first_seq: u64,
+    path: PathBuf,
+    /// Next byte offset to decode from.
+    offset: u64,
+    /// No more frames will ever be taken from this segment.
+    done: bool,
+}
+
+/// Follows a live WAL directory, yielding each committed batch once.
+///
+/// Batches are returned in strictly increasing sequence order starting
+/// at `from_seq`; duplicates and regressions (which a restarted writer
+/// can produce) are skipped exactly as in recovery.
+#[derive(Debug)]
+pub struct WalTailer {
+    dir: PathBuf,
+    from_seq: u64,
+    last_seq: Option<u64>,
+    segments: Vec<SegCursor>,
+    /// Cumulative read accounting.
+    pub stats: TailStats,
+}
+
+impl WalTailer {
+    /// Tail `dir`, returning batches with `seq >= from_seq`.
+    pub fn new(dir: &Path, from_seq: u64) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            from_seq,
+            last_seq: None,
+            segments: Vec::new(),
+            stats: TailStats::default(),
+        }
+    }
+
+    /// The highest sequence number handed out so far, if any.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// Re-list the directory, keeping existing cursors and appending
+    /// newly appeared segments in scan order.
+    fn refresh(&mut self) -> Result<()> {
+        let mut found: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(first) = parse_segment_name(&path) {
+                found.push((first, path));
+            }
+        }
+        found.sort();
+        // Cursors for files that disappeared (pruned) are dropped; any
+        // unread frames they held are gone for recovery too, so the
+        // shipper and a restart agree on what was lost.
+        self.segments
+            .retain(|c| found.iter().any(|(_, p)| *p == c.path));
+        for (first_seq, path) in found {
+            if !self.segments.iter().any(|c| c.path == path) {
+                self.segments.push(SegCursor {
+                    first_seq,
+                    path,
+                    offset: 0,
+                    done: false,
+                });
+            }
+        }
+        self.segments
+            .sort_by(|a, b| (a.first_seq, &a.path).cmp(&(b.first_seq, &b.path)));
+        Ok(())
+    }
+
+    /// Read every complete, committed batch currently available, up to
+    /// roughly `max_keys` keys (at least one batch is returned when any
+    /// is available). An empty vec means "caught up, poll again later".
+    pub fn poll(&mut self, max_keys: usize) -> Result<Vec<WalBatch>> {
+        self.refresh()?;
+        let mut out: Vec<WalBatch> = Vec::new();
+        let mut out_keys = 0usize;
+        let n = self.segments.len();
+        for i in 0..n {
+            if out_keys >= max_keys && !out.is_empty() {
+                break;
+            }
+            // PANIC-OK: `i < n == self.segments.len()` and nothing in the
+            // loop changes the vec's length.
+            if self.segments[i].done {
+                continue;
+            }
+            let is_last = i + 1 == n;
+            let (path, offset) = {
+                // PANIC-OK: same in-bounds `i` as above.
+                let c = &self.segments[i];
+                (c.path.clone(), c.offset)
+            };
+            let bytes = match read_from(&path, offset) {
+                Ok(b) => b,
+                // The file can vanish between listing and reading
+                // (pruned); treat as done, a refresh will drop it.
+                Err(_) => {
+                    // PANIC-OK: same in-bounds `i` as above.
+                    self.segments[i].done = true;
+                    continue;
+                }
+            };
+            let mut off = 0usize;
+            // The magic prefix is consumed once per segment.
+            if offset == 0 {
+                if bytes.len() < WAL_MAGIC.len() {
+                    if !is_last {
+                        // A newer segment exists: this stub will never
+                        // grow into a valid segment.
+                        self.finish_segment(i, bytes.len() as u64);
+                    }
+                    continue;
+                }
+                // PANIC-OK: the branch above returned unless
+                // `bytes.len() >= WAL_MAGIC.len()`.
+                if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC.as_slice() {
+                    self.finish_segment(i, bytes.len() as u64);
+                    continue;
+                }
+                off = WAL_MAGIC.len();
+            }
+            while off < bytes.len() {
+                if out_keys >= max_keys && !out.is_empty() {
+                    break;
+                }
+                match decode_record(bytes.get(off..).unwrap_or(&[])) {
+                    Ok((payload, consumed)) => {
+                        off += consumed;
+                        // PANIC-OK: same in-bounds `i` as above.
+                        self.segments[i].offset = offset + off as u64;
+                        match crate::wal::parse_batch_payload(payload) {
+                            Some(batch) => {
+                                self.stats.records += 1;
+                                let fresh = batch.seq >= self.from_seq
+                                    && self.last_seq.is_none_or(|l| batch.seq > l);
+                                if fresh {
+                                    self.last_seq = Some(batch.seq);
+                                    self.stats.keys += batch.keys.len() as u64;
+                                    out_keys += batch.keys.len();
+                                    out.push(batch);
+                                }
+                            }
+                            None => {
+                                // CRC-valid frame, malformed payload:
+                                // framing is trustworthy, skip just it.
+                                self.stats.torn_frames += 1;
+                                self.stats.dropped_bytes += consumed as u64;
+                            }
+                        }
+                    }
+                    Err(RecordError::Incomplete) if is_last => {
+                        // Mid-write tail of the active segment: the
+                        // writer will finish it; re-decode next poll.
+                        break;
+                    }
+                    Err(_) => {
+                        // Permanent damage (or a rotation left a torn
+                        // tail behind): recovery would stop here too.
+                        self.finish_segment(i, (bytes.len() - off) as u64);
+                        break;
+                    }
+                }
+            }
+            // A sealed (non-newest) segment read cleanly to EOF will
+            // never grow again: retire its cursor.
+            // PANIC-OK: same in-bounds `i` as above.
+            if !is_last
+                && !self.segments[i].done
+                && self.segments[i].offset == offset + bytes.len() as u64
+            {
+                self.segments[i].done = true;
+                self.stats.segments_done += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mark segment `i` consumed, accounting `dropped` abandoned bytes.
+    fn finish_segment(&mut self, i: usize, dropped: u64) {
+        if dropped > 0 {
+            self.stats.torn_frames += 1;
+            self.stats.dropped_bytes += dropped;
+        }
+        // PANIC-OK: callers pass an `i` bounded by the poll loop.
+        self.segments[i].done = true;
+        self.stats.segments_done += 1;
+    }
+}
+
+/// Read `path` from byte `offset` to EOF.
+fn read_from(path: &Path, offset: u64) -> std::io::Result<Vec<u8>> {
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// The first sequence number still available in the log under `dir`:
+/// the smallest segment start. `None` when no segments exist.
+pub fn oldest_segment_seq(dir: &Path) -> Result<Option<u64>> {
+    let mut oldest: Option<u64> = None;
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(first) = parse_segment_name(&path) {
+            oldest = Some(oldest.map_or(first, |o| o.min(first)));
+        }
+    }
+    Ok(oldest)
+}
+
+/// Durably record the standby's acknowledged sequence number.
+///
+/// Written via temp file + atomic rename, CRC-framed; [`load_ack`]
+/// treats any damage as "never acked" (sequence 0), which only makes
+/// the primary retain more log than strictly needed — never less.
+pub fn store_ack(dir: &Path, ack_seq: u64) -> Result<()> {
+    let mut framed = Vec::new();
+    encode_record(&ack_seq.to_le_bytes(), &mut framed);
+    let tmp = dir.join(format!("{ACK_FILE}.tmp"));
+    let path = dir.join(ACK_FILE);
+    let mut f = File::create(&tmp)?;
+    f.write_all(&framed)?;
+    f.sync_data()?;
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Load the persisted ack watermark; 0 when absent or damaged (total:
+/// arbitrary file contents never panic).
+pub fn load_ack(dir: &Path) -> u64 {
+    let Ok(bytes) = fs::read(dir.join(ACK_FILE)) else {
+        return 0;
+    };
+    match decode_record(&bytes) {
+        Ok((payload, _)) => read_u64_le(payload, 0).unwrap_or(0),
+        Err(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{scan_wal, FsyncPolicy, WalWriter, DEFAULT_SEGMENT_BYTES};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "cots-persist-tail-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tailer_follows_a_live_writer() {
+        let dir = temp_dir("live");
+        let mut w = WalWriter::open(&dir, 0, FsyncPolicy::Off, DEFAULT_SEGMENT_BYTES).unwrap();
+        let mut t = WalTailer::new(&dir, 0);
+        assert!(t.poll(usize::MAX).unwrap().is_empty(), "nothing committed yet");
+
+        w.append(0, &[1, 2]);
+        w.append(1, &[3]);
+        w.commit().unwrap();
+        let got = t.poll(usize::MAX).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], WalBatch { seq: 0, keys: vec![1, 2] });
+        assert_eq!(t.last_seq(), Some(1));
+
+        // Nothing new: caught up.
+        assert!(t.poll(usize::MAX).unwrap().is_empty());
+
+        w.append(2, &[4, 5, 6]);
+        w.commit().unwrap();
+        let got = t.poll(usize::MAX).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 2);
+        assert_eq!(t.stats.keys, 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tailer_crosses_segment_rotation() {
+        let dir = temp_dir("rotate");
+        let mut w = WalWriter::open(&dir, 0, FsyncPolicy::Off, 16).unwrap();
+        let mut t = WalTailer::new(&dir, 0);
+        let mut seen = Vec::new();
+        for seq in 0..6u64 {
+            w.append(seq, &[seq * 10, seq * 10 + 1]);
+            w.commit().unwrap();
+            for b in t.poll(usize::MAX).unwrap() {
+                seen.push(b.seq);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert!(t.stats.segments_done >= 1, "old segments consumed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tailer_matches_scan_on_quiescent_log() {
+        let dir = temp_dir("parity");
+        let mut w = WalWriter::open(&dir, 0, FsyncPolicy::Off, 64).unwrap();
+        for seq in 0..20u64 {
+            w.append(seq, &[seq, seq + 1, seq + 2]);
+            if seq % 3 == 0 {
+                w.commit().unwrap();
+            }
+        }
+        w.commit().unwrap();
+        drop(w);
+        let scan = scan_wal(&dir, 4).unwrap();
+        let mut t = WalTailer::new(&dir, 4);
+        let mut tailed = Vec::new();
+        loop {
+            let got = t.poll(7).unwrap(); // tiny budget: many polls
+            if got.is_empty() {
+                break;
+            }
+            tailed.extend(got);
+        }
+        assert_eq!(tailed, scan.batches);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_of_active_segment_waits_then_resumes() {
+        let dir = temp_dir("midwrite");
+        let mut w = WalWriter::open(&dir, 0, FsyncPolicy::Off, DEFAULT_SEGMENT_BYTES).unwrap();
+        w.append(0, &[1]);
+        w.commit().unwrap();
+        let path = w.segment_path().to_path_buf();
+        let mut t = WalTailer::new(&dir, 0);
+        assert_eq!(t.poll(usize::MAX).unwrap().len(), 1);
+
+        // Simulate a half-written record: append a torn frame by hand.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        let mut framed = Vec::new();
+        encode_record(&payload, &mut framed);
+        let full = fs::read(&path).unwrap();
+        let torn = [&full[..], &framed[..framed.len() - 4]].concat();
+        fs::write(&path, &torn).unwrap();
+        assert!(t.poll(usize::MAX).unwrap().is_empty(), "waits for the rest");
+        assert_eq!(t.stats.torn_frames, 0, "not damage yet");
+
+        // The writer finishes the record: the tailer picks it up.
+        fs::write(&path, [&full[..], &framed[..]].concat()).unwrap();
+        let got = t.poll(usize::MAX).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], WalBatch { seq: 1, keys: vec![9] });
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_in_sealed_segment_is_skipped_like_recovery() {
+        let dir = temp_dir("damage");
+        let mut w = WalWriter::open(&dir, 0, FsyncPolicy::Off, 16).unwrap();
+        for seq in 0..6u64 {
+            w.append(seq, &[seq]);
+            w.commit().unwrap();
+        }
+        drop(w);
+        let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| parse_segment_name(p).is_some())
+            .collect();
+        segs.sort();
+        assert!(segs.len() >= 3);
+        // Flip a payload byte mid-segment: CRC damage in a sealed file.
+        let mut bytes = fs::read(&segs[1]).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0xFF;
+        fs::write(&segs[1], &bytes).unwrap();
+
+        let mut t = WalTailer::new(&dir, 0);
+        let mut tailed = Vec::new();
+        loop {
+            let got = t.poll(usize::MAX).unwrap();
+            if got.is_empty() {
+                break;
+            }
+            tailed.extend(got.into_iter().map(|b| b.seq));
+        }
+        let scan = scan_wal(&dir, 0).unwrap();
+        let scanned: Vec<u64> = scan.batches.iter().map(|b| b.seq).collect();
+        assert_eq!(tailed, scanned, "tailer under-ships exactly what recovery drops");
+        assert!(t.stats.torn_frames >= 1);
+        assert!(t.stats.dropped_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ack_watermark_round_trips_and_tolerates_damage() {
+        let dir = temp_dir("ack");
+        assert_eq!(load_ack(&dir), 0, "absent file reads as never-acked");
+        store_ack(&dir, 42).unwrap();
+        assert_eq!(load_ack(&dir), 42);
+        store_ack(&dir, 43).unwrap();
+        assert_eq!(load_ack(&dir), 43, "overwrite advances");
+        let path = dir.join(ACK_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_ack(&dir), 0, "damage degrades to never-acked");
+        fs::write(&path, b"").unwrap();
+        assert_eq!(load_ack(&dir), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oldest_segment_seq_tracks_pruning() {
+        let dir = temp_dir("oldest");
+        assert_eq!(oldest_segment_seq(&dir).unwrap(), None);
+        let mut w = WalWriter::open(&dir, 3, FsyncPolicy::Off, 16).unwrap();
+        for seq in 3..9u64 {
+            w.append(seq, &[seq, seq]);
+            w.commit().unwrap();
+        }
+        drop(w);
+        assert_eq!(oldest_segment_seq(&dir).unwrap(), Some(3));
+        crate::wal::prune_wal(&dir, 100).unwrap();
+        let oldest = oldest_segment_seq(&dir).unwrap().unwrap();
+        assert!(oldest > 3, "pruning advances the oldest available seq");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

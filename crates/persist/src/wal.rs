@@ -314,7 +314,7 @@ pub fn scan_wal(dir: &Path, from_seq: u64) -> Result<WalScan> {
             match decode_record(bytes.get(off..).unwrap_or(&[])) {
                 Ok((payload, consumed)) => {
                     off += consumed;
-                    match parse_batch(payload) {
+                    match parse_batch_payload(payload) {
                         Some(batch) => {
                             scan.records += 1;
                             scan.max_seq = Some(scan.max_seq.map_or(batch.seq, |m| m.max(batch.seq)));
@@ -349,7 +349,7 @@ pub fn scan_wal(dir: &Path, from_seq: u64) -> Result<WalScan> {
 
 /// Decode one record payload; `None` if the declared key count does not
 /// match the payload length.
-fn parse_batch(payload: &[u8]) -> Option<WalBatch> {
+pub(crate) fn parse_batch_payload(payload: &[u8]) -> Option<WalBatch> {
     let seq = read_u64_le(payload, 0)?;
     let nkeys = read_u32_le(payload, 8)? as usize;
     let want = 12usize.checked_add(nkeys.checked_mul(8)?)?;

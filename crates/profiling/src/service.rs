@@ -121,6 +121,7 @@ impl IngestTally {
             shards: shards.iter().enumerate().map(|(i, s)| s.report(i)).collect(),
             recovery,
             persist,
+            repl: None,
         }
     }
 }

@@ -1,0 +1,31 @@
+//! Primary/standby replication for `cots-serve`.
+//!
+//! A primary running with a data directory already writes every ingested
+//! batch to a segmented WAL (`cots-persist`). This crate adds the piece
+//! that turns one durable log into two: a **WAL shipper** thread that
+//! tails the primary's committed segments and streams them to a standby
+//! over the existing framed protocol (`REPL_SUBSCRIBE` / `REPL_BATCH` /
+//! `REPL_SNAPSHOT`), plus the planning logic that chunks tailed batches
+//! into bounded wire frames.
+//!
+//! The standby side lives in `cots-serve` itself (`--standby` mode): it
+//! applies shipped batches through the same `log → apply` path local
+//! ingest uses, so its WAL copy is byte-for-byte replayable and its
+//! in-memory summary obeys the same `count ≥ true ≥ count − error`
+//! envelope. Acks carry the standby's durable watermark (its own
+//! `next_seq`), which makes retransmission idempotent and lets the
+//! primary prune shipped segments only once they are safe on two disks.
+//!
+//! Failover is the coordinator's job (`cots-cluster`): on primary death
+//! it sends `REPL_PROMOTE`, the standby flips to primary in place, and
+//! the federated staleness bound widens by exactly the un-acked WAL
+//! tail this crate reports — counted once, never double-counted.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod plan;
+pub mod shipper;
+
+pub use plan::{expected_ack, is_contiguous, plan_frames};
+pub use shipper::{spawn, ShipperConfig, ShipperHandle};

@@ -1,0 +1,221 @@
+//! End-to-end replication: a real primary and a real standby on
+//! loopback TCP, the real shipper in between, promotion flipping the
+//! standby into a serving primary.
+
+use std::time::{Duration, Instant};
+
+use cots_datagen::{ExactCounter, StreamSpec};
+use cots_repl::{spawn, ShipperConfig};
+use cots_serve::protocol::QueryReq;
+use cots_serve::{Client, PersistOptions, Request, Response, Server, ServiceConfig};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "cots-repl-e2e-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn persist(dir: &std::path::Path) -> PersistOptions {
+    let mut opts = PersistOptions::new(dir.to_path_buf());
+    opts.checkpoint_every = Duration::ZERO;
+    // Small segments force rotation, so checkpoints actually prune and
+    // the shipping floor moves — exercising the catch-up snapshot path.
+    opts.segment_bytes = 16 * 1024;
+    opts
+}
+
+fn bind(dir: &std::path::Path, standby: bool, peer: Option<String>) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            shards: 2,
+            capacity: 256,
+            refresh: Duration::from_millis(2),
+            persist: Some(persist(dir)),
+            standby,
+            repl_peer: peer,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn primary_ships_standby_catches_up_and_promotes() {
+    let primary_dir = temp_dir("primary");
+    let standby_dir = temp_dir("standby");
+
+    let standby = bind(&standby_dir, true, None);
+    let standby_addr = standby.local_addr().to_string();
+    let standby_service = standby.service().clone();
+    let standby_thread = std::thread::spawn(move || standby.run());
+
+    let primary = bind(&primary_dir, false, Some(standby_addr.clone()));
+    let primary_addr = primary.local_addr().to_string();
+    let primary_service = primary.service().clone();
+    let primary_thread = std::thread::spawn(move || primary.run());
+
+    // Some data lands on the primary *before* the shipper even starts,
+    // so the stream begins with a real backlog.
+    let keys = StreamSpec::zipf(30_000, 500, 1.5, 11).generate();
+    let total_items = keys.len() as u64;
+    let exact = ExactCounter::from_stream(&keys);
+    let mut client = Client::connect(&primary_addr).unwrap();
+    for chunk in keys.chunks(1_024).take(10) {
+        client.ingest(chunk).unwrap();
+    }
+
+    let mut shipper_cfg = ShipperConfig::new(standby_addr.clone());
+    shipper_cfg.poll_interval = Duration::from_millis(2);
+    let shipper = spawn(primary_service.clone(), shipper_cfg).unwrap();
+
+    // The rest of the stream flows while the shipper runs.
+    for chunk in keys.chunks(1_024).skip(10) {
+        client.ingest(chunk).unwrap();
+    }
+
+    // Wait until the standby acked everything the primary logged.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = primary_service.stats();
+        if let Some(repl) = &stats.repl {
+            if repl.connected && repl.unacked_batches == 0 && stats.applied_keys() == total_items {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "standby never caught up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let repl = primary_service.stats().repl.unwrap();
+    assert_eq!(repl.role, "primary");
+    assert!(repl.streamed_keys >= total_items, "whole stream shipped");
+
+    // The standby's replication report mirrors the stream.
+    let mut sclient = Client::connect(&standby_addr).unwrap();
+    let sstats = sclient.stats().unwrap();
+    let srepl = sstats.repl.expect("standby reports repl state");
+    assert_eq!(srepl.role, "standby");
+    assert_eq!(srepl.next_seq, repl.acked_seq, "durable watermarks agree");
+
+    // Promote the standby and stop the old primary; the promoted node
+    // answers inside the count ± error envelope over the acked stream.
+    match sclient.call(&Request::ReplPromote).unwrap() {
+        Response::ReplAck { ack_seq } => assert_eq!(ack_seq, repl.acked_seq),
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert!(!standby_service.is_standby());
+    shipper.stop();
+    client.shutdown().unwrap();
+    drop(client);
+    primary_thread.join().unwrap().unwrap();
+
+    // Quiesce the promoted node, then check heavy hitters against truth.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, total, stamp) = sclient.query(QueryReq::TopK { k: 1 }).unwrap();
+        if total == total_items && stamp.staleness == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "promoted node never quiesced");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (entries, total, _) = sclient.query(QueryReq::TopK { k: 20 }).unwrap();
+    assert_eq!(total, total_items);
+    for e in &entries {
+        let truth = exact.count(&e.item);
+        assert!(
+            e.count >= truth && truth >= e.count - e.error,
+            "envelope violated for {}: count={} error={} truth={truth}",
+            e.item,
+            e.count,
+            e.error
+        );
+    }
+
+    // The promoted node accepts writes now.
+    sclient.ingest(&[42, 42, 42]).expect("promoted node accepts INGEST");
+
+    sclient.shutdown().unwrap();
+    drop(sclient);
+    standby_thread.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+}
+
+#[test]
+fn late_standby_catches_up_via_snapshot() {
+    let primary_dir = temp_dir("snap-primary");
+    let standby_dir = temp_dir("snap-standby");
+
+    let primary = bind(&primary_dir, false, None);
+    let primary_addr = primary.local_addr().to_string();
+    let primary_service = primary.service().clone();
+    let primary_thread = std::thread::spawn(move || primary.run());
+
+    // Ingest, checkpoint, and let pruning advance the floor past 0: a
+    // fresh standby can then only catch up via REPL_SNAPSHOT.
+    let mut client = Client::connect(&primary_addr).unwrap();
+    let keys: Vec<u64> = (0..20_000u64).map(|i| i % 100).collect();
+    for chunk in keys.chunks(1_000) {
+        client.ingest(chunk).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while primary_service.stats().applied_keys() < 20_000 {
+        assert!(Instant::now() < deadline, "primary never applied the stream");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (watermark, _, _) = client.checkpoint().unwrap();
+    assert!(watermark > 0);
+    assert!(
+        primary_service.repl_floor() > 0,
+        "checkpoint + prune moved the shipping floor"
+    );
+
+    let standby = bind(&standby_dir, true, None);
+    let standby_addr = standby.local_addr().to_string();
+    let standby_thread = std::thread::spawn(move || standby.run());
+
+    let mut cfg = ShipperConfig::new(standby_addr.clone());
+    cfg.poll_interval = Duration::from_millis(2);
+    let shipper = spawn(primary_service.clone(), cfg).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(repl) = &primary_service.stats().repl {
+            if repl.connected && repl.unacked_batches == 0 && repl.snapshots >= 1 {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "late standby never caught up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The standby holds the full mass: snapshot base + shipped tail.
+    let mut sclient = Client::connect(&standby_addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, total, stamp) = sclient.query(QueryReq::TopK { k: 1 }).unwrap();
+        if total == 20_000 && stamp.staleness == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "standby never published the base");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (entries, _, _) = sclient.query(QueryReq::Point { key: 7 }).unwrap();
+    let e = &entries[0];
+    assert!(e.count >= 200 && e.count - e.error <= 200, "7 appears exactly 200 times");
+
+    shipper.stop();
+    client.shutdown().unwrap();
+    drop(client);
+    primary_thread.join().unwrap().unwrap();
+    sclient.shutdown().unwrap();
+    drop(sclient);
+    standby_thread.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+}

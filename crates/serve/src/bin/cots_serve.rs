@@ -5,7 +5,7 @@
 //!            [--window W] [--refresh-ms 20] [--queue-batches 64]
 //!            [--io-model reactor|threads] [--reactor-threads R]
 //!            [--data-dir DIR] [--fsync always|grouped|off]
-//!            [--checkpoint-ms 5000] [--wal-segment-mb 8]
+//!            [--checkpoint-ms 5000] [--wal-segment-mb 8] [--standby]
 //! ```
 //!
 //! `--io-model` selects the connection front-end: `reactor` (default) —
@@ -20,6 +20,13 @@
 //! summary, then logs every ingested batch and checkpoints on the
 //! `--checkpoint-ms` cadence (0 disables the background checkpointer; the
 //! `CHECKPOINT` wire op always works).
+//!
+//! `--standby` (requires `--data-dir`) starts the node as a replication
+//! standby: it refuses ordinary `INGEST` and instead applies
+//! `REPL_BATCH` / `REPL_SNAPSHOT` streams from a primary's WAL shipper
+//! (see `docs/replication.md`), staying warm until `REPL_PROMOTE` flips
+//! it to primary in place. The shipper itself rides the *primary*
+//! process (`cots-member --peer`, or embed `cots_repl::spawn`).
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for this line),
 //! serves until a `SHUTDOWN` request arrives, drains (taking a final
@@ -36,7 +43,7 @@ fn usage() -> ! {
          [--window W] [--refresh-ms MS] [--queue-batches Q] \
          [--io-model reactor|threads] [--reactor-threads R] \
          [--data-dir DIR] [--fsync always|grouped|off] [--checkpoint-ms MS] \
-         [--wal-segment-mb MB]"
+         [--wal-segment-mb MB] [--standby]"
     );
     std::process::exit(2);
 }
@@ -77,6 +84,7 @@ fn main() {
             "--fsync" => fsync = parse("--fsync", args.next()),
             "--checkpoint-ms" => checkpoint_ms = parse("--checkpoint-ms", args.next()),
             "--wal-segment-mb" => wal_segment_mb = parse("--wal-segment-mb", args.next()),
+            "--standby" => config.standby = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -86,6 +94,10 @@ fn main() {
     }
     if config.shards == 0 || config.capacity == 0 || config.queue_batches == 0 {
         eprintln!("--shards, --capacity and --queue-batches must be positive");
+        usage();
+    }
+    if config.standby && data_dir.is_none() {
+        eprintln!("--standby needs --data-dir (replication ships the WAL)");
         usage();
     }
     if let Some(dir) = data_dir {

@@ -65,7 +65,8 @@ pub use frame::{FrameAssembler, FrameError, MAX_FRAME};
 pub use loadgen::{LatencySummary, LoadConfig, LoadReport};
 pub use persistence::{PersistOptions, Persistence};
 pub use protocol::{
-    QueryReq, QueryStamp, Request, Response, MAX_PAGE_ENTRIES, MIN_PROTO_VERSION, PROTO_VERSION,
+    QueryReq, QueryStamp, ReplFrame, Request, Response, MAX_PAGE_ENTRIES, MIN_PROTO_VERSION,
+    PROTO_VERSION,
 };
 pub use server::{IoConfig, IoModel, Server};
 pub use service::{ConnState, Reply, Service, ServiceConfig};

@@ -25,7 +25,7 @@
 //! enforced by `cargo xtask audit` (lint-locks). The deliberate
 //! I/O-under-lock sites below carry `LOCK-OK` justifications.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -97,6 +97,11 @@ pub struct Persistence {
     pub tally: PersistTally,
     /// Serializes checkpointers (background thread vs. `CHECKPOINT` op).
     ckpt_lock: Mutex<()>,
+    /// Oldest WAL sequence a replication peer still needs. Segments at
+    /// or past this floor survive checkpoint pruning so the shipper can
+    /// keep tailing them; `u64::MAX` (the default) means "no peer,
+    /// prune on checkpoints alone".
+    repl_retain: AtomicU64,
 }
 
 impl Persistence {
@@ -113,7 +118,26 @@ impl Persistence {
             quiesced: Condvar::new(),
             tally: PersistTally::new(),
             ckpt_lock: Mutex::new(()),
+            repl_retain: AtomicU64::new(u64::MAX),
         })
+    }
+
+    /// The data directory this instance logs into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Next WAL sequence to be allocated — equivalently, the durable
+    /// watermark: every batch below it is logged (and applied).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Acquire)
+    }
+
+    /// Pin WAL retention for a replication peer: segments holding
+    /// sequences ≥ `seq` survive checkpoint pruning. The shipper
+    /// advances this as acks arrive; `u64::MAX` releases the pin.
+    pub fn set_repl_retain(&self, seq: u64) {
+        self.repl_retain.store(seq, Ordering::Release);
     }
 
     /// Log a drained group of batches, then apply them — all inside one
@@ -154,6 +178,71 @@ impl Persistence {
         self.gate_exit();
     }
 
+    /// Log one *replicated* batch at the primary's sequence number, then
+    /// apply it — the standby's half of WAL shipping. Returns `true` only
+    /// when `seq` is exactly the next expected sequence; duplicates
+    /// (`seq` below the watermark) and gaps are rejected untouched so the
+    /// caller can ack the real watermark and let the shipper resolve.
+    ///
+    /// Same gate discipline and loss model as [`Self::log_and_apply`]:
+    /// the batch is durable per the [`FsyncPolicy`] once this returns,
+    /// and WAL I/O failures degrade durability, never liveness.
+    pub fn log_external_and_apply(&self, seq: u64, keys: &[u64], backend: &Backend) -> bool {
+        self.gate_enter();
+        let accepted = {
+            let mut wal = self.wal.lock();
+            // Read under the wal lock: local ingest allocates from
+            // `next_seq` under this same lock, so the comparison is
+            // stable for the duration of the append.
+            if seq != self.next_seq.load(Ordering::Acquire) {
+                false
+            } else {
+                wal.append(seq, keys);
+                self.tally.wal_record(keys.len() as u64, 20 + 8 * keys.len() as u64);
+                // LOCK-OK: same single-sequential-file design as
+                // `log_and_apply` — records must not interleave, and the
+                // request path of a *standby* is the replication stream
+                // itself, so this hold is the ingest path, not behind it.
+                match wal.commit() {
+                    Ok(stats) => {
+                        if stats.synced {
+                            self.tally.wal_sync();
+                        }
+                    }
+                    Err(_) => self.tally.io_error(),
+                }
+                self.next_seq.store(seq + 1, Ordering::Release);
+                true
+            }
+        };
+        if accepted {
+            backend.apply(keys);
+        }
+        self.gate_exit();
+        accepted
+    }
+
+    /// Install a catch-up base checkpoint shipped by a primary: persist
+    /// it and advance the durable watermark to its cut. Only callable on
+    /// an empty log (`next_seq == 0`); the in-memory base swap is the
+    /// caller's job.
+    ///
+    /// Returns the committed file size.
+    pub fn install_base(&self, ckpt: &Checkpoint) -> Result<u64> {
+        let _serialize = self.ckpt_lock.lock();
+        if self.next_seq.load(Ordering::Acquire) != 0 {
+            return Err(cots_core::CotsError::Report(
+                "catch-up snapshot refused: the log is not empty".into(),
+            ));
+        }
+        let (_, bytes) = write_checkpoint(&self.dir, ckpt).inspect_err(|_| {
+            self.tally.io_error();
+        })?;
+        self.tally.checkpoint(ckpt.watermark);
+        self.next_seq.store(ckpt.watermark, Ordering::Release);
+        Ok(bytes)
+    }
+
     fn gate_enter(&self) {
         let mut gate = self.gate.lock();
         while gate.frozen {
@@ -181,6 +270,20 @@ impl Persistence {
         base: Option<&Snapshot<u64>>,
         publisher: &SnapshotPublisher<u64>,
     ) -> Result<(u64, u64, u64)> {
+        self.checkpoint_full(backend, base, publisher)
+            .map(|(watermark, total, bytes, _)| (watermark, total, bytes))
+    }
+
+    /// [`Self::checkpoint_now`], but also hand back the merged summary
+    /// the checkpoint captured — the WAL shipper sends exactly this pair
+    /// (`watermark`, summary) as a catch-up `REPL_SNAPSHOT`, so the
+    /// transfer is consistent with the durable cut by construction.
+    pub fn checkpoint_full(
+        &self,
+        backend: &Backend,
+        base: Option<&Snapshot<u64>>,
+        publisher: &SnapshotPublisher<u64>,
+    ) -> Result<(u64, u64, u64, Snapshot<u64>)> {
         let _serialize = self.ckpt_lock.lock();
 
         {
@@ -233,14 +336,16 @@ impl Persistence {
         self.tally.checkpoint(watermark);
 
         // Prune what the new checkpoint made redundant. Best-effort: the
-        // service stays correct with extra files around.
+        // service stays correct with extra files around. A replication
+        // peer's un-acked tail pins segments past its floor.
         let _ = prune_checkpoints(&self.dir, KEEP_CHECKPOINTS);
         if let Ok(kept) = find_checkpoints(&self.dir) {
             if let Some(oldest) = kept.last().and_then(|p| parse_checkpoint_name(p)) {
-                let _ = prune_wal(&self.dir, oldest);
+                let floor = oldest.min(self.repl_retain.load(Ordering::Acquire));
+                let _ = prune_wal(&self.dir, floor);
             }
         }
-        Ok((watermark, total, bytes))
+        Ok((watermark, total, bytes, merged))
     }
 }
 

@@ -13,11 +13,13 @@
 use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 use cots_core::{ClusterReport, CotsError, CounterEntry, ServiceReport, Snapshot};
 
-/// The protocol version this build speaks. Version 2 introduced the
-/// mandatory `HELLO` handshake plus the `SNAPSHOT_PAGE` and
-/// `CLUSTER_STATS` operations; see the version-compatibility table in
-/// `docs/PROTOCOL.md` (machine-checked by `cargo xtask lint-protocol`).
-pub const PROTO_VERSION: u32 = 2;
+/// The protocol version this build speaks. Version 3 introduced the
+/// replication operations (`REPL_SUBSCRIBE`, `REPL_BATCH`,
+/// `REPL_SNAPSHOT`, `REPL_PROMOTE`); version 2 the mandatory `HELLO`
+/// handshake plus the `SNAPSHOT_PAGE` and `CLUSTER_STATS` operations;
+/// see the version-compatibility table in `docs/PROTOCOL.md`
+/// (machine-checked by `cargo xtask lint-protocol`).
+pub const PROTO_VERSION: u32 = 3;
 
 /// The oldest peer version this build still accepts in `HELLO`.
 /// Version 1 had no handshake at all, so it cannot be negotiated with:
@@ -115,6 +117,69 @@ pub enum Request {
     Checkpoint,
     /// Begin graceful shutdown: stop accepting, drain queues, exit.
     Shutdown,
+    /// Open a replication stream: a primary's WAL shipper announces the
+    /// oldest sequence it can still serve from its log. A standby
+    /// answers with [`Response::ReplAck`] naming the next sequence it
+    /// expects, which is where the shipper starts (or restarts) the
+    /// stream. Non-standby servers refuse with an error.
+    ReplSubscribe {
+        /// Oldest WAL sequence the shipper's log still holds.
+        start_seq: u64,
+    },
+    /// A run of replicated WAL batches in sequence order. The standby
+    /// logs each batch to its own WAL, applies it, and answers with a
+    /// cumulative [`Response::ReplAck`]. Batches at already-applied
+    /// sequences are acknowledged but not re-applied (duplicates);
+    /// a gap re-acks the current watermark so the shipper rewinds.
+    ReplBatch {
+        /// The batches, oldest first.
+        batches: Vec<ReplFrame>,
+    },
+    /// Catch-up transfer: a consistent base snapshot of the primary's
+    /// summary cut at `watermark`, installed by an *empty* standby in
+    /// place of replaying the (already-pruned) WAL prefix. The standby
+    /// persists it as its own base checkpoint and acks `watermark`.
+    ReplSnapshot {
+        /// WAL sequence the snapshot accounts for (exclusive upper
+        /// bound: the stream resumes at `watermark`).
+        watermark: u64,
+        /// The merged summary at the cut.
+        snapshot: Snapshot<u64>,
+    },
+    /// Coordinator order: stop being a standby, accept ingest, and
+    /// start publishing. Idempotent — promoting a primary is a no-op
+    /// acknowledged with its current watermark.
+    ReplPromote,
+}
+
+/// One replicated WAL batch on the wire: the primary's log sequence
+/// number and the keys the batch applied, in stream order. Mirrors
+/// `cots_persist::WalBatch` but lives in the protocol vocabulary so the
+/// wire format is self-contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplFrame {
+    /// The primary's WAL sequence number for this batch.
+    pub seq: u64,
+    /// The keys the batch carries, in stream order.
+    pub keys: Vec<u64>,
+}
+
+impl ToJson for ReplFrame {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seq", self.seq.to_json()),
+            ("keys", self.keys.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ReplFrame {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            seq: u64::from_json(v.field("seq")?)?,
+            keys: Vec::<u64>::from_json(v.field("keys")?)?,
+        })
+    }
 }
 
 /// Provenance stamp on every answer: which snapshot it came from and how
@@ -210,6 +275,14 @@ pub enum Response {
     },
     /// Graceful shutdown has begun.
     ShuttingDown,
+    /// Cumulative replication acknowledgement: everything below
+    /// `ack_seq` is durable in the standby's own WAL. Answers
+    /// `REPL_SUBSCRIBE`, `REPL_BATCH`, `REPL_SNAPSHOT`, and
+    /// `REPL_PROMOTE`.
+    ReplAck {
+        /// Next WAL sequence the standby expects (= durable watermark).
+        ack_seq: u64,
+    },
     /// The request could not be served.
     Error {
         /// Human-readable reason.
@@ -282,6 +355,21 @@ impl ToJson for Request {
             Request::ClusterStats => Json::Str("ClusterStats".into()),
             Request::Checkpoint => Json::Str("Checkpoint".into()),
             Request::Shutdown => Json::Str("Shutdown".into()),
+            Request::ReplSubscribe { start_seq } => tagged(
+                "ReplSubscribe",
+                Json::obj(vec![("start_seq", start_seq.to_json())]),
+            ),
+            Request::ReplBatch { batches } => {
+                tagged("ReplBatch", Json::obj(vec![("batches", batches.to_json())]))
+            }
+            Request::ReplSnapshot { watermark, snapshot } => tagged(
+                "ReplSnapshot",
+                Json::obj(vec![
+                    ("watermark", watermark.to_json()),
+                    ("snapshot", snapshot.to_json()),
+                ]),
+            ),
+            Request::ReplPromote => Json::Str("ReplPromote".into()),
         }
     }
 }
@@ -307,6 +395,17 @@ impl FromJson for Request {
             ("ClusterStats", None) => Ok(Request::ClusterStats),
             ("Checkpoint", None) => Ok(Request::Checkpoint),
             ("Shutdown", None) => Ok(Request::Shutdown),
+            ("ReplSubscribe", Some(p)) => Ok(Request::ReplSubscribe {
+                start_seq: u64::from_json(p.field("start_seq")?)?,
+            }),
+            ("ReplBatch", Some(p)) => Ok(Request::ReplBatch {
+                batches: Vec::<ReplFrame>::from_json(p.field("batches")?)?,
+            }),
+            ("ReplSnapshot", Some(p)) => Ok(Request::ReplSnapshot {
+                watermark: u64::from_json(p.field("watermark")?)?,
+                snapshot: Snapshot::<u64>::from_json(p.field("snapshot")?)?,
+            }),
+            ("ReplPromote", None) => Ok(Request::ReplPromote),
             (name, _) => Err(JsonError(format!("unknown Request variant `{name}`"))),
         }
     }
@@ -415,6 +514,9 @@ impl ToJson for Response {
                 ]),
             ),
             Response::ShuttingDown => Json::Str("ShuttingDown".into()),
+            Response::ReplAck { ack_seq } => {
+                tagged("ReplAck", Json::obj(vec![("ack_seq", ack_seq.to_json())]))
+            }
             Response::Error { message } => {
                 tagged("Error", Json::obj(vec![("message", message.to_json())]))
             }
@@ -463,6 +565,9 @@ impl FromJson for Response {
                 bytes: u64::from_json(p.field("bytes")?)?,
             }),
             ("ShuttingDown", None) => Ok(Response::ShuttingDown),
+            ("ReplAck", Some(p)) => Ok(Response::ReplAck {
+                ack_seq: u64::from_json(p.field("ack_seq")?)?,
+            }),
             ("Error", Some(p)) => Ok(Response::Error {
                 message: String::from_json(p.field("message")?)?,
             }),
@@ -561,6 +666,25 @@ mod tests {
         round_trip_request(Request::ClusterStats);
         round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::ReplSubscribe { start_seq: 17 });
+        round_trip_request(Request::ReplBatch {
+            batches: vec![
+                ReplFrame {
+                    seq: 17,
+                    keys: vec![1, 2, u64::MAX],
+                },
+                ReplFrame {
+                    seq: 18,
+                    keys: vec![],
+                },
+            ],
+        });
+        round_trip_request(Request::ReplBatch { batches: vec![] });
+        round_trip_request(Request::ReplSnapshot {
+            watermark: 42,
+            snapshot: Snapshot::new(vec![CounterEntry::new(7u64, 9, 2)], 11),
+        });
+        round_trip_request(Request::ReplPromote);
     }
 
     #[test]
@@ -607,6 +731,7 @@ mod tests {
             bytes: 4_096,
         });
         round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::ReplAck { ack_seq: 99 });
         round_trip_response(Response::Error {
             message: "no".into(),
         });

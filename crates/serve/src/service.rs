@@ -19,20 +19,25 @@
 //! AUDIT: locks — the request path must never block behind I/O holding a
 //! lock; enforced by `cargo xtask audit` (lint-locks).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use parking_lot::{Mutex, RwLock};
+
 use cots::{CotsEngine, JumpingWindow, SnapshotPublisher};
 use cots_core::merge::merge_snapshots;
-use cots_core::{CotsConfig, CotsError, RecoveryReport, Result, ServiceReport, Snapshot, Threshold};
+use cots_core::{
+    CotsConfig, CotsError, RecoveryReport, ReplReport, Result, ServiceReport, Snapshot, Threshold,
+};
+use cots_persist::Checkpoint;
 use cots_profiling::IngestTally;
 
 use crate::persistence::{PersistOptions, Persistence};
 use crate::protocol::{
-    snapshot_page_response, QueryReq, QueryStamp, Request, Response, MIN_PROTO_VERSION,
-    PROTO_VERSION,
+    snapshot_page_response, QueryReq, QueryStamp, ReplFrame, Request, Response,
+    MIN_PROTO_VERSION, PROTO_VERSION,
 };
 use crate::shard::{Backend, SendOutcome, ShardPool, ShardSender};
 
@@ -114,6 +119,13 @@ pub struct ServiceConfig {
     /// Durable checkpoints + WAL under a data directory. Not supported
     /// together with `window` (only the full-history engine persists).
     pub persist: Option<PersistOptions>,
+    /// Start as a replication standby: refuse `INGEST`, accept the
+    /// `REPL_*` stream from a primary, stay promotable. Requires
+    /// `persist` (the standby keeps its own durable WAL copy).
+    pub standby: bool,
+    /// Replication peer address, for `STATS` reporting only (the wiring
+    /// itself is the shipper's job).
+    pub repl_peer: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -125,8 +137,48 @@ impl Default for ServiceConfig {
             refresh: Duration::from_millis(20),
             queue_batches: 64,
             persist: None,
+            standby: false,
+            repl_peer: None,
         }
     }
+}
+
+/// The recovery base snapshot, shared mutably so a standby can install
+/// a shipped catch-up snapshot after startup. Readers (publisher,
+/// checkpointer, query path) grab the `Arc` and drop the guard — no
+/// work happens under the lock.
+#[derive(Default)]
+struct BaseState {
+    snapshot: RwLock<Option<Arc<Snapshot<u64>>>>,
+    total: AtomicU64,
+}
+
+impl BaseState {
+    /// The current base, if any, plus the stream mass it accounts for.
+    fn get(&self) -> (Option<Arc<Snapshot<u64>>>, u64) {
+        let snap = self.snapshot.read().clone();
+        (snap, self.total.load(Ordering::Acquire))
+    }
+
+    fn install(&self, snapshot: Arc<Snapshot<u64>>, total: u64) {
+        let mut slot = self.snapshot.write();
+        self.total.store(total, Ordering::Release);
+        *slot = Some(snapshot);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.snapshot.read().is_none()
+    }
+}
+
+/// Standby-side replication counters (the shipper keeps the primary
+/// side and pushes whole reports via [`Service::set_repl_report`]).
+#[derive(Default)]
+struct ReplCounters {
+    streamed_batches: AtomicU64,
+    streamed_keys: AtomicU64,
+    duplicates: AtomicU64,
+    snapshots: AtomicU64,
 }
 
 /// A running service instance (workers + publisher thread).
@@ -140,30 +192,40 @@ pub struct Service {
     refresher: Option<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
     persistence: Option<Arc<Persistence>>,
-    /// Recovered checkpoint summary, merged into every published snapshot.
-    base: Option<Arc<Snapshot<u64>>>,
-    /// Stream mass the base snapshot accounts for.
-    base_total: u64,
+    /// Recovered (or replication-installed) checkpoint summary, merged
+    /// into every published snapshot.
+    base: Arc<BaseState>,
+    /// Watermark of the base checkpoint: the first WAL sequence *not*
+    /// covered by `base`. Everything below it is only available as part
+    /// of a catch-up snapshot, never as individual WAL batches.
+    base_watermark: AtomicU64,
     recovery: Option<RecoveryReport>,
     capacity: usize,
+    /// Replication role: `true` while this instance is a standby.
+    standby: AtomicBool,
+    /// Times this instance was promoted from standby to primary.
+    promotions: AtomicU64,
+    repl_counters: ReplCounters,
+    /// Primary-side replication report, pushed by the WAL shipper.
+    repl_report: Mutex<Option<ReplReport>>,
+    repl_peer: String,
 }
 
 /// Capture the backend and merge the recovery base in, returning
 /// `(snapshot, captured_total, rotations)` in publishable form.
 fn capture_merged(
     backend: &Backend,
-    base: Option<&Snapshot<u64>>,
-    base_total: u64,
+    base: &BaseState,
     capacity: usize,
 ) -> (Snapshot<u64>, u64, Option<u64>) {
     let (live, live_total, rotations) = backend.capture();
-    match base {
-        Some(b) => (
-            merge_snapshots(&[b.clone(), live], capacity),
+    match base.get() {
+        (Some(b), base_total) => (
+            merge_snapshots(&[(*b).clone(), live], capacity),
             base_total + live_total,
             rotations,
         ),
-        None => (live, live_total, rotations),
+        (None, _) => (live, live_total, rotations),
     }
 }
 
@@ -171,12 +233,19 @@ impl Service {
     /// Recover durable state (when configured), build the backend, and
     /// spawn shard workers plus the publisher and checkpointer threads.
     pub fn start(config: ServiceConfig) -> Result<Self> {
+        if config.standby && config.persist.is_none() {
+            return Err(CotsError::InvalidConfig(
+                "standby mode requires --data-dir: a standby keeps its own \
+                 durable WAL copy of the replicated stream"
+                    .into(),
+            ));
+        }
         let engine_config = CotsConfig::for_capacity(config.capacity)?;
         let publisher = Arc::new(SnapshotPublisher::new());
-        let mut base: Option<Arc<Snapshot<u64>>> = None;
-        let mut base_total = 0u64;
+        let base = Arc::new(BaseState::default());
         let mut recovery: Option<RecoveryReport> = None;
         let mut persistence: Option<Arc<Persistence>> = None;
+        let mut base_watermark = 0u64;
 
         let backend = match (&config.persist, config.window) {
             (Some(_), Some(_)) => {
@@ -208,8 +277,9 @@ impl Service {
                             )));
                         }
                     }
-                    base_total = snap.total();
-                    base = Some(Arc::new(snap));
+                    let total = snap.total();
+                    base.install(Arc::new(snap), total);
+                    base_watermark = ckpt.watermark;
                 }
                 persistence = Some(Arc::new(Persistence::new(
                     opts,
@@ -227,7 +297,7 @@ impl Service {
         // first query ever answered already sees it.
         {
             let (snapshot, total, rotations) =
-                capture_merged(&backend, base.as_deref(), base_total, config.capacity);
+                capture_merged(&backend, &base, config.capacity);
             publisher.publish(snapshot, total, rotations);
         }
 
@@ -258,7 +328,7 @@ impl Service {
                     let mut confirmed = false;
                     while !shutdown.load(Ordering::Acquire) {
                         let (snapshot, total, rotations) =
-                            capture_merged(&backend, base.as_deref(), base_total, capacity);
+                            capture_merged(&backend, &base, capacity);
                         if last != Some((total, rotations)) {
                             publisher.publish(snapshot, total, rotations);
                             last = Some((total, rotations));
@@ -272,7 +342,7 @@ impl Service {
                     // One final publish so post-drain queries see the
                     // quiescent state with zero staleness.
                     let (snapshot, total, rotations) =
-                        capture_merged(&backend, base.as_deref(), base_total, capacity);
+                        capture_merged(&backend, &base, capacity);
                     if last != Some((total, rotations)) || !confirmed {
                         publisher.publish(snapshot, total, rotations);
                     }
@@ -298,8 +368,9 @@ impl Service {
                                     continue;
                                 }
                                 last = Instant::now();
+                                let (b, _) = base.get();
                                 if let Err(e) =
-                                    p.checkpoint_now(&backend, base.as_deref(), &publisher)
+                                    p.checkpoint_now(&backend, b.as_deref(), &publisher)
                                 {
                                     eprintln!("cots-serve: background checkpoint failed: {e}");
                                 }
@@ -321,9 +392,14 @@ impl Service {
             checkpointer,
             persistence,
             base,
-            base_total,
+            base_watermark: AtomicU64::new(base_watermark),
             recovery,
             capacity: config.capacity,
+            standby: AtomicBool::new(config.standby),
+            promotions: AtomicU64::new(0),
+            repl_counters: ReplCounters::default(),
+            repl_report: Mutex::new(None),
+            repl_peer: config.repl_peer.unwrap_or_default(),
         })
     }
 
@@ -335,7 +411,59 @@ impl Service {
     /// Total items the service accounts for: recovered base mass plus
     /// everything the backend applied since this process started.
     fn total_processed(&self) -> u64 {
-        self.base_total + self.backend.processed()
+        self.base.total.load(Ordering::Acquire) + self.backend.processed()
+    }
+
+    /// Whether this instance is currently a replication standby.
+    pub fn is_standby(&self) -> bool {
+        self.standby.load(Ordering::Acquire)
+    }
+
+    /// Times this instance has been promoted from standby to primary.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Acquire)
+    }
+
+    /// The persistence layer, when running with a data directory. The
+    /// WAL shipper tails its directory and pins its prune floor.
+    pub fn persistence(&self) -> Option<&Arc<Persistence>> {
+        self.persistence.as_ref()
+    }
+
+    /// Install the primary-side replication report the WAL shipper
+    /// maintains; it is merged into every `STATS` answer.
+    pub fn set_repl_report(&self, report: ReplReport) {
+        *self.repl_report.lock() = Some(report);
+    }
+
+    /// The lowest WAL sequence this instance can ship as individual
+    /// batches: the base checkpoint's watermark or the oldest surviving
+    /// WAL segment, whichever is higher. A standby acknowledged below
+    /// this floor needs a catch-up snapshot first.
+    pub fn repl_floor(&self) -> u64 {
+        let base = self.base_watermark.load(Ordering::Acquire);
+        let oldest = match &self.persistence {
+            Some(p) => match cots_persist::oldest_segment_seq(p.dir()) {
+                Ok(Some(seq)) => seq,
+                Ok(None) => p.next_seq(),
+                Err(_) => p.next_seq(),
+            },
+            None => 0,
+        };
+        base.max(oldest)
+    }
+
+    /// Cut a consistent `(watermark, merged summary)` pair for a
+    /// catch-up `REPL_SNAPSHOT` — a durable checkpoint whose summary is
+    /// handed back instead of thrown away. Requires persistence.
+    pub fn repl_cut(&self) -> Result<(u64, Snapshot<u64>)> {
+        let p = self.persistence.as_ref().ok_or_else(|| {
+            CotsError::Report("replication snapshot requires --data-dir".into())
+        })?;
+        let (b, _) = self.base.get();
+        let (watermark, _, _, merged) =
+            p.checkpoint_full(&self.backend, b.as_deref(), &self.publisher)?;
+        Ok((watermark, merged))
     }
 
     /// Register a new connection with the shard pool.
@@ -423,18 +551,27 @@ impl Service {
     pub fn handle(&self, request: Request, sender: &mut ShardSender) -> Response {
         match request {
             Request::Hello { .. } => self.hello_ack(),
-            Request::Ingest { keys } => match sender.send(&keys) {
-                SendOutcome::Enqueued => {
-                    self.tally.ingest(keys.len() as u64);
-                    Response::IngestAck {
-                        enqueued: keys.len() as u64,
+            Request::Ingest { keys } => {
+                if self.is_standby() {
+                    return Response::Error {
+                        message: "this instance is a replication standby and refuses \
+                                  INGEST; write to its primary"
+                            .into(),
+                    };
+                }
+                match sender.send(&keys) {
+                    SendOutcome::Enqueued => {
+                        self.tally.ingest(keys.len() as u64);
+                        Response::IngestAck {
+                            enqueued: keys.len() as u64,
+                        }
+                    }
+                    SendOutcome::Overloaded => {
+                        self.tally.reject();
+                        Response::Overloaded
                     }
                 }
-                SendOutcome::Overloaded => {
-                    self.tally.reject();
-                    Response::Overloaded
-                }
-            },
+            }
             Request::Query(q) => {
                 self.tally.query();
                 self.answer(q)
@@ -463,17 +600,19 @@ impl Service {
                     .into(),
             },
             Request::Checkpoint => match &self.persistence {
-                Some(p) => match p.checkpoint_now(&self.backend, self.base.as_deref(), &self.publisher)
-                {
-                    Ok((watermark, total, bytes)) => Response::Checkpointed {
-                        watermark,
-                        total,
-                        bytes,
-                    },
-                    Err(e) => Response::Error {
-                        message: format!("checkpoint failed: {e}"),
-                    },
-                },
+                Some(p) => {
+                    let (b, _) = self.base.get();
+                    match p.checkpoint_now(&self.backend, b.as_deref(), &self.publisher) {
+                        Ok((watermark, total, bytes)) => Response::Checkpointed {
+                            watermark,
+                            total,
+                            bytes,
+                        },
+                        Err(e) => Response::Error {
+                            message: format!("checkpoint failed: {e}"),
+                        },
+                    }
+                }
                 None => Response::Error {
                     message: "service has no data directory (start with --data-dir)".into(),
                 },
@@ -482,6 +621,118 @@ impl Service {
                 self.begin_shutdown();
                 Response::ShuttingDown
             }
+            Request::ReplSubscribe { start_seq: _ } => match self.repl_persistence() {
+                Ok(p) => Response::ReplAck {
+                    ack_seq: p.next_seq(),
+                },
+                Err(resp) => resp,
+            },
+            Request::ReplBatch { batches } => match self.repl_persistence() {
+                Ok(p) => {
+                    self.apply_repl_batches(&p, &batches);
+                    Response::ReplAck {
+                        ack_seq: p.next_seq(),
+                    }
+                }
+                Err(resp) => resp,
+            },
+            Request::ReplSnapshot {
+                watermark,
+                snapshot,
+            } => match self.repl_persistence() {
+                Ok(p) => self.install_repl_snapshot(&p, watermark, snapshot),
+                Err(resp) => resp,
+            },
+            Request::ReplPromote => {
+                if self.standby.swap(false, Ordering::AcqRel) {
+                    self.promotions.fetch_add(1, Ordering::Release);
+                }
+                Response::ReplAck {
+                    ack_seq: self
+                        .persistence
+                        .as_ref()
+                        .map(|p| p.next_seq())
+                        .unwrap_or(0),
+                }
+            }
+        }
+    }
+
+    /// The persistence handle a `REPL_*` stream operation applies
+    /// through, or the refusal to send back: only a standby with a data
+    /// directory accepts the stream.
+    fn repl_persistence(&self) -> std::result::Result<Arc<Persistence>, Response> {
+        if !self.is_standby() {
+            return Err(Response::Error {
+                message: "this instance is not a replication standby \
+                          (REPL_* streams are only accepted in --standby mode)"
+                    .into(),
+            });
+        }
+        match &self.persistence {
+            Some(p) => Ok(p.clone()),
+            None => Err(Response::Error {
+                message: "standby has no data directory".into(),
+            }),
+        }
+    }
+
+    /// Apply an in-order run of replicated batches: duplicates are
+    /// counted and skipped, a gap stops the run (the unchanged ack tells
+    /// the shipper where to rewind to).
+    fn apply_repl_batches(&self, p: &Persistence, batches: &[ReplFrame]) {
+        for frame in batches {
+            let expected = p.next_seq();
+            if frame.seq < expected {
+                self.repl_counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if frame.seq > expected
+                || !p.log_external_and_apply(frame.seq, &frame.keys, &self.backend)
+            {
+                break;
+            }
+            self.repl_counters.streamed_batches.fetch_add(1, Ordering::Relaxed);
+            self.repl_counters
+                .streamed_keys
+                .fetch_add(frame.keys.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Install a catch-up base snapshot into an empty standby; a
+    /// watermark the log already covers is acked as a duplicate.
+    fn install_repl_snapshot(
+        &self,
+        p: &Persistence,
+        watermark: u64,
+        snapshot: Snapshot<u64>,
+    ) -> Response {
+        if p.next_seq() >= watermark {
+            self.repl_counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            return Response::ReplAck {
+                ack_seq: p.next_seq(),
+            };
+        }
+        if !self.base.is_empty() || self.backend.processed() > 0 || p.next_seq() > 0 {
+            return Response::Error {
+                message: "catch-up snapshot refused: this standby already holds \
+                          state; restart it with a fresh data directory to resync"
+                    .into(),
+            };
+        }
+        let epoch = self.publisher.epoch();
+        let ckpt = Checkpoint::from_snapshot(watermark, epoch, self.capacity, &snapshot);
+        match p.install_base(&ckpt) {
+            Ok(_) => {
+                let total = snapshot.total();
+                self.base.install(Arc::new(snapshot), total);
+                self.base_watermark.store(watermark, Ordering::Release);
+                self.repl_counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                Response::ReplAck { ack_seq: watermark }
+            }
+            Err(e) => Response::Error {
+                message: format!("catch-up snapshot install failed: {e}"),
+            },
         }
     }
 
@@ -528,14 +779,59 @@ impl Service {
     pub fn stats(&self) -> ServiceReport {
         let snap = self.publisher.current();
         let staleness = self.total_processed().saturating_sub(snap.captured_total);
-        self.tally.report(
+        let mut report = self.tally.report(
             &self.pool.tallies,
             snap.epoch,
             staleness,
             self.backend.monitored(),
             self.recovery.clone(),
             self.persistence.as_ref().map(|p| p.tally.report()),
-        )
+        );
+        report.repl = self.build_repl_report();
+        report
+    }
+
+    /// Assemble the replication section of `STATS`: the shipper's report
+    /// when one is live (primary side), synthesized from the applier
+    /// counters otherwise (standby side); role and promotion count are
+    /// always this instance's own.
+    fn build_repl_report(&self) -> Option<ReplReport> {
+        let c = &self.repl_counters;
+        let streamed_batches = c.streamed_batches.load(Ordering::Relaxed);
+        let streamed_keys = c.streamed_keys.load(Ordering::Relaxed);
+        let duplicates = c.duplicates.load(Ordering::Relaxed);
+        let snapshots = c.snapshots.load(Ordering::Relaxed);
+        let shipped = self.repl_report.lock().clone();
+        let mut report = match shipped {
+            Some(r) => r,
+            None => {
+                if !self.is_standby()
+                    && streamed_batches == 0
+                    && snapshots == 0
+                    && self.promotions() == 0
+                {
+                    return None;
+                }
+                let watermark = self
+                    .persistence
+                    .as_ref()
+                    .map(|p| p.next_seq())
+                    .unwrap_or(0);
+                ReplReport {
+                    peer: self.repl_peer.clone(),
+                    streamed_batches,
+                    streamed_keys,
+                    acked_seq: watermark,
+                    next_seq: watermark,
+                    ..ReplReport::default()
+                }
+            }
+        };
+        report.role = if self.is_standby() { "standby" } else { "primary" }.to_string();
+        report.promotions = self.promotions();
+        report.duplicates = report.duplicates.saturating_add(duplicates);
+        report.snapshots = report.snapshots.saturating_add(snapshots);
+        Some(report)
     }
 
     /// Drain and stop: signal shutdown, wait for shard workers (all
@@ -558,12 +854,13 @@ impl Service {
         }
         self.backend.finalize();
         let (snapshot, total, rotations) =
-            capture_merged(&self.backend, self.base.as_deref(), self.base_total, self.capacity);
+            capture_merged(&self.backend, &self.base, self.capacity);
         self.publisher.publish(snapshot, total, rotations);
         // Workers are gone, so the final checkpoint captures the exact
         // quiescent state; a clean restart replays an empty WAL tail.
         if let Some(p) = &self.persistence {
-            if let Err(e) = p.checkpoint_now(&self.backend, self.base.as_deref(), &self.publisher) {
+            let (b, _) = self.base.get();
+            if let Err(e) = p.checkpoint_now(&self.backend, b.as_deref(), &self.publisher) {
                 eprintln!("cots-serve: final checkpoint failed: {e}");
             }
         }
@@ -1016,6 +1313,213 @@ mod tests {
         drop(sender);
         service.drain();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Wait until the publisher has observed everything the backend
+    /// applied (repl-applied keys bypass the shard tallies, so
+    /// `await_applied` does not cover them).
+    fn await_settled(service: &Service, total: u64) {
+        for _ in 0..10_000 {
+            let (snap, stamp) = service.published();
+            if snap.total() == total && stamp.staleness == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("service never published total {total}");
+    }
+
+    #[test]
+    fn standby_applies_repl_stream_and_promotes() {
+        let dir = temp_data_dir("stdby");
+        let mut opts = PersistOptions::new(dir.clone());
+        opts.checkpoint_every = Duration::ZERO;
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            persist: Some(opts),
+            standby: true,
+            repl_peer: Some("127.0.0.1:0".into()),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+        assert!(service.is_standby());
+
+        // A standby refuses writes from clients...
+        match service.handle(Request::Ingest { keys: vec![1, 2, 3] }, &mut sender) {
+            Response::Error { message } => assert!(message.contains("standby")),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // ...but applies the replicated WAL stream, exactly once.
+        let frames = |seqs: &[u64]| Request::ReplBatch {
+            batches: seqs
+                .iter()
+                .map(|&seq| ReplFrame {
+                    seq,
+                    keys: vec![7, 7, 9],
+                })
+                .collect(),
+        };
+        match service.handle(frames(&[0, 1]), &mut sender) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A duplicate run re-acks without double-counting; a gap stops
+        // the run at the unchanged watermark.
+        match service.handle(frames(&[0, 1, 2, 5]), &mut sender) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 3, "gap at 5 stops the run"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        await_settled(&service, 9);
+        match service.handle(Request::Query(QueryReq::Point { key: 7 }), &mut sender) {
+            Response::Answer { entries, total, .. } => {
+                assert_eq!(total, 9);
+                assert_eq!(entries[0].count - entries[0].error, 6);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let repl = service.stats().repl.expect("standby reports repl state");
+        assert_eq!(repl.role, "standby");
+        assert_eq!(repl.streamed_batches, 3);
+        assert_eq!(repl.duplicates, 2);
+
+        // Promotion flips the role and reopens INGEST, without restart.
+        match service.handle(Request::ReplPromote, &mut sender) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(!service.is_standby());
+        assert_eq!(service.promotions(), 1);
+        match service.handle(Request::Ingest { keys: vec![9] }, &mut sender) {
+            Response::IngestAck { enqueued } => assert_eq!(enqueued, 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A promoted primary no longer accepts the stream.
+        match service.handle(frames(&[3]), &mut sender) {
+            Response::Error { message } => assert!(message.contains("standby")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        drop(sender);
+        service.drain();
+
+        // The standby's own WAL copy is durable: a restart (as primary)
+        // recovers everything that was acked.
+        let mut opts = PersistOptions::new(dir.clone());
+        opts.checkpoint_every = Duration::ZERO;
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            persist: Some(opts),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(service.recovery_report().unwrap().recovered_items, 10);
+        service.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repl_snapshot_catches_up_an_empty_standby() {
+        let dir = temp_data_dir("catchup");
+        let mut opts = PersistOptions::new(dir.clone());
+        opts.checkpoint_every = Duration::ZERO;
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            persist: Some(opts),
+            standby: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+        assert_eq!(service.repl_floor(), 0);
+
+        let snap = Snapshot::new(
+            vec![
+                cots_core::CounterEntry::new(7u64, 40, 2),
+                cots_core::CounterEntry::new(9u64, 10, 0),
+            ],
+            50,
+        );
+        match service.handle(
+            Request::ReplSnapshot {
+                watermark: 12,
+                snapshot: snap.clone(),
+            },
+            &mut sender,
+        ) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 12),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(service.repl_floor(), 12, "floor tracks the installed base");
+        // Re-sending the same snapshot is a duplicate, not an error.
+        match service.handle(
+            Request::ReplSnapshot {
+                watermark: 12,
+                snapshot: snap,
+            },
+            &mut sender,
+        ) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 12),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // The WAL tail continues from the watermark.
+        match service.handle(
+            Request::ReplBatch {
+                batches: vec![ReplFrame {
+                    seq: 12,
+                    keys: vec![7, 7],
+                }],
+            },
+            &mut sender,
+        ) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 13),
+            other => panic!("unexpected: {other:?}"),
+        }
+        await_settled(&service, 52);
+        match service.handle(Request::Query(QueryReq::Point { key: 7 }), &mut sender) {
+            Response::Answer { entries, total, .. } => {
+                assert_eq!(total, 52, "snapshot mass plus the shipped tail");
+                assert_eq!(entries[0].count, 42);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        drop(sender);
+        service.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn primary_refuses_repl_stream() {
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 16,
+            refresh: Duration::from_millis(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+        match service.handle(Request::ReplSubscribe { start_seq: 0 }, &mut sender) {
+            Response::Error { message } => assert!(message.contains("--standby")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(service.stats().repl.is_none(), "no repl section until used");
+        drop(sender);
+        service.drain();
+    }
+
+    #[test]
+    fn standby_without_persistence_is_rejected() {
+        let err = Service::start(ServiceConfig {
+            standby: true,
+            ..Default::default()
+        });
+        assert!(err.is_err(), "standby requires --data-dir");
     }
 
     #[test]

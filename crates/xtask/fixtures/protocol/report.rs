@@ -39,3 +39,11 @@ pub struct ClusterReport {
     /// Documented in the fixture doc.
     pub staleness: u64,
 }
+
+/// Replication counters.
+pub struct ReplReport {
+    /// Documented in the fixture doc.
+    pub acked_seq: u64,
+    /// Absent from the fixture doc.
+    pub ghost_tail: u64, //~ EXPECT: protocol doc-missing
+}

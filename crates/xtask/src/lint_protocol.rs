@@ -57,6 +57,7 @@ const STRUCTS: &[&str] = &[
     "PersistReport",
     "MemberReport",
     "ClusterReport",
+    "ReplReport",
 ];
 
 /// The heading that opens the machine-checked section.
