@@ -8,9 +8,12 @@
 //! ```
 //!
 //! Each `MEMBER` is an address (`host:port`) or a replica pair
-//! (`PRIMARY:STANDBY`, e.g. `127.0.0.1:7001:127.0.0.1:8001` — the
+//! (`PRIMARY/STANDBY`, e.g. `127.0.0.1:7001/127.0.0.1:8001` — the
 //! standby runs `cots-member --standby`, the primary ships its WAL to
-//! it with `--peer`).
+//! it with `--peer`). The legacy colon pair spelling
+//! (`127.0.0.1:7001:127.0.0.1:8001`) still parses for IPv4/hostname
+//! addresses; IPv6 members (`[::1]:7001`) require the slash form for
+//! pairs.
 //!
 //! Key-routes `INGEST` batches across the members, pulls their
 //! summaries as streamed `SNAPSHOT_PAGE` deltas, merges them into one
@@ -33,7 +36,7 @@ fn usage() -> ! {
         "usage: cots-coord --members MEMBER[,MEMBER...] [--addr HOST:PORT] \
          [--capacity M] [--pull-ms MS] [--timeout-ms MS] [--forward-deadline-ms MS] \
          [--coalesce-keys K]\n\
-         MEMBER = HOST:PORT | PRIMARY:STANDBY (replica pair, coordinator \
+         MEMBER = HOST:PORT | PRIMARY/STANDBY (replica pair, coordinator \
          promotes the standby on primary death)"
     );
     std::process::exit(2);
@@ -86,7 +89,7 @@ fn main() {
         }
     }
     if config.members.is_empty() {
-        eprintln!("--members is required (comma-separated ADDR or PRIMARY:STANDBY list)");
+        eprintln!("--members is required (comma-separated ADDR or PRIMARY/STANDBY list)");
         usage();
     }
     if config.capacity == 0 {

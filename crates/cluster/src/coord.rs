@@ -60,7 +60,7 @@ const PROMOTE_AFTER: u32 = 2;
 /// Coordinator tuning knobs.
 #[derive(Debug, Clone)]
 pub struct CoordConfig {
-    /// Member specs (`host:port`, or `PRIMARY:STANDBY` for a replica
+    /// Member specs (`host:port`, or `PRIMARY/STANDBY` for a replica
     /// pair — see [`crate::topology::parse_member_spec`]), index order
     /// = routing order.
     pub members: Vec<String>,
@@ -208,6 +208,7 @@ impl Coordinator {
     pub fn router(&self) -> Router {
         Router {
             conns: (0..self.members.len()).map(|_| None).collect(),
+            conn_addrs: (0..self.members.len()).map(|_| String::new()).collect(),
             pending: (0..self.members.len()).map(|_| Vec::new()).collect(),
         }
     }
@@ -446,19 +447,28 @@ impl Coordinator {
         };
         // Resolve the address through the tracker, not the static
         // topology: after a promotion the slot's primary is the old
-        // standby, and routers must follow the flip. A connection to a
-        // since-replaced address dies on its next use and reconnects
-        // here to the current one.
+        // standby, and routers must follow the flip. An open connection
+        // to a since-replaced address is dropped here even if it is
+        // still healthy — a falsely-suspected primary can outlive its
+        // demotion, and ingest must follow the flip, not the socket.
         let addr = self
             .members
             .get(target)
             .map(|t| t.addr())
             .unwrap_or_default();
+        if slot.is_some()
+            && router.conn_addrs.get(target).map(String::as_str) != Some(addr.as_str())
+        {
+            *slot = None;
+        }
         if slot.is_none() {
             match Client::connect(&addr) {
                 Ok(mut c) => {
                     let _ = c.set_timeout(Some(self.io_timeout));
                     *slot = Some(c);
+                    if let Some(a) = router.conn_addrs.get_mut(target) {
+                        *a = addr;
+                    }
                 }
                 Err(_) => return SendOutcome::Down,
             }
@@ -591,6 +601,11 @@ impl Coordinator {
 /// stay full-size no matter how many ways a client batch splits.
 pub struct Router {
     conns: Vec<Option<Client>>,
+    /// Address each open connection was made to; a promotion changes
+    /// the tracker's address, and `try_send` drops any connection whose
+    /// recorded address no longer matches (same discipline as the
+    /// puller's `conn_addr`).
+    conn_addrs: Vec<String>,
     pending: Vec<Vec<u64>>,
 }
 

@@ -37,7 +37,7 @@
 //! including, after a member crash, the permanently lost tail, so
 //! degraded answers never silently under-report.
 //!
-//! Members may be **replica pairs** (`--members PRIMARY:STANDBY`): the
+//! Members may be **replica pairs** (`--members PRIMARY/STANDBY`): the
 //! primary ships its WAL to the standby via `cots-repl`, and when the
 //! coordinator's health checks see the primary dead it sends
 //! `REPL_PROMOTE` to the standby and flips the slot's routing to it —

@@ -12,16 +12,59 @@ use cots_core::{CotsError, MulHash, Result};
 
 /// Parse one `--members` entry into `(primary, standby)`.
 ///
-/// A member is an address (`host:port` or a bare token); a replica pair
-/// is `primary:standby`. Because addresses themselves contain `:`, the
-/// split is resolved by shape — a segment that is all digits is a port,
-/// everything else starts a new address:
+/// The unambiguous spelling is `PRIMARY/STANDBY` (slash-separated —
+/// `,` already separates members in a `--members` list): each side is
+/// taken verbatim as one address, so IPv6 (`[::1]:7001`) and any host
+/// containing `:` work. A single address with no slash is a member with
+/// no standby.
+///
+/// The legacy colon form is still accepted for IPv4/hostname pairs.
+/// Because addresses themselves contain `:`, the split is resolved by
+/// shape — a segment that is all digits is a port, everything else
+/// starts a new address:
 ///
 /// * `a` / `host:1234` — a single member, no standby;
-/// * `a:b` — a pair of bare tokens;
+/// * `a:b` — **a pair of bare tokens** (two addresses, not
+///   host-plus-named-port; use the comma form when that reading is
+///   wrong);
 /// * `host:1234:standby`, `primary:host:1234` — mixed pairs;
 /// * `host:1234:host:5678` — a pair of full addresses.
+///
+/// Bracketed IPv6 addresses are rejected in the colon form with a
+/// pointer at the slash form.
 pub fn parse_member_spec(spec: &str) -> Result<(String, Option<String>)> {
+    let invalid = |hint: &str| {
+        CotsError::InvalidConfig(format!(
+            "cannot parse member spec `{spec}` ({hint})"
+        ))
+    };
+    if let Some((primary, standby)) = spec.split_once('/') {
+        // Slash form: both sides are verbatim addresses.
+        if primary.is_empty() || standby.is_empty() || standby.contains('/') {
+            return Err(invalid("expected PRIMARY/STANDBY with non-empty addresses"));
+        }
+        return Ok((primary.to_string(), Some(standby.to_string())));
+    }
+    if spec.contains('[') || spec.contains(']') {
+        // A bracketed (IPv6) address splits into >4 colon segments, and
+        // a *pair* of them is inexpressible by shape. Single bracketed
+        // addresses are fine verbatim; pairs must use the slash form.
+        return match spec.split_once(']') {
+            Some((host, rest))
+                if host.starts_with('[')
+                    && !host[1..].is_empty()
+                    && (rest.is_empty()
+                        || rest
+                            .strip_prefix(':')
+                            .is_some_and(|p| !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit()))) =>
+            {
+                Ok((spec.to_string(), None))
+            }
+            _ => Err(invalid(
+                "bracketed IPv6 pairs must be written as PRIMARY/STANDBY",
+            )),
+        };
+    }
     let is_port = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
     let segs: Vec<&str> = spec.split(':').collect();
     let parsed = match segs.as_slice() {
@@ -41,11 +84,7 @@ pub fn parse_member_spec(spec: &str) -> Result<(String, Option<String>)> {
         }
         _ => None,
     };
-    parsed.ok_or_else(|| {
-        CotsError::InvalidConfig(format!(
-            "cannot parse member spec `{spec}` (expected ADDR or PRIMARY:STANDBY)"
-        ))
-    })
+    parsed.ok_or_else(|| invalid("expected ADDR or PRIMARY/STANDBY"))
 }
 
 /// Parse a full `--members` list into parallel `(primaries, standbys)`
@@ -194,6 +233,39 @@ mod tests {
         );
         assert!(parse_member_spec("").is_err());
         assert!(parse_member_spec("a:b:c:d:e").is_err());
+    }
+
+    #[test]
+    fn slash_and_ipv6_specs_parse_unambiguously() {
+        // The slash form takes each side verbatim.
+        assert_eq!(
+            parse_member_spec("a/b").unwrap(),
+            ("a".into(), Some("b".into()))
+        );
+        assert_eq!(
+            parse_member_spec("127.0.0.1:7001/127.0.0.1:8001").unwrap(),
+            ("127.0.0.1:7001".into(), Some("127.0.0.1:8001".into()))
+        );
+        // IPv6 works as a single member and as a slash pair.
+        assert_eq!(
+            parse_member_spec("[::1]:7001").unwrap(),
+            ("[::1]:7001".into(), None)
+        );
+        assert_eq!(
+            parse_member_spec("[::1]").unwrap(),
+            ("[::1]".into(), None)
+        );
+        assert_eq!(
+            parse_member_spec("[::1]:7001/[::1]:8001").unwrap(),
+            ("[::1]:7001".into(), Some("[::1]:8001".into()))
+        );
+        // Malformed slashes and colon-form IPv6 pairs are rejected.
+        assert!(parse_member_spec("a/").is_err());
+        assert!(parse_member_spec("/b").is_err());
+        assert!(parse_member_spec("a/b/c").is_err());
+        assert!(parse_member_spec("[::1]:7001:[::1]:8001").is_err());
+        assert!(parse_member_spec("[]").is_err());
+        assert!(parse_member_spec("[::1]:port").is_err());
 
         let (primaries, standbys) = parse_members(&[
             "127.0.0.1:7001:127.0.0.1:8001".to_string(),

@@ -388,6 +388,16 @@ pub struct ReplReport {
     pub duplicates: u64,
     /// Standby → primary transitions this process has performed.
     pub promotions: u64,
+    /// Replication lineage (promotion generation) of this node's data:
+    /// bumped durably on every promotion and carried on every REPL wire
+    /// op, so divergent histories refuse each other instead of silently
+    /// acking.
+    pub lineage: u64,
+    /// The pair refused to stream because histories diverged (standby
+    /// ahead of the primary, mismatched lineage, or a non-empty standby
+    /// needing a snapshot). An operator must resync the standby with a
+    /// fresh data directory; clears once a stream establishes.
+    pub resync_required: bool,
 }
 
 /// One member's view from a `cots-coord` coordinator.
@@ -608,6 +618,8 @@ impl ToJson for ReplReport {
             ("snapshots", self.snapshots.to_json()),
             ("duplicates", self.duplicates.to_json()),
             ("promotions", self.promotions.to_json()),
+            ("lineage", self.lineage.to_json()),
+            ("resync_required", self.resync_required.to_json()),
         ])
     }
 }
@@ -627,6 +639,8 @@ impl FromJson for ReplReport {
             snapshots: u64::from_json(v.field("snapshots")?)?,
             duplicates: u64::from_json(v.field("duplicates")?)?,
             promotions: u64::from_json(v.field("promotions")?)?,
+            lineage: u64::from_json(v.field("lineage")?)?,
+            resync_required: bool::from_json(v.field("resync_required")?)?,
         })
     }
 }
@@ -911,6 +925,8 @@ mod tests {
                 snapshots: 1,
                 duplicates: 3,
                 promotions: 0,
+                lineage: 2,
+                resync_required: true,
             }),
         };
         assert_eq!(r.applied_keys(), 1_000);

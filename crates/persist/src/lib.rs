@@ -44,7 +44,10 @@ pub use checkpoint::{
 pub use codec::{decode_record, encode_record, RecordError, MAX_RECORD};
 pub use crc::crc32;
 pub use recover::{recover, Recovery};
-pub use tail::{load_ack, oldest_segment_seq, store_ack, TailStats, WalTailer, ACK_FILE};
+pub use tail::{
+    has_ack, load_ack, load_lineage, oldest_segment_seq, store_ack, store_lineage, TailStats,
+    WalTailer, ACK_FILE, LINEAGE_FILE,
+};
 pub use wal::{
     parse_segment_name, prune_wal, scan_wal, CommitStats, FsyncPolicy, WalBatch, WalScan,
     WalWriter, DEFAULT_SEGMENT_BYTES,

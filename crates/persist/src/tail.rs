@@ -36,6 +36,10 @@ use crate::wal::{parse_segment_name, WalBatch, WAL_MAGIC};
 /// File name of the persisted replication ack watermark.
 pub const ACK_FILE: &str = "repl-ack";
 
+/// File name of the persisted replication lineage (promotion
+/// generation) — see [`store_lineage`].
+pub const LINEAGE_FILE: &str = "repl-lineage";
+
 /// Cumulative accounting of everything a tailer has read.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TailStats {
@@ -273,10 +277,49 @@ pub fn oldest_segment_seq(dir: &Path) -> Result<Option<u64>> {
 /// treats any damage as "never acked" (sequence 0), which only makes
 /// the primary retain more log than strictly needed — never less.
 pub fn store_ack(dir: &Path, ack_seq: u64) -> Result<()> {
+    store_watermark_file(dir, ACK_FILE, ack_seq)
+}
+
+/// Load the persisted ack watermark; 0 when absent or damaged (total:
+/// arbitrary file contents never panic).
+pub fn load_ack(dir: &Path) -> u64 {
+    load_watermark_file(dir, ACK_FILE)
+}
+
+/// Whether a [`store_ack`] watermark file exists under `dir` — i.e.
+/// whether a replication peer has ever acknowledged anything here.
+/// Damage does not matter for this question (a damaged file still
+/// proves a peer existed), only absence does.
+pub fn has_ack(dir: &Path) -> bool {
+    dir.join(ACK_FILE).exists()
+}
+
+/// Durably record this instance's replication lineage: the promotion
+/// generation of the history it follows. A pair starts at lineage 0;
+/// every standby → primary promotion increments it. The lineage is
+/// carried on every `REPL_*` stream operation so a standby can refuse
+/// a primary whose history diverged from its own (a dead ex-primary's
+/// un-acked tail) instead of silently acknowledging unseen data.
+///
+/// Same temp-file + atomic-rename + CRC discipline as [`store_ack`].
+pub fn store_lineage(dir: &Path, lineage: u64) -> Result<()> {
+    store_watermark_file(dir, LINEAGE_FILE, lineage)
+}
+
+/// Load the persisted lineage; 0 when absent or damaged (total:
+/// arbitrary file contents never panic). Damage degrading to lineage 0
+/// is the conservative direction: a zeroed lineage makes this node
+/// look *older*, so peers refuse it rather than trusting it.
+pub fn load_lineage(dir: &Path) -> u64 {
+    load_watermark_file(dir, LINEAGE_FILE)
+}
+
+/// Shared writer for the small CRC-framed u64 watermark files.
+fn store_watermark_file(dir: &Path, name: &str, value: u64) -> Result<()> {
     let mut framed = Vec::new();
-    encode_record(&ack_seq.to_le_bytes(), &mut framed);
-    let tmp = dir.join(format!("{ACK_FILE}.tmp"));
-    let path = dir.join(ACK_FILE);
+    encode_record(&value.to_le_bytes(), &mut framed);
+    let tmp = dir.join(format!("{name}.tmp"));
+    let path = dir.join(name);
     let mut f = File::create(&tmp)?;
     f.write_all(&framed)?;
     f.sync_data()?;
@@ -284,10 +327,9 @@ pub fn store_ack(dir: &Path, ack_seq: u64) -> Result<()> {
     Ok(())
 }
 
-/// Load the persisted ack watermark; 0 when absent or damaged (total:
-/// arbitrary file contents never panic).
-pub fn load_ack(dir: &Path) -> u64 {
-    let Ok(bytes) = fs::read(dir.join(ACK_FILE)) else {
+/// Shared reader for the small CRC-framed u64 watermark files.
+fn load_watermark_file(dir: &Path, name: &str) -> u64 {
+    let Ok(bytes) = fs::read(dir.join(name)) else {
         return 0;
     };
     match decode_record(&bytes) {
@@ -471,6 +513,26 @@ mod tests {
         assert_eq!(load_ack(&dir), 0, "damage degrades to never-acked");
         fs::write(&path, b"").unwrap();
         assert_eq!(load_ack(&dir), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lineage_round_trips_and_tolerates_damage() {
+        let dir = temp_dir("lineage");
+        assert_eq!(load_lineage(&dir), 0, "absent file reads as lineage 0");
+        assert!(!has_ack(&dir));
+        store_lineage(&dir, 3).unwrap();
+        assert_eq!(load_lineage(&dir), 3);
+        assert!(!has_ack(&dir), "lineage file is not the ack file");
+        store_ack(&dir, 7).unwrap();
+        assert!(has_ack(&dir));
+        assert_eq!(load_ack(&dir), 7, "the two files never alias");
+        let path = dir.join(LINEAGE_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_lineage(&dir), 0, "damage degrades to lineage 0");
         fs::remove_dir_all(&dir).unwrap();
     }
 

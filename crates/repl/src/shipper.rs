@@ -82,6 +82,27 @@ struct ShipCounters {
     snapshots: u64,
 }
 
+/// Why a connected session ended. The distinction drives the retry
+/// policy: a transport failure is transient (exponential backoff,
+/// reconnect soon), but a standby's explicit refusal is a state the
+/// shipper cannot fix by retrying — it parks at the maximum backoff and
+/// flags `resync_required` in `STATS` so an operator sees it.
+enum SessionEnd {
+    /// The standby answered with a protocol refusal (divergent lineage,
+    /// watermark ahead of ours, non-empty standby needing a snapshot).
+    Refused(String),
+    /// The link or the local tail failed; reconnect and resume. The
+    /// underlying error is dropped: transport failures are routine
+    /// during failover and the retry loop is the handling.
+    Io,
+}
+
+impl From<CotsError> for SessionEnd {
+    fn from(_: CotsError) -> Self {
+        SessionEnd::Io
+    }
+}
+
 /// Spawn the shipper thread for `service`, streaming toward
 /// `config.peer`. The service must run with a data directory (the
 /// shipper tails its WAL); standby instances hold the thread idle until
@@ -120,21 +141,41 @@ fn run(service: &Service, config: &ShipperConfig, stop: &AtomicBool) {
             sleep_unless_stopped(stop, config.poll_interval);
             continue;
         }
+        let mut refused = None;
         if let Ok(mut client) = Client::connect(&config.peer) {
             backoff = config.reconnect_backoff;
             let _ = client.set_timeout(Some(Duration::from_secs(10)));
-            if stream(service, &p, &mut client, config, stop, &mut counters).is_ok() {
+            match stream(service, &p, &mut client, config, stop, &mut counters) {
                 // Clean exit: the stop flag is set.
-                continue;
+                Ok(()) => continue,
+                Err(SessionEnd::Refused(msg)) => refused = Some(msg),
+                Err(SessionEnd::Io) => {}
             }
         }
         // Disconnected (or never connected): report the honest un-acked
-        // tail, then retry with exponential backoff.
+        // tail, then retry. A transport failure backs off exponentially;
+        // an explicit refusal parks at the maximum backoff — retrying
+        // faster cannot fix divergent state, only an operator can.
         let acked = load_ack(p.dir());
         let unacked_keys = count_unacked_keys(&p, acked);
-        publish(service, &p, config, false, acked, unacked_keys, &counters);
-        sleep_unless_stopped(stop, backoff);
-        backoff = backoff.saturating_mul(2).min(config.max_backoff);
+        publish(
+            service,
+            &p,
+            config,
+            false,
+            acked,
+            unacked_keys,
+            refused.is_some(),
+            &counters,
+        );
+        if let Some(msg) = refused {
+            eprintln!("cots-repl: standby refused the stream (resync required): {msg}");
+            sleep_unless_stopped(stop, config.max_backoff);
+            backoff = config.reconnect_backoff;
+        } else {
+            sleep_unless_stopped(stop, backoff);
+            backoff = backoff.saturating_mul(2).min(config.max_backoff);
+        }
     }
 }
 
@@ -148,9 +189,17 @@ fn stream(
     config: &ShipperConfig,
     stop: &AtomicBool,
     counters: &mut ShipCounters,
-) -> Result<()> {
+) -> std::result::Result<(), SessionEnd> {
     let acked = load_ack(p.dir());
-    let mut ack = call_acked(client, &Request::ReplSubscribe { start_seq: acked })?;
+    let lineage = service.lineage();
+    let mut ack = call_acked(
+        client,
+        &Request::ReplSubscribe {
+            start_seq: acked,
+            lineage,
+            next_seq: p.next_seq(),
+        },
+    )?;
     if ack < service.repl_floor() {
         // The standby's watermark predates what the local log can
         // replay batch-by-batch: install a full catch-up base first.
@@ -158,14 +207,15 @@ fn stream(
         ack = call_acked(
             client,
             &Request::ReplSnapshot {
+                lineage,
                 watermark,
                 snapshot,
             },
         )?;
         counters.snapshots = counters.snapshots.saturating_add(1);
         if ack < watermark {
-            return Err(CotsError::Protocol(format!(
-                "standby refused catch-up snapshot: acked {ack} < watermark {watermark}"
+            return Err(SessionEnd::Refused(format!(
+                "catch-up snapshot not installed: acked {ack} < watermark {watermark}"
             )));
         }
     }
@@ -174,20 +224,25 @@ fn stream(
     while !stop.load(Ordering::Acquire) {
         let batches = tailer.poll(config.max_keys_per_frame)?;
         if batches.is_empty() {
-            publish(service, p, config, true, ack, 0, counters);
+            publish(service, p, config, true, ack, 0, false, counters);
             sleep_unless_stopped(stop, config.poll_interval);
             continue;
         }
         for chunk in plan_frames(&batches, config.max_keys_per_frame) {
             if !is_contiguous(&chunk) {
-                return Err(CotsError::Protocol(
-                    "shipping plan lost contiguity; resubscribing".into(),
-                ));
+                // Shipping plan lost contiguity: resubscribe.
+                return Err(SessionEnd::Io);
             }
             let expected = expected_ack(&chunk);
             let chunk_batches = chunk.len() as u64;
             let chunk_keys: u64 = chunk.iter().map(|f| f.keys.len() as u64).sum();
-            let got = call_acked(client, &Request::ReplBatch { batches: chunk })?;
+            let got = call_acked(
+                client,
+                &Request::ReplBatch {
+                    lineage,
+                    batches: chunk,
+                },
+            )?;
             if Some(got) != expected {
                 // The standby applied a prefix (or none): rewind the
                 // tail cursor to its watermark and try again from there.
@@ -206,16 +261,14 @@ fn stream(
 }
 
 /// Send one request and extract the `REPL_ACK` watermark; any other
-/// response tears the session down.
-fn call_acked(client: &mut Client, request: &Request) -> Result<u64> {
+/// response tears the session down — an explicit `Error` as a refusal
+/// (parked retry), anything else as a transport-level failure.
+fn call_acked(client: &mut Client, request: &Request) -> std::result::Result<u64, SessionEnd> {
     match client.call(request)? {
         Response::ReplAck { ack_seq } => Ok(ack_seq),
-        Response::Error { message } => Err(CotsError::Protocol(format!(
-            "standby refused replication: {message}"
-        ))),
-        other => Err(CotsError::Protocol(format!(
-            "unexpected replication response: {other:?}"
-        ))),
+        Response::Error { message } => Err(SessionEnd::Refused(message)),
+        // Anything else is a protocol surprise: tear down and reconnect.
+        _ => Err(SessionEnd::Io),
     }
 }
 
@@ -231,7 +284,7 @@ fn note_ack(
 ) {
     let _ = store_ack(p.dir(), ack);
     p.set_repl_retain(ack);
-    publish(service, p, config, true, ack, 0, counters);
+    publish(service, p, config, true, ack, 0, false, counters);
 }
 
 /// Push the current shipping state into the service's `STATS` report.
@@ -246,6 +299,7 @@ fn publish(
     connected: bool,
     ack: u64,
     unacked_keys: u64,
+    resync_required: bool,
     counters: &ShipCounters,
 ) {
     let next = p.next_seq();
@@ -262,6 +316,8 @@ fn publish(
         snapshots: counters.snapshots,
         duplicates: 0,
         promotions: 0,
+        lineage: service.lineage(),
+        resync_required,
     });
 }
 

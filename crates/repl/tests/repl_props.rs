@@ -49,6 +49,7 @@ proptest! {
         garbage in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         let request = Request::ReplBatch {
+            lineage: base,
             batches: runs
                 .iter()
                 .enumerate()

@@ -147,6 +147,84 @@ fn primary_ships_standby_catches_up_and_promotes() {
 }
 
 #[test]
+fn diverged_standby_is_refused_and_flagged_for_resync() {
+    let primary_dir = temp_dir("div-primary");
+    let standby_dir = temp_dir("div-standby");
+
+    // Seed the standby's data dir by running it as a primary first: its
+    // WAL ends up *ahead* of the fresh primary below — the shape of a
+    // dead ex-primary restarted with --standby on its old directory.
+    {
+        let seed = bind(&standby_dir, false, None);
+        let seed_addr = seed.local_addr().to_string();
+        let seed_service = seed.service().clone();
+        let seed_thread = std::thread::spawn(move || seed.run());
+        let mut client = Client::connect(&seed_addr).unwrap();
+        for chunk in (0..5_000u64).collect::<Vec<_>>().chunks(100) {
+            client.ingest(chunk).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while seed_service.stats().applied_keys() < 5_000 {
+            assert!(Instant::now() < deadline, "seed never applied the stream");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        client.shutdown().unwrap();
+        drop(client);
+        seed_thread.join().unwrap().unwrap();
+    }
+
+    let standby = bind(&standby_dir, true, None);
+    let standby_addr = standby.local_addr().to_string();
+    let standby_service = standby.service().clone();
+    let standby_thread = std::thread::spawn(move || standby.run());
+
+    let primary = bind(&primary_dir, false, Some(standby_addr.clone()));
+    let primary_addr = primary.local_addr().to_string();
+    let primary_service = primary.service().clone();
+    let primary_thread = std::thread::spawn(move || primary.run());
+
+    // One small batch: the primary's watermark stays far below the
+    // standby's divergent one.
+    let mut client = Client::connect(&primary_addr).unwrap();
+    client.ingest(&[1, 2, 3]).unwrap();
+
+    let mut cfg = ShipperConfig::new(standby_addr.clone());
+    cfg.poll_interval = Duration::from_millis(2);
+    cfg.max_backoff = Duration::from_millis(200);
+    let shipper = spawn(primary_service.clone(), cfg).unwrap();
+
+    // The standby must refuse the stream (never ack unseen batches) and
+    // the primary's STATS must escalate the divergence to the operator.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(repl) = &primary_service.stats().repl {
+            if repl.resync_required {
+                assert!(!repl.connected, "a refused session is not a live stream");
+                assert_eq!(repl.streamed_batches, 0, "nothing was falsely recorded");
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "divergence never surfaced in STATS");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The standby kept its divergent state intact and acked nothing.
+    let mut sclient = Client::connect(&standby_addr).unwrap();
+    let srepl = sclient.stats().unwrap().repl.expect("standby repl report");
+    assert!(srepl.resync_required, "standby flags the divergence too");
+    assert_eq!(srepl.streamed_batches, 0, "no replicated batch applied");
+
+    shipper.stop();
+    client.shutdown().unwrap();
+    drop(client);
+    primary_thread.join().unwrap().unwrap();
+    sclient.shutdown().unwrap();
+    drop(sclient);
+    standby_thread.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+}
+
+#[test]
 fn late_standby_catches_up_via_snapshot() {
     let primary_dir = temp_dir("snap-primary");
     let standby_dir = temp_dir("snap-standby");

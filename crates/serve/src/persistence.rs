@@ -106,8 +106,20 @@ pub struct Persistence {
 
 impl Persistence {
     /// Open the WAL at `next_seq` (from recovery) and assemble the gate.
+    ///
+    /// When a `repl-ack` file exists, the retention floor starts at its
+    /// watermark rather than unpinned: the shipper hasn't connected yet
+    /// after a restart, and a background checkpoint that pruned past the
+    /// standby's persisted place would force a resync the standby did
+    /// nothing to deserve. A damaged file reads as 0 — retain everything
+    /// — which errs in the safe direction.
     pub fn new(opts: &PersistOptions, next_seq: u64, capacity: usize) -> Result<Self> {
         let wal = WalWriter::open(&opts.data_dir, next_seq, opts.fsync, opts.segment_bytes)?;
+        let repl_retain = if cots_persist::has_ack(&opts.data_dir) {
+            cots_persist::load_ack(&opts.data_dir)
+        } else {
+            u64::MAX
+        };
         Ok(Self {
             dir: opts.data_dir.clone(),
             capacity,
@@ -118,7 +130,7 @@ impl Persistence {
             quiesced: Condvar::new(),
             tally: PersistTally::new(),
             ckpt_lock: Mutex::new(()),
-            repl_retain: AtomicU64::new(u64::MAX),
+            repl_retain: AtomicU64::new(repl_retain),
         })
     }
 
@@ -470,6 +482,45 @@ mod tests {
         drop(p);
         let rec = cots_persist::recover(&dir).unwrap();
         assert_eq!(rec.report.recovered_items, 64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persisted_repl_ack_pins_retention_across_restart() {
+        let dir = temp_dir("retain");
+        let mut opts = PersistOptions::new(dir.clone());
+        opts.segment_bytes = 64; // rotate aggressively
+        {
+            let p = Persistence::new(&opts, 0, 64).unwrap();
+            let backend = engine_backend(64);
+            let shard_tally = ShardTally::new();
+            for round in 0..4u64 {
+                let mut burst = vec![vec![round; 8], vec![round; 8]];
+                p.log_and_apply(&mut burst, &backend, &shard_tally);
+            }
+        }
+        // A standby acked up to 2 before both processes went down.
+        cots_persist::store_ack(&dir, 2).unwrap();
+
+        // Restart: before the shipper reconnects, checkpoints must not
+        // prune past the persisted ack.
+        let rec = cots_persist::recover(&dir).unwrap();
+        let p = Persistence::new(&opts, rec.next_seq, 64).unwrap();
+        let backend = engine_backend(64);
+        let shard_tally = ShardTally::new();
+        let publisher = SnapshotPublisher::new();
+        for round in 0..4u64 {
+            let mut burst = vec![vec![round; 8], vec![round; 8]];
+            p.log_and_apply(&mut burst, &backend, &shard_tally);
+            p.checkpoint_now(&backend, None, &publisher).unwrap();
+        }
+        let oldest = cots_persist::oldest_segment_seq(&dir)
+            .unwrap()
+            .expect("segments survive");
+        assert!(
+            oldest <= 2,
+            "pruning must hold the standby's place (oldest {oldest} > ack 2)"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -117,29 +117,50 @@ pub enum Request {
     Checkpoint,
     /// Begin graceful shutdown: stop accepting, drain queues, exit.
     Shutdown,
-    /// Open a replication stream: a primary's WAL shipper announces the
-    /// oldest sequence it can still serve from its log. A standby
-    /// answers with [`Response::ReplAck`] naming the next sequence it
-    /// expects, which is where the shipper starts (or restarts) the
-    /// stream. Non-standby servers refuse with an error.
+    /// Open a replication stream: a primary's WAL shipper announces its
+    /// replication lineage, its own next WAL sequence, and the oldest
+    /// sequence it can still serve from its log. A standby answers with
+    /// [`Response::ReplAck`] naming the next sequence it expects, which
+    /// is where the shipper starts (or restarts) the stream. The standby
+    /// refuses (with an error) a primary whose lineage is behind its
+    /// own, a divergent-lineage primary when the standby already holds
+    /// state, or an equal-lineage primary whose `next_seq` is behind the
+    /// standby's watermark — all three mean the histories have diverged
+    /// and acking would be silent data loss. Non-standby servers refuse
+    /// with an error.
     ReplSubscribe {
         /// Oldest WAL sequence the shipper's log still holds.
         start_seq: u64,
+        /// The primary's replication lineage (promotion generation,
+        /// bumped on every standby → primary promotion).
+        lineage: u64,
+        /// The primary's own next WAL sequence (its durable watermark).
+        next_seq: u64,
     },
     /// A run of replicated WAL batches in sequence order. The standby
     /// logs each batch to its own WAL, applies it, and answers with a
     /// cumulative [`Response::ReplAck`]. Batches at already-applied
     /// sequences are acknowledged but not re-applied (duplicates);
     /// a gap re-acks the current watermark so the shipper rewinds.
+    /// A `lineage` that does not match the standby's own is refused
+    /// with an error — never acked — so a stale or divergent primary
+    /// can't record unseen data as replicated.
     ReplBatch {
+        /// The primary's replication lineage (must match the standby's).
+        lineage: u64,
         /// The batches, oldest first.
         batches: Vec<ReplFrame>,
     },
     /// Catch-up transfer: a consistent base snapshot of the primary's
     /// summary cut at `watermark`, installed by an *empty* standby in
     /// place of replaying the (already-pruned) WAL prefix. The standby
-    /// persists it as its own base checkpoint and acks `watermark`.
+    /// persists it as its own base checkpoint, adopts the primary's
+    /// `lineage`, and acks `watermark`. A non-empty standby refuses
+    /// (resync requires an explicit fresh data directory), as does any
+    /// standby whose lineage is ahead of the primary's.
     ReplSnapshot {
+        /// The primary's replication lineage, adopted on install.
+        lineage: u64,
         /// WAL sequence the snapshot accounts for (exclusive upper
         /// bound: the stream resumes at `watermark`).
         watermark: u64,
@@ -355,16 +376,33 @@ impl ToJson for Request {
             Request::ClusterStats => Json::Str("ClusterStats".into()),
             Request::Checkpoint => Json::Str("Checkpoint".into()),
             Request::Shutdown => Json::Str("Shutdown".into()),
-            Request::ReplSubscribe { start_seq } => tagged(
+            Request::ReplSubscribe {
+                start_seq,
+                lineage,
+                next_seq,
+            } => tagged(
                 "ReplSubscribe",
-                Json::obj(vec![("start_seq", start_seq.to_json())]),
+                Json::obj(vec![
+                    ("start_seq", start_seq.to_json()),
+                    ("lineage", lineage.to_json()),
+                    ("next_seq", next_seq.to_json()),
+                ]),
             ),
-            Request::ReplBatch { batches } => {
-                tagged("ReplBatch", Json::obj(vec![("batches", batches.to_json())]))
-            }
-            Request::ReplSnapshot { watermark, snapshot } => tagged(
+            Request::ReplBatch { lineage, batches } => tagged(
+                "ReplBatch",
+                Json::obj(vec![
+                    ("lineage", lineage.to_json()),
+                    ("batches", batches.to_json()),
+                ]),
+            ),
+            Request::ReplSnapshot {
+                lineage,
+                watermark,
+                snapshot,
+            } => tagged(
                 "ReplSnapshot",
                 Json::obj(vec![
+                    ("lineage", lineage.to_json()),
                     ("watermark", watermark.to_json()),
                     ("snapshot", snapshot.to_json()),
                 ]),
@@ -397,11 +435,15 @@ impl FromJson for Request {
             ("Shutdown", None) => Ok(Request::Shutdown),
             ("ReplSubscribe", Some(p)) => Ok(Request::ReplSubscribe {
                 start_seq: u64::from_json(p.field("start_seq")?)?,
+                lineage: u64::from_json(p.field("lineage")?)?,
+                next_seq: u64::from_json(p.field("next_seq")?)?,
             }),
             ("ReplBatch", Some(p)) => Ok(Request::ReplBatch {
+                lineage: u64::from_json(p.field("lineage")?)?,
                 batches: Vec::<ReplFrame>::from_json(p.field("batches")?)?,
             }),
             ("ReplSnapshot", Some(p)) => Ok(Request::ReplSnapshot {
+                lineage: u64::from_json(p.field("lineage")?)?,
                 watermark: u64::from_json(p.field("watermark")?)?,
                 snapshot: Snapshot::<u64>::from_json(p.field("snapshot")?)?,
             }),
@@ -666,8 +708,13 @@ mod tests {
         round_trip_request(Request::ClusterStats);
         round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Shutdown);
-        round_trip_request(Request::ReplSubscribe { start_seq: 17 });
+        round_trip_request(Request::ReplSubscribe {
+            start_seq: 17,
+            lineage: 2,
+            next_seq: 40,
+        });
         round_trip_request(Request::ReplBatch {
+            lineage: 2,
             batches: vec![
                 ReplFrame {
                     seq: 17,
@@ -679,8 +726,12 @@ mod tests {
                 },
             ],
         });
-        round_trip_request(Request::ReplBatch { batches: vec![] });
+        round_trip_request(Request::ReplBatch {
+            lineage: 0,
+            batches: vec![],
+        });
         round_trip_request(Request::ReplSnapshot {
+            lineage: u64::MAX,
             watermark: 42,
             snapshot: Snapshot::new(vec![CounterEntry::new(7u64, 9, 2)], 11),
         });

@@ -179,6 +179,10 @@ struct ReplCounters {
     streamed_keys: AtomicU64,
     duplicates: AtomicU64,
     snapshots: AtomicU64,
+    /// Set when a stream is refused because histories diverged (needs
+    /// an operator to resync the standby from a fresh data directory);
+    /// cleared when a stream establishes cleanly.
+    resync_required: AtomicBool,
 }
 
 /// A running service instance (workers + publisher thread).
@@ -205,6 +209,11 @@ pub struct Service {
     standby: AtomicBool,
     /// Times this instance was promoted from standby to primary.
     promotions: AtomicU64,
+    /// Replication lineage (promotion generation) of this node's data:
+    /// loaded from the `repl-lineage` file at startup, bumped durably
+    /// on every promotion, and carried on every REPL wire op so a
+    /// divergent pair refuses to stream instead of silently acking.
+    lineage: AtomicU64,
     repl_counters: ReplCounters,
     /// Primary-side replication report, pushed by the WAL shipper.
     repl_report: Mutex<Option<ReplReport>>,
@@ -246,6 +255,7 @@ impl Service {
         let mut recovery: Option<RecoveryReport> = None;
         let mut persistence: Option<Arc<Persistence>> = None;
         let mut base_watermark = 0u64;
+        let mut lineage = 0u64;
 
         let backend = match (&config.persist, config.window) {
             (Some(_), Some(_)) => {
@@ -286,6 +296,7 @@ impl Service {
                     rec.next_seq,
                     config.capacity,
                 )?));
+                lineage = cots_persist::load_lineage(&opts.data_dir);
                 recovery = Some(rec.report);
                 Backend::Engine(engine)
             }
@@ -397,6 +408,7 @@ impl Service {
             capacity: config.capacity,
             standby: AtomicBool::new(config.standby),
             promotions: AtomicU64::new(0),
+            lineage: AtomicU64::new(lineage),
             repl_counters: ReplCounters::default(),
             repl_report: Mutex::new(None),
             repl_peer: config.repl_peer.unwrap_or_default(),
@@ -422,6 +434,12 @@ impl Service {
     /// Times this instance has been promoted from standby to primary.
     pub fn promotions(&self) -> u64 {
         self.promotions.load(Ordering::Acquire)
+    }
+
+    /// This node's replication lineage (promotion generation). A fresh
+    /// data directory starts at 0; every promotion bumps it durably.
+    pub fn lineage(&self) -> u64 {
+        self.lineage.load(Ordering::Acquire)
     }
 
     /// The persistence layer, when running with a data directory. The
@@ -621,31 +639,58 @@ impl Service {
                 self.begin_shutdown();
                 Response::ShuttingDown
             }
-            Request::ReplSubscribe { start_seq: _ } => match self.repl_persistence() {
-                Ok(p) => Response::ReplAck {
-                    ack_seq: p.next_seq(),
-                },
+            Request::ReplSubscribe {
+                start_seq: _,
+                lineage,
+                next_seq,
+            } => match self.repl_persistence() {
+                Ok(p) => self.accept_subscribe(&p, lineage, next_seq),
                 Err(resp) => resp,
             },
-            Request::ReplBatch { batches } => match self.repl_persistence() {
+            Request::ReplBatch { lineage, batches } => match self.repl_persistence() {
                 Ok(p) => {
-                    self.apply_repl_batches(&p, &batches);
-                    Response::ReplAck {
-                        ack_seq: p.next_seq(),
+                    // A mismatched lineage must never be acked: a
+                    // cumulative ack over unseen batches is exactly the
+                    // silent divergence the lineage exists to prevent.
+                    if lineage != self.lineage() {
+                        Response::Error {
+                            message: format!(
+                                "replication batch refused: primary lineage {lineage} \
+                                 does not match standby lineage {}",
+                                self.lineage()
+                            ),
+                        }
+                    } else {
+                        self.apply_repl_batches(&p, &batches);
+                        Response::ReplAck {
+                            ack_seq: p.next_seq(),
+                        }
                     }
                 }
                 Err(resp) => resp,
             },
             Request::ReplSnapshot {
+                lineage,
                 watermark,
                 snapshot,
             } => match self.repl_persistence() {
-                Ok(p) => self.install_repl_snapshot(&p, watermark, snapshot),
+                Ok(p) => self.install_repl_snapshot(&p, lineage, watermark, snapshot),
                 Err(resp) => resp,
             },
             Request::ReplPromote => {
                 if self.standby.swap(false, Ordering::AcqRel) {
                     self.promotions.fetch_add(1, Ordering::Release);
+                    let promoted = self.lineage.fetch_add(1, Ordering::AcqRel) + 1;
+                    self.repl_counters
+                        .resync_required
+                        .store(false, Ordering::Release);
+                    if let Some(p) = &self.persistence {
+                        // Best-effort durability: a lost bump means the
+                        // node restarts with the pre-promotion lineage
+                        // and is refused by newer peers — safe (it must
+                        // resync), never silently divergent.
+                        let _ = cots_persist::store_lineage(p.dir(), promoted);
+                    }
                 }
                 Response::ReplAck {
                     ack_seq: self
@@ -677,6 +722,78 @@ impl Service {
         }
     }
 
+    /// Decide whether a primary may open (or reopen) the replication
+    /// stream. This is the divergence gate: a cumulative ack is only
+    /// safe when both sides agree on the history below the watermark,
+    /// so the standby refuses — instead of acking — whenever the
+    /// lineages or watermarks prove the histories have split.
+    fn accept_subscribe(
+        &self,
+        p: &Persistence,
+        primary_lineage: u64,
+        primary_next: u64,
+    ) -> Response {
+        let mine = self.lineage();
+        let my_next = p.next_seq();
+        if primary_lineage < mine {
+            // A pre-promotion ex-primary (or a primary on older data)
+            // is trying to ship history this node has already moved
+            // past. Its data is the divergent copy, not ours.
+            return Response::Error {
+                message: format!(
+                    "replication refused: primary lineage {primary_lineage} is \
+                     behind standby lineage {mine}; the primary's history is \
+                     stale"
+                ),
+            };
+        }
+        let holds_state =
+            !self.base.is_empty() || self.backend.processed() > 0 || my_next > 0;
+        if primary_lineage > mine {
+            if holds_state {
+                // This standby's data predates the primary's promotion
+                // — e.g. a dead ex-primary restarted with --standby on
+                // its old data dir. Its local tail was never replicated
+                // and cannot be reconciled; acking the new stream would
+                // silently keep the divergent tail.
+                self.repl_counters
+                    .resync_required
+                    .store(true, Ordering::Release);
+                return Response::Error {
+                    message: format!(
+                        "replication refused: primary lineage {primary_lineage} \
+                         diverges from this standby's lineage {mine} and the \
+                         standby already holds state; restart the standby with \
+                         a fresh data directory to resync"
+                    ),
+                };
+            }
+            // Empty standby: adopt the primary's lineage (best-effort
+            // durably — a lost write re-adopts on the next subscribe).
+            let _ = cots_persist::store_lineage(p.dir(), primary_lineage);
+            self.lineage.store(primary_lineage, Ordering::Release);
+        } else if my_next > primary_next {
+            // Same lineage but this standby's WAL is ahead of the
+            // primary's: the primary lost a durable suffix (e.g. it was
+            // restored from older media). Acking would mark batches the
+            // standby never saw as replicated.
+            self.repl_counters
+                .resync_required
+                .store(true, Ordering::Release);
+            return Response::Error {
+                message: format!(
+                    "replication refused: standby watermark {my_next} is ahead \
+                     of primary watermark {primary_next} at lineage {mine}; \
+                     histories have diverged"
+                ),
+            };
+        }
+        self.repl_counters
+            .resync_required
+            .store(false, Ordering::Release);
+        Response::ReplAck { ack_seq: my_next }
+    }
+
     /// Apply an in-order run of replicated batches: duplicates are
     /// counted and skipped, a gap stops the run (the unchanged ack tells
     /// the shipper where to rewind to).
@@ -699,21 +816,36 @@ impl Service {
         }
     }
 
-    /// Install a catch-up base snapshot into an empty standby; a
-    /// watermark the log already covers is acked as a duplicate.
+    /// Install a catch-up base snapshot into an empty standby, adopting
+    /// the primary's lineage; a same-lineage watermark the log already
+    /// covers is acked as a duplicate.
     fn install_repl_snapshot(
         &self,
         p: &Persistence,
+        lineage: u64,
         watermark: u64,
         snapshot: Snapshot<u64>,
     ) -> Response {
-        if p.next_seq() >= watermark {
+        let mine = self.lineage();
+        if lineage < mine {
+            return Response::Error {
+                message: format!(
+                    "catch-up snapshot refused: primary lineage {lineage} is \
+                     behind standby lineage {mine}; the primary's history is \
+                     stale"
+                ),
+            };
+        }
+        if lineage == mine && p.next_seq() >= watermark {
             self.repl_counters.duplicates.fetch_add(1, Ordering::Relaxed);
             return Response::ReplAck {
                 ack_seq: p.next_seq(),
             };
         }
         if !self.base.is_empty() || self.backend.processed() > 0 || p.next_seq() > 0 {
+            self.repl_counters
+                .resync_required
+                .store(true, Ordering::Release);
             return Response::Error {
                 message: "catch-up snapshot refused: this standby already holds \
                           state; restart it with a fresh data directory to resync"
@@ -724,10 +856,17 @@ impl Service {
         let ckpt = Checkpoint::from_snapshot(watermark, epoch, self.capacity, &snapshot);
         match p.install_base(&ckpt) {
             Ok(_) => {
+                if lineage > mine {
+                    let _ = cots_persist::store_lineage(p.dir(), lineage);
+                    self.lineage.store(lineage, Ordering::Release);
+                }
                 let total = snapshot.total();
                 self.base.install(Arc::new(snapshot), total);
                 self.base_watermark.store(watermark, Ordering::Release);
                 self.repl_counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                self.repl_counters
+                    .resync_required
+                    .store(false, Ordering::Release);
                 Response::ReplAck { ack_seq: watermark }
             }
             Err(e) => Response::Error {
@@ -831,6 +970,9 @@ impl Service {
         report.promotions = self.promotions();
         report.duplicates = report.duplicates.saturating_add(duplicates);
         report.snapshots = report.snapshots.saturating_add(snapshots);
+        report.lineage = self.lineage();
+        report.resync_required =
+            report.resync_required || c.resync_required.load(Ordering::Acquire);
         Some(report)
     }
 
@@ -1355,6 +1497,7 @@ mod tests {
 
         // ...but applies the replicated WAL stream, exactly once.
         let frames = |seqs: &[u64]| Request::ReplBatch {
+            lineage: 0,
             batches: seqs
                 .iter()
                 .map(|&seq| ReplFrame {
@@ -1393,6 +1536,7 @@ mod tests {
         }
         assert!(!service.is_standby());
         assert_eq!(service.promotions(), 1);
+        assert_eq!(service.lineage(), 1, "promotion bumps the lineage");
         match service.handle(Request::Ingest { keys: vec![9] }, &mut sender) {
             Response::IngestAck { enqueued } => assert_eq!(enqueued, 1),
             other => panic!("unexpected: {other:?}"),
@@ -1418,6 +1562,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(service.recovery_report().unwrap().recovered_items, 10);
+        assert_eq!(service.lineage(), 1, "the lineage bump survives restart");
         service.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1448,6 +1593,7 @@ mod tests {
         );
         match service.handle(
             Request::ReplSnapshot {
+                lineage: 3,
                 watermark: 12,
                 snapshot: snap.clone(),
             },
@@ -1457,9 +1603,11 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         assert_eq!(service.repl_floor(), 12, "floor tracks the installed base");
+        assert_eq!(service.lineage(), 3, "an empty standby adopts the lineage");
         // Re-sending the same snapshot is a duplicate, not an error.
         match service.handle(
             Request::ReplSnapshot {
+                lineage: 3,
                 watermark: 12,
                 snapshot: snap,
             },
@@ -1471,6 +1619,7 @@ mod tests {
         // The WAL tail continues from the watermark.
         match service.handle(
             Request::ReplBatch {
+                lineage: 3,
                 batches: vec![ReplFrame {
                     seq: 12,
                     keys: vec![7, 7],
@@ -1495,6 +1644,146 @@ mod tests {
     }
 
     #[test]
+    fn diverged_standby_refuses_stream_instead_of_acking() {
+        let dir = temp_data_dir("diverge");
+        let mut opts = PersistOptions::new(dir.clone());
+        opts.checkpoint_every = Duration::ZERO;
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            persist: Some(opts),
+            standby: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+
+        // Seed the standby with three applied batches (watermark 3).
+        match service.handle(
+            Request::ReplBatch {
+                lineage: 0,
+                batches: (0..3)
+                    .map(|seq| ReplFrame {
+                        seq,
+                        keys: vec![1, 2],
+                    })
+                    .collect(),
+            },
+            &mut sender,
+        ) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Same lineage, primary watermark behind ours: the primary lost
+        // a durable suffix. Refuse — acking would mark batches we never
+        // saw as replicated.
+        match service.handle(
+            Request::ReplSubscribe {
+                start_seq: 0,
+                lineage: 0,
+                next_seq: 1,
+            },
+            &mut sender,
+        ) {
+            Response::Error { message } => assert!(message.contains("ahead")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let repl = service.stats().repl.expect("repl section present");
+        assert!(repl.resync_required, "divergence is operator-visible");
+
+        // Newer lineage against a standby that holds state: the classic
+        // rejoined ex-primary. Refused with the fresh-dir instruction.
+        match service.handle(
+            Request::ReplSubscribe {
+                start_seq: 0,
+                lineage: 1,
+                next_seq: 10,
+            },
+            &mut sender,
+        ) {
+            Response::Error { message } => assert!(message.contains("fresh data directory")),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // A mismatched-lineage batch is refused, never acked.
+        match service.handle(
+            Request::ReplBatch {
+                lineage: 1,
+                batches: vec![ReplFrame {
+                    seq: 3,
+                    keys: vec![9],
+                }],
+            },
+            &mut sender,
+        ) {
+            Response::Error { message } => assert!(message.contains("lineage")),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // An older-lineage primary (pre-promotion ghost) is also refused
+        // once this standby has moved on. Promote first to bump us to 1…
+        // (use a fresh view: promotion flips the role, so re-subscribe
+        // checks come from the would-be old primary's shipper)
+        match service.handle(Request::ReplPromote, &mut sender) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(service.lineage(), 1);
+        let repl = service.stats().repl.expect("repl section present");
+        assert!(!repl.resync_required, "promotion clears the flag");
+
+        drop(sender);
+        service.drain();
+
+        // Restart with --standby on the same dir: lineage 1 persists,
+        // and a lineage-0 primary is refused as stale.
+        let mut opts = PersistOptions::new(dir.clone());
+        opts.checkpoint_every = Duration::ZERO;
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            capacity: 64,
+            refresh: Duration::from_millis(2),
+            persist: Some(opts),
+            standby: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut sender = service.connect();
+        assert_eq!(service.lineage(), 1);
+        match service.handle(
+            Request::ReplSubscribe {
+                start_seq: 0,
+                lineage: 0,
+                next_seq: 100,
+            },
+            &mut sender,
+        ) {
+            Response::Error { message } => assert!(message.contains("stale")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A same-lineage primary at or past our watermark streams fine,
+        // and the subscribe clears any lingering resync flag.
+        match service.handle(
+            Request::ReplSubscribe {
+                start_seq: 0,
+                lineage: 1,
+                next_seq: 3,
+            },
+            &mut sender,
+        ) {
+            Response::ReplAck { ack_seq } => assert_eq!(ack_seq, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let repl = service.stats().repl.expect("repl section present");
+        assert!(!repl.resync_required);
+        drop(sender);
+        service.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn primary_refuses_repl_stream() {
         let service = Service::start(ServiceConfig {
             shards: 1,
@@ -1504,7 +1793,14 @@ mod tests {
         })
         .unwrap();
         let mut sender = service.connect();
-        match service.handle(Request::ReplSubscribe { start_seq: 0 }, &mut sender) {
+        match service.handle(
+            Request::ReplSubscribe {
+                start_seq: 0,
+                lineage: 0,
+                next_seq: 0,
+            },
+            &mut sender,
+        ) {
             Response::Error { message } => assert!(message.contains("--standby")),
             other => panic!("unexpected: {other:?}"),
         }
