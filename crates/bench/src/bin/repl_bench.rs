@@ -209,6 +209,7 @@ fn drive(a: &BenchArgs, addr: &str, check: bool) -> Result<LoadReport, String> {
         qps: 0,
         phi: 0.01,
         check,
+        wire: cots_serve::WireMode::Auto,
     })
     .map_err(|e| format!("load: {e}"))
 }

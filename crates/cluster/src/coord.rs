@@ -347,8 +347,13 @@ impl Coordinator {
             if router.pending[primary].len() < threshold {
                 continue;
             }
-            let part = std::mem::take(&mut router.pending[primary]);
-            if let Err(message) = self.deliver(router, primary, &part, deadline) {
+            let mut part = std::mem::take(&mut router.pending[primary]);
+            let delivery = self.deliver(router, primary, &part, deadline);
+            // Hand the allocation back: the buffer keeps its high-water
+            // capacity across flushes instead of re-growing from empty.
+            part.clear();
+            router.pending[primary] = part;
+            if let Err(message) = delivery {
                 self.rejected_frames.fetch_add(1, Ordering::Relaxed);
                 return Response::Error { message };
             }
@@ -372,8 +377,12 @@ impl Coordinator {
             if router.pending[primary].is_empty() {
                 continue;
             }
-            let part = std::mem::take(&mut router.pending[primary]);
-            if let Err(message) = self.deliver(router, primary, &part, deadline) {
+            let mut part = std::mem::take(&mut router.pending[primary]);
+            let delivery = self.deliver(router, primary, &part, deadline);
+            // Same capacity-preserving return as `forward`.
+            part.clear();
+            router.pending[primary] = part;
+            if let Err(message) = delivery {
                 self.rejected_frames.fetch_add(1, Ordering::Relaxed);
                 first_err.get_or_insert(message);
             }
@@ -473,15 +482,22 @@ impl Coordinator {
                 Err(_) => return SendOutcome::Down,
             }
         }
-        let request = Request::Ingest {
-            keys: keys.to_vec(),
+        // Encode once per member attempt — straight from the raw key
+        // run when the member negotiated BIN1 — and resend the same
+        // buffer across OVERLOADED retries instead of re-encoding.
+        let payload = match slot.as_ref() {
+            Some(client) => client.encode_ingest(keys),
+            None => return SendOutcome::Down,
         };
         let mut retries = 0u64;
         loop {
             let Some(client) = slot.as_mut() else {
                 return SendOutcome::Down;
             };
-            match client.call(&request) {
+            match client
+                .send_payload(&payload)
+                .and_then(|()| client.recv())
+            {
                 Ok(Response::IngestAck { enqueued }) if enqueued == keys.len() as u64 => {
                     return SendOutcome::Acked;
                 }

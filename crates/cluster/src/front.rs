@@ -21,9 +21,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cots::publish::StampedSnapshot;
-use cots_serve::frame::{is_timeout, read_frame, write_frame};
+use cots_serve::frame::{is_timeout, read_frame, write_frame, write_payload, Payload};
 use cots_serve::protocol::{decode, encode, snapshot_page_response};
-use cots_serve::{Request, Response, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION};
+use cots_serve::{bin1, Request, Response, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION};
 
 use crate::coord::{CoordConfig, Coordinator, Router};
 
@@ -33,7 +33,7 @@ const POLL: Duration = Duration::from_millis(25);
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Feature flags the coordinator advertises in `HELLO_ACK`.
-const COORD_FEATURES: &[&str] = &["cluster", "snapshot-page"];
+const COORD_FEATURES: &[&str] = &["cluster", "snapshot-page", "bin"];
 
 /// A bound coordinator server.
 pub struct CoordServer {
@@ -101,6 +101,9 @@ impl CoordServer {
 /// Per-connection protocol state.
 struct Conn {
     greeted: bool,
+    /// The client's `HELLO` advertised `"bin"`: BIN1 bulk frames are
+    /// admitted and answered in kind.
+    bin: bool,
     /// Federated snapshot pinned by an in-progress paged transfer.
     pinned: Option<Arc<StampedSnapshot<u64>>>,
 }
@@ -130,6 +133,7 @@ fn conn_loop(
 ) {
     let mut conn = Conn {
         greeted: false,
+        bin: false,
         pinned: None,
     };
     loop {
@@ -150,16 +154,60 @@ fn conn_loop(
                 return;
             }
         };
-        let (response, close) = match decode::<Request>(&payload) {
-            Ok(request) => handle(coord, router, &mut conn, request),
-            Err(e) => (
-                Response::Error {
-                    message: e.to_string(),
+        // Same admission rule as a member: BIN1 frames are only decoded
+        // on connections whose `HELLO` negotiated the `bin` feature, and
+        // the response mirrors the request's encoding (errors stay JSON —
+        // clients of either mode decode both).
+        let ((response, close), bin) = match &payload {
+            Payload::Json(text) => (
+                match decode::<Request>(text) {
+                    Ok(request) => handle(coord, router, &mut conn, request),
+                    Err(e) => (
+                        Response::Error {
+                            message: e.to_string(),
+                        },
+                        false,
+                    ),
                 },
                 false,
             ),
+            Payload::Bin(bytes) => {
+                if !conn.bin {
+                    (
+                        (
+                            Response::Error {
+                                message: "BIN1 frame on a connection that did not \
+                                          negotiate the `bin` feature in HELLO"
+                                    .into(),
+                            },
+                            true,
+                        ),
+                        false,
+                    )
+                } else {
+                    match bin1::decode_request(bytes) {
+                        Ok(request) => (handle(coord, router, &mut conn, request), true),
+                        Err(e) => (
+                            (
+                                Response::Error {
+                                    message: e.to_string(),
+                                },
+                                false,
+                            ),
+                            false,
+                        ),
+                    }
+                }
+            }
         };
-        let encoded = encode(&response);
+        let encoded = if bin {
+            match bin1::encode_response(&response) {
+                Some(bytes) => Payload::Bin(bytes),
+                None => Payload::Json(encode(&response)),
+            }
+        } else {
+            Payload::Json(encode(&response))
+        };
         if encoded.len() > MAX_FRAME {
             // Only the one-shot federated snapshot can get here.
             let fallback = Response::Error {
@@ -174,7 +222,7 @@ fn conn_loop(
             }
             continue;
         }
-        if write_frame(writer, &encoded).is_err() {
+        if write_payload(writer, &encoded).is_err() {
             return;
         }
         if close {
@@ -200,10 +248,11 @@ fn handle(
     match request {
         Request::Hello {
             proto_version,
-            features: _,
+            ref features,
         } => {
             if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto_version) {
                 conn.greeted = true;
+                conn.bin = features.iter().any(|f| f == "bin");
                 (
                     Response::HelloAck {
                         proto_version: PROTO_VERSION,

@@ -50,5 +50,5 @@ pub use tail::{
 };
 pub use wal::{
     parse_segment_name, prune_wal, scan_wal, CommitStats, FsyncPolicy, WalBatch, WalScan,
-    WalWriter, DEFAULT_SEGMENT_BYTES,
+    WalWriter, DEFAULT_SEGMENT_BYTES, RUN_MAGIC, WAL_MAGIC,
 };

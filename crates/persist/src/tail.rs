@@ -136,6 +136,7 @@ impl WalTailer {
         self.refresh()?;
         let mut out: Vec<WalBatch> = Vec::new();
         let mut out_keys = 0usize;
+        let mut parsed: Vec<WalBatch> = Vec::new();
         let n = self.segments.len();
         for i in 0..n {
             if out_keys >= max_keys && !out.is_empty() {
@@ -190,8 +191,9 @@ impl WalTailer {
                         off += consumed;
                         // PANIC-OK: same in-bounds `i` as above.
                         self.segments[i].offset = offset + off as u64;
-                        match crate::wal::parse_batch_payload(payload) {
-                            Some(batch) => {
+                        parsed.clear();
+                        if crate::wal::parse_record_payload(payload, &mut parsed) {
+                            for batch in parsed.drain(..) {
                                 self.stats.records += 1;
                                 let fresh = batch.seq >= self.from_seq
                                     && self.last_seq.is_none_or(|l| batch.seq > l);
@@ -202,12 +204,11 @@ impl WalTailer {
                                     out.push(batch);
                                 }
                             }
-                            None => {
-                                // CRC-valid frame, malformed payload:
-                                // framing is trustworthy, skip just it.
-                                self.stats.torn_frames += 1;
-                                self.stats.dropped_bytes += consumed as u64;
-                            }
+                        } else {
+                            // CRC-valid frame, malformed payload:
+                            // framing is trustworthy, skip just it.
+                            self.stats.torn_frames += 1;
+                            self.stats.dropped_bytes += consumed as u64;
                         }
                     }
                     Err(RecordError::Incomplete) if is_last => {

@@ -10,8 +10,20 @@
 //!
 //! ```text
 //! [magic "COTSWAL1": 8 bytes][CRC record]*
-//! record payload := [seq: u64 le][nkeys: u32 le][key: u64 le]*nkeys
+//! record payload := batch | run
+//! batch := [seq: u64 le][nkeys: u32 le][key: u64 le]*nkeys
+//! run   := [magic "COTSRUN\xB1": 8 bytes][nbatches: u32 le][batch]*nbatches
 //! ```
+//!
+//! A *run* record ([`WalWriter::append_run`]) packs a whole ring drain
+//! of consecutive batches into one CRC frame: one checksum and one
+//! length prefix per drain instead of per batch, which is the log-side
+//! twin of the BIN1 wire encoding (same per-batch byte layout). Legacy
+//! per-batch records and run records coexist freely in one directory —
+//! recovery and tailing parse both — so data directories written by
+//! older builds replay unchanged. The run magic's little-endian `u64`
+//! value has its top bit set (> 2⁶³), which no monotone batch sequence
+//! number ever reaches, so the two payload forms cannot be confused.
 //!
 //! Segments are named `wal-{first_seq:016x}.wal` after the first sequence
 //! number they may contain. After a crash the scanner recovers the valid
@@ -35,6 +47,12 @@ use crate::codec::{decode_record, encode_record, read_u32_le, read_u64_le, Recor
 
 /// Magic prefix of every WAL segment.
 pub const WAL_MAGIC: &[u8; 8] = b"COTSWAL1";
+
+/// Magic prefix of a multi-batch *run* record payload. Sits where a
+/// legacy record's `seq` field would: its little-endian value exceeds
+/// 2⁶³, unreachable for a monotone sequence counter, so legacy and run
+/// payloads are unambiguous.
+pub const RUN_MAGIC: &[u8; 8] = b"COTSRUN\xB1";
 
 /// File extension of WAL segments.
 pub const WAL_EXT: &str = "wal";
@@ -166,6 +184,33 @@ impl WalWriter {
         self.pending_records += 1;
         self.pending_keys += keys.len() as u64;
         self.pending_first_seq.get_or_insert(seq);
+    }
+
+    /// Stage a whole drain of consecutive batches as one *run* record:
+    /// batch `i` carries sequence `first_seq + i`. One CRC frame per
+    /// drain instead of one per batch. Nothing reaches the OS until
+    /// [`commit`]; an empty slice stages nothing.
+    ///
+    /// [`commit`]: WalWriter::commit
+    pub fn append_run(&mut self, first_seq: u64, batches: &[Vec<u64>]) {
+        if batches.is_empty() {
+            return;
+        }
+        let keys: usize = batches.iter().map(|b| b.len()).sum();
+        let mut payload = Vec::with_capacity(12 + batches.len() * 12 + keys * 8);
+        payload.extend_from_slice(RUN_MAGIC);
+        payload.extend_from_slice(&(batches.len() as u32).to_le_bytes());
+        for (i, batch) in batches.iter().enumerate() {
+            payload.extend_from_slice(&(first_seq + i as u64).to_le_bytes());
+            payload.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+            for k in batch {
+                payload.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+        encode_record(&payload, &mut self.buf);
+        self.pending_records += batches.len() as u64;
+        self.pending_keys += keys as u64;
+        self.pending_first_seq.get_or_insert(first_seq);
     }
 
     /// Group-commit everything staged since the last commit: rotate the
@@ -310,14 +355,17 @@ pub fn scan_wal(dir: &Path, from_seq: u64) -> Result<WalScan> {
             continue;
         }
         let mut off = WAL_MAGIC.len();
+        let mut parsed: Vec<WalBatch> = Vec::new();
         while off < bytes.len() {
             match decode_record(bytes.get(off..).unwrap_or(&[])) {
                 Ok((payload, consumed)) => {
                     off += consumed;
-                    match parse_batch_payload(payload) {
-                        Some(batch) => {
+                    parsed.clear();
+                    if parse_record_payload(payload, &mut parsed) {
+                        for batch in parsed.drain(..) {
                             scan.records += 1;
-                            scan.max_seq = Some(scan.max_seq.map_or(batch.seq, |m| m.max(batch.seq)));
+                            scan.max_seq =
+                                Some(scan.max_seq.map_or(batch.seq, |m| m.max(batch.seq)));
                             let fresh = batch.seq >= from_seq
                                 && last_kept.is_none_or(|l| batch.seq > l);
                             if fresh {
@@ -325,13 +373,12 @@ pub fn scan_wal(dir: &Path, from_seq: u64) -> Result<WalScan> {
                                 scan.batches.push(batch);
                             }
                         }
-                        None => {
-                            // CRC-valid frame with a malformed payload:
-                            // count it as corruption but keep framing —
-                            // the CRC says the frame boundary is sound.
-                            scan.torn_frames += 1;
-                            scan.dropped_bytes += consumed as u64;
-                        }
+                    } else {
+                        // CRC-valid frame with a malformed payload:
+                        // count it as corruption but keep framing —
+                        // the CRC says the frame boundary is sound.
+                        scan.torn_frames += 1;
+                        scan.dropped_bytes += consumed as u64;
                     }
                 }
                 Err(RecordError::Incomplete)
@@ -347,21 +394,54 @@ pub fn scan_wal(dir: &Path, from_seq: u64) -> Result<WalScan> {
     Ok(scan)
 }
 
-/// Decode one record payload; `None` if the declared key count does not
-/// match the payload length.
-pub(crate) fn parse_batch_payload(payload: &[u8]) -> Option<WalBatch> {
-    let seq = read_u64_le(payload, 0)?;
-    let nkeys = read_u32_le(payload, 8)? as usize;
-    let want = 12usize.checked_add(nkeys.checked_mul(8)?)?;
-    if payload.len() != want {
-        return None;
-    }
+/// Decode one batch at byte offset `off`; returns the batch and the
+/// offset just past it. `None` on any layout violation.
+fn parse_one_batch(payload: &[u8], off: usize) -> Option<(WalBatch, usize)> {
+    let seq = read_u64_le(payload, off)?;
+    let nkeys = read_u32_le(payload, off.checked_add(8)?)? as usize;
+    let start = off.checked_add(12)?;
+    let end = start.checked_add(nkeys.checked_mul(8)?)?;
     let keys: Vec<u64> = payload
-        .get(12..)?
+        .get(start..end)?
         .chunks_exact(8)
         .filter_map(|c| read_u64_le(c, 0))
         .collect();
-    Some(WalBatch { seq, keys })
+    Some((WalBatch { seq, keys }, end))
+}
+
+/// Decode one CRC-valid record payload — a legacy single-batch record
+/// or a multi-batch run record — appending its batches to `out` in
+/// order. Returns `false` (and appends nothing) on a malformed payload:
+/// a record decodes all-or-nothing, mirroring its all-or-nothing CRC.
+pub(crate) fn parse_record_payload(payload: &[u8], out: &mut Vec<WalBatch>) -> bool {
+    if payload.get(..RUN_MAGIC.len()) == Some(RUN_MAGIC.as_slice()) {
+        let Some(nbatches) = read_u32_le(payload, 8) else {
+            return false;
+        };
+        let mut off = 12usize;
+        let mut run = Vec::new();
+        for _ in 0..nbatches {
+            match parse_one_batch(payload, off) {
+                Some((batch, next)) => {
+                    run.push(batch);
+                    off = next;
+                }
+                None => return false,
+            }
+        }
+        if off != payload.len() {
+            return false;
+        }
+        out.extend(run);
+        return true;
+    }
+    match parse_one_batch(payload, 0) {
+        Some((batch, end)) if end == payload.len() => {
+            out.push(batch);
+            true
+        }
+        _ => false,
+    }
 }
 
 /// Delete WAL segments made wholly redundant by a checkpoint at
@@ -555,6 +635,104 @@ mod tests {
         // Pruning at watermark 0 removes nothing.
         assert_eq!(prune_wal(&dir, 0).unwrap(), 0);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_record_round_trips_and_matches_per_batch_form() {
+        let batches: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![], vec![9]];
+
+        let run_dir = temp_dir("run");
+        let mut w = WalWriter::open(&run_dir, 10, FsyncPolicy::Off, DEFAULT_SEGMENT_BYTES).unwrap();
+        w.append_run(10, &batches);
+        let stats = w.commit().unwrap();
+        assert_eq!((stats.records, stats.keys), (3, 4), "records counts logical batches");
+        drop(w);
+
+        let legacy_dir = temp_dir("run-legacy");
+        let mut w = WalWriter::open(&legacy_dir, 10, FsyncPolicy::Off, DEFAULT_SEGMENT_BYTES).unwrap();
+        for (i, batch) in batches.iter().enumerate() {
+            w.append(10 + i as u64, batch);
+        }
+        w.commit().unwrap();
+        drop(w);
+
+        let run_scan = scan_wal(&run_dir, 0).unwrap();
+        let legacy_scan = scan_wal(&legacy_dir, 0).unwrap();
+        assert_eq!(run_scan.batches, legacy_scan.batches);
+        assert_eq!(run_scan.records, legacy_scan.records);
+        assert_eq!(run_scan.max_seq, Some(12));
+        assert_eq!(run_scan.torn_frames, 0);
+        // One frame for the run vs three for per-batch records.
+        assert!(run_scan.dropped_bytes == 0 && legacy_scan.dropped_bytes == 0);
+        fs::remove_dir_all(&run_dir).unwrap();
+        fs::remove_dir_all(&legacy_dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_legacy_and_run_records_scan_in_order() {
+        let dir = temp_dir("mixed");
+        let mut w = WalWriter::open(&dir, 0, FsyncPolicy::Off, DEFAULT_SEGMENT_BYTES).unwrap();
+        w.append(0, &[100]);
+        w.append_run(1, &[vec![101], vec![102, 103]]);
+        w.append(3, &[104]);
+        w.commit().unwrap();
+        drop(w);
+        let scan = scan_wal(&dir, 0).unwrap();
+        assert_eq!(scan.records, 4);
+        assert_eq!(
+            scan.batches,
+            vec![
+                WalBatch { seq: 0, keys: vec![100] },
+                WalBatch { seq: 1, keys: vec![101] },
+                WalBatch { seq: 2, keys: vec![102, 103] },
+                WalBatch { seq: 3, keys: vec![104] },
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_run_stages_nothing() {
+        let dir = temp_dir("empty-run");
+        let mut w = WalWriter::open(&dir, 0, FsyncPolicy::Off, DEFAULT_SEGMENT_BYTES).unwrap();
+        w.append_run(0, &[]);
+        assert_eq!(w.commit().unwrap(), CommitStats::default());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_run_record_is_all_or_nothing() {
+        // A run record whose payload is damaged past the CRC (simulated
+        // by handcrafting payloads) contributes no batches at all.
+        let mut good = Vec::new();
+        good.extend_from_slice(RUN_MAGIC);
+        good.extend_from_slice(&2u32.to_le_bytes());
+        for (seq, key) in [(5u64, 50u64), (6, 60)] {
+            good.extend_from_slice(&seq.to_le_bytes());
+            good.extend_from_slice(&1u32.to_le_bytes());
+            good.extend_from_slice(&key.to_le_bytes());
+        }
+        let mut out = Vec::new();
+        assert!(parse_record_payload(&good, &mut out));
+        assert_eq!(out.len(), 2);
+
+        // Truncated anywhere inside: rejected whole, never a partial run.
+        for cut in 0..good.len() {
+            out.clear();
+            assert!(!parse_record_payload(&good[..cut], &mut out), "truncation at {cut} accepted");
+            assert!(out.is_empty(), "truncation at {cut} leaked batches");
+        }
+        // Trailing garbage: rejected.
+        let mut padded = good.clone();
+        padded.push(0);
+        out.clear();
+        assert!(!parse_record_payload(&padded, &mut out));
+        // Hostile batch count: rejected without large allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(RUN_MAGIC);
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        out.clear();
+        assert!(!parse_record_payload(&hostile, &mut out));
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Shipping plans: turning tailed WAL batches into bounded `REPL_BATCH`
 //! frames and reasoning about the acks they should produce.
 //!
+//! Plans are *subslices* of the tailer's batch run — no keys are copied
+//! at planning time. The BIN1 shipper encodes a chunk straight from the
+//! borrowed slices ([`runs_for`]); only the JSON fallback materializes
+//! owned [`ReplFrame`]s ([`frames_for`]).
+//!
 //! AUDIT: total — planning runs on every shipper poll against data read
 //! back from disk; it must never panic. Enforced by `cargo xtask audit`
 //! (lint-totality).
@@ -8,43 +13,61 @@
 use cots_persist::WalBatch;
 use cots_serve::ReplFrame;
 
-/// Chunk a run of tailed WAL batches into `REPL_BATCH` payloads, each
-/// carrying at most `max_keys` keys. Batches are never split — a batch
-/// is the unit of ack — so a single batch larger than `max_keys` still
-/// ships, alone in its own chunk. Order is preserved.
-pub fn plan_frames(batches: &[WalBatch], max_keys: usize) -> Vec<Vec<ReplFrame>> {
-    let mut chunks: Vec<Vec<ReplFrame>> = Vec::new();
-    let mut current: Vec<ReplFrame> = Vec::new();
+/// Chunk a run of tailed WAL batches into `REPL_BATCH`-sized subslices,
+/// each carrying at most `max_keys` keys. Batches are never split — a
+/// batch is the unit of ack — so a single batch larger than `max_keys`
+/// still ships, alone in its own chunk. Order is preserved.
+pub fn plan_chunks(batches: &[WalBatch], max_keys: usize) -> Vec<&[WalBatch]> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
     let mut current_keys = 0usize;
-    for batch in batches {
+    for (i, batch) in batches.iter().enumerate() {
         let n = batch.keys.len();
-        if !current.is_empty() && current_keys.saturating_add(n) > max_keys {
-            chunks.push(std::mem::take(&mut current));
+        if i > start && current_keys.saturating_add(n) > max_keys {
+            if let Some(chunk) = batches.get(start..i) {
+                chunks.push(chunk);
+            }
+            start = i;
             current_keys = 0;
         }
         current_keys = current_keys.saturating_add(n);
-        current.push(ReplFrame {
-            seq: batch.seq,
-            keys: batch.keys.clone(),
-        });
     }
-    if !current.is_empty() {
-        chunks.push(current);
+    if let Some(chunk) = batches.get(start..) {
+        if !chunk.is_empty() {
+            chunks.push(chunk);
+        }
     }
     chunks
 }
 
-/// The ack a standby that applies every frame of this chunk will return:
+/// Owned `REPL_FRAME`s for one planned chunk — the JSON encoding path.
+pub fn frames_for(chunk: &[WalBatch]) -> Vec<ReplFrame> {
+    chunk
+        .iter()
+        .map(|b| ReplFrame {
+            seq: b.seq,
+            keys: b.keys.clone(),
+        })
+        .collect()
+}
+
+/// Borrowed `(seq, keys)` runs for one planned chunk — the BIN1
+/// encoding path feeds these straight to the wire without copying keys.
+pub fn runs_for(chunk: &[WalBatch]) -> Vec<(u64, &[u64])> {
+    chunk.iter().map(|b| (b.seq, b.keys.as_slice())).collect()
+}
+
+/// The ack a standby that applies every batch of this chunk will return:
 /// one past the last sequence shipped. `None` for an empty chunk.
-pub fn expected_ack(frames: &[ReplFrame]) -> Option<u64> {
-    frames.last().map(|f| f.seq.saturating_add(1))
+pub fn expected_ack(chunk: &[WalBatch]) -> Option<u64> {
+    chunk.last().map(|b| b.seq.saturating_add(1))
 }
 
 /// Whether a chunk is a gap-free run of consecutive sequences. The
 /// tailer only yields such runs; a violation here means the plan (not
 /// the log) is wrong, so the shipper re-subscribes instead of sending.
-pub fn is_contiguous(frames: &[ReplFrame]) -> bool {
-    frames
+pub fn is_contiguous(chunk: &[WalBatch]) -> bool {
+    chunk
         .windows(2)
         .all(|w| matches!(w, [a, b] if b.seq == a.seq.saturating_add(1)))
 }
@@ -63,46 +86,57 @@ mod tests {
     #[test]
     fn chunks_respect_the_key_budget_without_splitting_batches() {
         let batches = vec![batch(0, 3), batch(1, 3), batch(2, 3), batch(3, 1)];
-        let chunks = plan_frames(&batches, 6);
+        let chunks = plan_chunks(&batches, 6);
         assert_eq!(chunks.len(), 2);
         assert_eq!(
-            chunks.iter().map(Vec::len).collect::<Vec<_>>(),
+            chunks.iter().map(|c| c.len()).collect::<Vec<_>>(),
             vec![2, 2],
             "3+3 fills the budget, 3+1 goes next"
         );
-        let seqs: Vec<u64> = chunks.iter().flatten().map(|f| f.seq).collect();
+        let seqs: Vec<u64> = chunks.iter().flat_map(|c| c.iter()).map(|b| b.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3], "order preserved across chunks");
     }
 
     #[test]
     fn oversized_batch_ships_alone() {
         let batches = vec![batch(0, 1), batch(1, 100), batch(2, 1)];
-        let chunks = plan_frames(&batches, 10);
+        let chunks = plan_chunks(&batches, 10);
         assert_eq!(chunks.len(), 3);
         assert_eq!(chunks[1][0].keys.len(), 100);
     }
 
     #[test]
     fn empty_input_plans_nothing() {
-        assert!(plan_frames(&[], 10).is_empty());
+        assert!(plan_chunks(&[], 10).is_empty());
         assert_eq!(expected_ack(&[]), None);
         assert!(is_contiguous(&[]));
     }
 
     #[test]
     fn expected_ack_is_one_past_the_last_seq() {
-        let chunks = plan_frames(&[batch(5, 1), batch(6, 2)], 100);
+        let batches = [batch(5, 1), batch(6, 2)];
+        let chunks = plan_chunks(&batches, 100);
         assert_eq!(chunks.len(), 1);
-        assert_eq!(expected_ack(&chunks[0]), Some(7));
-        assert!(is_contiguous(&chunks[0]));
+        assert_eq!(expected_ack(chunks[0]), Some(7));
+        assert!(is_contiguous(chunks[0]));
     }
 
     #[test]
     fn gaps_are_detected() {
-        let frames = vec![
-            ReplFrame { seq: 3, keys: vec![] },
-            ReplFrame { seq: 5, keys: vec![] },
-        ];
-        assert!(!is_contiguous(&frames));
+        let batches = [batch(3, 0), batch(5, 0)];
+        assert!(!is_contiguous(&batches));
+    }
+
+    #[test]
+    fn both_encodings_plan_the_same_chunk() {
+        let batches = [batch(7, 2), batch(8, 1)];
+        let chunks = plan_chunks(&batches, 100);
+        let frames = frames_for(chunks[0]);
+        let runs = runs_for(chunks[0]);
+        assert_eq!(frames.len(), runs.len());
+        for (f, (seq, keys)) in frames.iter().zip(&runs) {
+            assert_eq!(f.seq, *seq);
+            assert_eq!(f.keys.as_slice(), *keys);
+        }
     }
 }

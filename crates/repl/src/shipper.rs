@@ -22,9 +22,10 @@ use std::time::Duration;
 
 use cots_core::{CotsError, ReplReport, Result};
 use cots_persist::{load_ack, store_ack, WalTailer};
-use cots_serve::{Client, Persistence, Request, Response, Service};
+use cots_serve::frame::Payload;
+use cots_serve::{bin1, Client, Persistence, Request, Response, Service};
 
-use crate::plan::{expected_ack, is_contiguous, plan_frames};
+use crate::plan::{expected_ack, frames_for, is_contiguous, plan_chunks, runs_for};
 
 /// Tuning knobs for one shipper thread.
 #[derive(Debug, Clone)]
@@ -228,21 +229,26 @@ fn stream(
             sleep_unless_stopped(stop, config.poll_interval);
             continue;
         }
-        for chunk in plan_frames(&batches, config.max_keys_per_frame) {
-            if !is_contiguous(&chunk) {
+        for chunk in plan_chunks(&batches, config.max_keys_per_frame) {
+            if !is_contiguous(chunk) {
                 // Shipping plan lost contiguity: resubscribe.
                 return Err(SessionEnd::Io);
             }
-            let expected = expected_ack(&chunk);
+            let expected = expected_ack(chunk);
             let chunk_batches = chunk.len() as u64;
-            let chunk_keys: u64 = chunk.iter().map(|f| f.keys.len() as u64).sum();
-            let got = call_acked(
-                client,
-                &Request::ReplBatch {
+            let chunk_keys: u64 = chunk.iter().map(|b| b.keys.len() as u64).sum();
+            // A negotiated standby gets BIN1 framed straight from the
+            // tailer's buffers — no per-frame key clone; the JSON
+            // fallback materializes owned frames.
+            let payload = if client.is_binary() {
+                Payload::Bin(bin1::encode_repl_batch_runs(lineage, &runs_for(chunk)))
+            } else {
+                client.encode_request(&Request::ReplBatch {
                     lineage,
-                    batches: chunk,
-                },
-            )?;
+                    batches: frames_for(chunk),
+                })
+            };
+            let got = call_acked_payload(client, &payload)?;
             if Some(got) != expected {
                 // The standby applied a prefix (or none): rewind the
                 // tail cursor to its watermark and try again from there.
@@ -264,7 +270,18 @@ fn stream(
 /// response tears the session down — an explicit `Error` as a refusal
 /// (parked retry), anything else as a transport-level failure.
 fn call_acked(client: &mut Client, request: &Request) -> std::result::Result<u64, SessionEnd> {
-    match client.call(request)? {
+    let payload = client.encode_request(request);
+    call_acked_payload(client, &payload)
+}
+
+/// [`call_acked`] for an already-encoded payload (the BIN1 streaming
+/// path encodes straight from borrowed WAL buffers).
+fn call_acked_payload(
+    client: &mut Client,
+    payload: &Payload,
+) -> std::result::Result<u64, SessionEnd> {
+    client.send_payload(payload)?;
+    match client.recv()? {
         Response::ReplAck { ack_seq } => Ok(ack_seq),
         Response::Error { message } => Err(SessionEnd::Refused(message)),
         // Anything else is a protocol surprise: tear down and reconnect.

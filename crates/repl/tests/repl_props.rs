@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use cots::CotsEngine;
 use cots_core::{CotsConfig, QueryableSummary};
 use cots_persist::{scan_wal, FsyncPolicy, WalTailer, WalWriter};
-use cots_repl::{expected_ack, is_contiguous, plan_frames};
+use cots_repl::{expected_ack, frames_for, is_contiguous, plan_chunks};
 use cots_serve::protocol::{decode, encode, ReplFrame, Request, Response};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -99,9 +99,9 @@ proptest! {
             .enumerate()
             .map(|(i, keys)| cots_persist::WalBatch { seq: base + i as u64, keys: keys.clone() })
             .collect();
-        let chunks = plan_frames(&batches, budget);
+        let chunks = plan_chunks(&batches, budget);
         let flat: Vec<(u64, Vec<u64>)> =
-            chunks.iter().flatten().map(|f| (f.seq, f.keys.clone())).collect();
+            chunks.iter().flat_map(|c| c.iter()).map(|b| (b.seq, b.keys.clone())).collect();
         let original: Vec<(u64, Vec<u64>)> =
             batches.iter().map(|b| (b.seq, b.keys.clone())).collect();
         prop_assert_eq!(flat, original, "chunking loses or reorders nothing");
@@ -142,7 +142,8 @@ proptest! {
             }
             tailed.extend(got);
         }
-        let frames: Vec<ReplFrame> = plan_frames(&tailed, budget).into_iter().flatten().collect();
+        let frames: Vec<ReplFrame> =
+            plan_chunks(&tailed, budget).into_iter().flat_map(frames_for).collect();
         prop_assert_eq!(frames.len(), runs.len());
 
         // Apply a prefix of the shipped frames (what a standby that lost

@@ -175,7 +175,6 @@ fn diverged_standby_is_refused_and_flagged_for_resync() {
 
     let standby = bind(&standby_dir, true, None);
     let standby_addr = standby.local_addr().to_string();
-    let standby_service = standby.service().clone();
     let standby_thread = std::thread::spawn(move || standby.run());
 
     let primary = bind(&primary_dir, false, Some(standby_addr.clone()));

@@ -5,8 +5,13 @@
 //! cots-load --addr 127.0.0.1:4040 --items 10000000 [--alphabet 100000]
 //!           [--alpha 1.5] [--seed 42] [--resume R] [--batch 8192]
 //!           [--connections 2] [--qps 0] [--phi 0.01] [--check]
-//!           [--json PATH] [--shutdown]
+//!           [--wire auto|json|binary] [--json PATH] [--shutdown]
 //! ```
+//!
+//! `--wire` picks the `INGEST` encoding: `auto` (the default) uses BIN1
+//! whenever the server advertises the `bin` feature, `json` forces the
+//! JSON fallback, and `binary` *requires* BIN1 (failing loudly against
+//! a server that cannot speak it).
 //!
 //! `--resume R` skips the first `R` items of the seeded stream and sends
 //! the next `--items` after them — the deterministic way to continue a
@@ -22,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: cots-load [--addr HOST:PORT] [--items N] [--alphabet A] [--alpha Z] \
          [--seed S] [--resume R] [--batch B] [--connections C] [--qps Q] [--phi PHI] \
-         [--check] [--json PATH] [--shutdown]"
+         [--check] [--wire auto|json|binary] [--json PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -56,6 +61,7 @@ fn main() {
             "--qps" => config.qps = parse("--qps", args.next()),
             "--phi" => config.phi = parse("--phi", args.next()),
             "--check" => config.check = true,
+            "--wire" => config.wire = parse("--wire", args.next()),
             "--json" => json_path = Some(parse("--json", args.next())),
             "--shutdown" => shutdown = true,
             "--help" | "-h" => usage(),
@@ -83,6 +89,17 @@ fn main() {
         println!(
             "latency: {} round trips, p50={}us p99={}us max={}us (worst connection p99={}us)",
             lat.samples, lat.p50_us, lat.p99_us, lat.max_us, lat.worst_connection_p99_us
+        );
+    }
+    if let Some(wire) = &report.wire {
+        println!(
+            "wire: {} encoding, {} frames, encode p50={}ns p99={}ns, decode p50={}ns p99={}ns",
+            wire.mode,
+            wire.frames,
+            wire.encode_p50_ns,
+            wire.encode_p99_ns,
+            wire.decode_p50_ns,
+            wire.decode_p99_ns
         );
     }
     let mut failed = false;

@@ -5,7 +5,8 @@
 //!            [--window W] [--refresh-ms 20] [--queue-batches 64]
 //!            [--io-model reactor|threads] [--reactor-threads R]
 //!            [--data-dir DIR] [--fsync always|grouped|off]
-//!            [--checkpoint-ms 5000] [--wal-segment-mb 8] [--standby]
+//!            [--checkpoint-ms 5000] [--wal-segment-mb 8]
+//!            [--wal-records run|per-batch] [--standby]
 //! ```
 //!
 //! `--io-model` selects the connection front-end: `reactor` (default) —
@@ -43,7 +44,7 @@ fn usage() -> ! {
          [--window W] [--refresh-ms MS] [--queue-batches Q] \
          [--io-model reactor|threads] [--reactor-threads R] \
          [--data-dir DIR] [--fsync always|grouped|off] [--checkpoint-ms MS] \
-         [--wal-segment-mb MB] [--standby]"
+         [--wal-segment-mb MB] [--wal-records run|per-batch] [--standby]"
     );
     std::process::exit(2);
 }
@@ -67,6 +68,7 @@ fn main() {
     let mut fsync = cots_persist::FsyncPolicy::default();
     let mut checkpoint_ms: u64 = 5_000;
     let mut wal_segment_mb: u64 = 8;
+    let mut wal_runs = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -84,6 +86,16 @@ fn main() {
             "--fsync" => fsync = parse("--fsync", args.next()),
             "--checkpoint-ms" => checkpoint_ms = parse("--checkpoint-ms", args.next()),
             "--wal-segment-mb" => wal_segment_mb = parse("--wal-segment-mb", args.next()),
+            "--wal-records" => {
+                wal_runs = match parse::<String>("--wal-records", args.next()).as_str() {
+                    "run" => true,
+                    "per-batch" => false,
+                    other => {
+                        eprintln!("--wal-records: expected `run` or `per-batch`, got `{other}`");
+                        usage();
+                    }
+                }
+            }
             "--standby" => config.standby = true,
             "--help" | "-h" => usage(),
             other => {
@@ -105,6 +117,7 @@ fn main() {
         opts.fsync = fsync;
         opts.checkpoint_every = Duration::from_millis(checkpoint_ms);
         opts.segment_bytes = wal_segment_mb.saturating_mul(1024 * 1024).max(1);
+        opts.wal_runs = wal_runs;
         config.persist = Some(opts);
     }
     if io.reactor_threads == 0 {

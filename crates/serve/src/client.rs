@@ -1,4 +1,14 @@
 //! A blocking client for the framed protocol.
+//!
+//! The client always speaks JSON for control and query operations. At
+//! `HELLO` time it advertises the `"bin"` feature; when the server
+//! advertises it back, the bulk operations (`INGEST`, `REPL_BATCH`,
+//! `SNAPSHOT_PAGE`) switch to the BIN1 binary encoding automatically
+//! (see [`crate::bin1`]). [`Client::set_binary`] forces JSON back on
+//! for differential testing, as does `COTS_WIRE=json` in the
+//! environment; responses of either encoding are always accepted, so a
+//! JSON `Error` answering a binary request never desynchronizes the
+//! conversation.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::TcpStream;
@@ -6,13 +16,18 @@ use std::time::Duration;
 
 use cots_core::{CotsError, CounterEntry, Result, ServiceReport};
 
-use crate::frame::{read_frame, write_frame};
+use crate::bin1;
+use crate::frame::{read_frame, write_payload, Payload};
 use crate::protocol::{decode, encode, QueryReq, QueryStamp, Request, Response, PROTO_VERSION};
 
 /// One connection to a `cots-serve` instance.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The server advertised `"bin"` in its `HELLO_ACK`.
+    bin_negotiated: bool,
+    /// BIN1 is negotiated *and* enabled (see [`Client::set_binary`]).
+    bin: bool,
 }
 
 impl Client {
@@ -36,20 +51,29 @@ impl Client {
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
+            bin_negotiated: false,
+            bin: false,
         })
     }
 
     /// Perform the `HELLO` handshake, returning the server's protocol
-    /// version and feature flags.
+    /// version and feature flags. Advertises the `"bin"` feature and
+    /// switches the bulk operations to BIN1 when the server advertises
+    /// it back (unless `COTS_WIRE=json` is set in the environment).
     pub fn hello(&mut self) -> Result<(u32, Vec<String>)> {
         match self.call(&Request::Hello {
             proto_version: PROTO_VERSION,
-            features: Vec::new(),
+            features: vec!["bin".to_string()],
         })? {
             Response::HelloAck {
                 proto_version,
                 features,
-            } => Ok((proto_version, features)),
+            } => {
+                self.bin_negotiated = features.iter().any(|f| f == "bin");
+                let force_json = std::env::var_os("COTS_WIRE").is_some_and(|v| v == "json");
+                self.bin = self.bin_negotiated && !force_json;
+                Ok((proto_version, features))
+            }
             Response::UnsupportedVersion {
                 supported,
                 requested,
@@ -62,25 +86,85 @@ impl Client {
         }
     }
 
+    /// Whether the bulk operations currently go out as BIN1.
+    pub fn is_binary(&self) -> bool {
+        self.bin
+    }
+
+    /// Force the wire encoding for bulk operations: `false` always
+    /// falls back to JSON; `true` takes effect only if the server
+    /// negotiated `"bin"`. Returns the effective state.
+    pub fn set_binary(&mut self, on: bool) -> bool {
+        self.bin = on && self.bin_negotiated;
+        self.bin
+    }
+
     /// Set the read timeout for responses (`None` blocks forever).
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
+    /// Encode `request` for this connection: BIN1 when negotiated and
+    /// the operation has a binary form, JSON otherwise.
+    pub fn encode_request(&self, request: &Request) -> Payload {
+        if self.bin {
+            if let Some(bytes) = bin1::encode_request(request) {
+                return Payload::Bin(bytes);
+            }
+        }
+        Payload::Json(encode(request))
+    }
+
+    /// Encode one `INGEST` for this connection. The BIN1 path goes
+    /// straight from the key slice to wire bytes — no `Request` clone —
+    /// and either payload can be resent verbatim on `OVERLOADED`.
+    pub fn encode_ingest(&self, keys: &[u64]) -> Payload {
+        if self.bin {
+            Payload::Bin(bin1::encode_ingest(keys))
+        } else {
+            Payload::Json(encode(&Request::Ingest {
+                keys: keys.to_vec(),
+            }))
+        }
+    }
+
     /// Send one request without waiting for its response (pipelining).
     pub fn send(&mut self, request: &Request) -> Result<()> {
-        write_frame(&mut self.writer, &encode(request))?;
+        let payload = self.encode_request(request);
+        self.send_payload(&payload)
+    }
+
+    /// Send one already-encoded payload (loadgen uses this to time
+    /// encoding separately from the round trip).
+    pub fn send_payload(&mut self, payload: &Payload) -> Result<()> {
+        write_payload(&mut self.writer, payload)?;
         Ok(())
     }
 
-    /// Receive the next response in FIFO order.
-    pub fn recv(&mut self) -> Result<Response> {
+    /// Receive the next raw response payload in FIFO order.
+    pub fn recv_payload(&mut self) -> Result<Payload> {
         match read_frame(&mut self.reader)? {
-            Some(payload) => decode(&payload),
+            Some(payload) => Ok(payload),
             None => Err(CotsError::Protocol(
                 "connection closed mid-conversation".into(),
             )),
         }
+    }
+
+    /// Decode a response payload of either encoding.
+    pub fn decode_response(payload: &Payload) -> Result<Response> {
+        match payload {
+            Payload::Json(text) => decode(text),
+            Payload::Bin(bytes) => {
+                bin1::decode_response(bytes).map_err(|e| CotsError::Protocol(e.to_string()))
+            }
+        }
+    }
+
+    /// Receive the next response in FIFO order (either encoding).
+    pub fn recv(&mut self) -> Result<Response> {
+        let payload = self.recv_payload()?;
+        Self::decode_response(&payload)
     }
 
     /// Send a request and wait for its response.
@@ -92,12 +176,13 @@ impl Client {
     /// Ingest a batch, retrying with backoff while the server reports
     /// `OVERLOADED`. Returns the number of retries taken.
     pub fn ingest(&mut self, keys: &[u64]) -> Result<u64> {
-        let request = Request::Ingest {
-            keys: keys.to_vec(),
-        };
+        // Encode once, up front; overload retries resend the same
+        // buffer without re-encoding.
+        let payload = self.encode_ingest(keys);
         let mut retries = 0;
         loop {
-            match self.call(&request)? {
+            self.send_payload(&payload)?;
+            match self.recv()? {
                 Response::IngestAck { enqueued } => {
                     if enqueued != keys.len() as u64 {
                         return Err(CotsError::Protocol(format!(

@@ -4,8 +4,18 @@
 //!
 //! ```text
 //! length  4 bytes   little-endian u32, byte length of the payload
-//! payload length bytes, UTF-8 JSON (see [`crate::protocol`])
+//! payload length bytes, UTF-8 JSON (see [`crate::protocol`]) or a
+//!         BIN1 binary payload (see [`crate::bin1`]) whose first byte
+//!         is [`BIN1_MAGIC`]
 //! ```
+//!
+//! The two payload encodings are distinguished by the first payload
+//! byte: `0xB1` can never begin well-formed UTF-8 (it is a continuation
+//! byte), so a JSON payload can never be mistaken for BIN1 and — by the
+//! same argument — a server that predates BIN1 rejects a binary frame
+//! cleanly as "not UTF-8" instead of misparsing it. Whether a peer is
+//! *allowed* to send BIN1 is negotiated at HELLO time and enforced by
+//! the dispatch layer, not here; the framing layer is encoding-neutral.
 //!
 //! Frames are capped at [`MAX_FRAME`] bytes so a corrupt or hostile length
 //! prefix cannot make the server allocate unbounded memory. Decoding is
@@ -18,9 +28,58 @@
 use std::io::{self, Read, Write};
 
 /// Maximum payload size in bytes (16 MiB). A 16 Ki-key ingest batch
-/// encodes to well under 400 KiB of JSON, so this leaves two orders of
-/// magnitude of headroom while still bounding per-connection memory.
+/// encodes to well under 400 KiB of JSON (and an eighth of that as
+/// BIN1), so this leaves two orders of magnitude of headroom while
+/// still bounding per-connection memory.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// First byte of every BIN1 payload. `0xB1` is a UTF-8 continuation
+/// byte, so no JSON payload can start with it and pre-BIN1 peers reject
+/// it as malformed rather than misreading it.
+pub const BIN1_MAGIC: u8 = 0xB1;
+
+/// One frame's payload: UTF-8 JSON text, or a BIN1 binary message.
+///
+/// `Bin` payloads always start with [`BIN1_MAGIC`] (the decode side
+/// classifies on that byte; the encode side asserts it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// UTF-8 JSON text (the default encoding; always accepted).
+    Json(String),
+    /// BIN1 binary bytes, first byte [`BIN1_MAGIC`] (negotiated).
+    Bin(Vec<u8>),
+}
+
+impl Payload {
+    /// The raw payload bytes as they travel on the wire.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            Payload::Json(s) => s.as_bytes(),
+            Payload::Bin(b) => b.as_slice(),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the payload is empty (only possible for `Json`).
+    pub fn is_empty(&self) -> bool {
+        self.bytes().is_empty()
+    }
+
+    /// Whether this is a BIN1 payload.
+    pub fn is_bin(&self) -> bool {
+        matches!(self, Payload::Bin(_))
+    }
+}
+
+impl From<String> for Payload {
+    fn from(s: String) -> Self {
+        Payload::Json(s)
+    }
+}
 
 /// Why a frame could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +89,7 @@ pub enum FrameError {
     Incomplete,
     /// The length prefix exceeds [`MAX_FRAME`].
     TooLarge(usize),
-    /// The payload is not valid UTF-8.
+    /// The payload is neither valid UTF-8 nor BIN1.
     Malformed(String),
 }
 
@@ -48,7 +107,7 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Encode a payload into a self-contained frame.
+/// Encode a JSON payload into a self-contained frame.
 ///
 /// Panics if the payload exceeds [`MAX_FRAME`]; callers produce payloads
 /// they sized themselves.
@@ -63,25 +122,55 @@ pub fn encode_frame(payload: &str) -> Vec<u8> {
     out
 }
 
+/// Encode either payload kind into a self-contained frame.
+///
+/// Panics on the same caller bugs as [`encode_frame`]: an oversized
+/// payload, or a `Bin` payload not starting with [`BIN1_MAGIC`] (which
+/// the receiver would misclassify as JSON).
+pub fn encode_payload(payload: &Payload) -> Vec<u8> {
+    let bytes = payload.bytes();
+    // PANIC-OK: encode-side caller bugs, as in `encode_frame`.
+    assert!(bytes.len() <= MAX_FRAME, "payload exceeds MAX_FRAME");
+    if payload.is_bin() {
+        // PANIC-OK: a Bin payload without the magic is a caller bug —
+        // the peer would decode it as JSON.
+        assert!(bytes.first() == Some(&BIN1_MAGIC), "BIN1 payload missing magic");
+    }
+    let mut out = Vec::with_capacity(4 + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Classify raw payload bytes as JSON or BIN1.
+///
+/// Total: BIN1 when the first byte is [`BIN1_MAGIC`], otherwise the
+/// bytes must be valid UTF-8.
+fn classify(body: &[u8]) -> Result<Payload, FrameError> {
+    if body.first() == Some(&BIN1_MAGIC) {
+        return Ok(Payload::Bin(body.to_vec()));
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    Ok(Payload::Json(text.to_string()))
+}
+
 /// Decode one frame from the front of `buf`.
 ///
 /// Returns the payload and the number of bytes consumed. Errors are total:
 /// any byte sequence either decodes, reports [`FrameError::Incomplete`]
 /// (more bytes needed), or is rejected.
-pub fn decode_frame(buf: &[u8]) -> Result<(String, usize), FrameError> {
+pub fn decode_frame(buf: &[u8]) -> Result<(Payload, usize), FrameError> {
     let prefix = buf.get(..4).ok_or(FrameError::Incomplete)?;
     let len = u32::from_le_bytes(prefix.try_into().map_err(|_| FrameError::Incomplete)?) as usize;
     if len > MAX_FRAME {
         return Err(FrameError::TooLarge(len));
     }
     let body = buf.get(4..4 + len).ok_or(FrameError::Incomplete)?;
-    let payload = std::str::from_utf8(body)
-        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?
-        .to_string();
-    Ok((payload, 4 + len))
+    Ok((classify(body)?, 4 + len))
 }
 
-/// Write one frame to a blocking stream.
+/// Write one JSON frame to a blocking stream.
 pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
@@ -91,6 +180,26 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Write one frame of either encoding to a blocking stream.
+pub fn write_payload(w: &mut impl Write, payload: &Payload) -> io::Result<()> {
+    let bytes = payload.bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            FrameError::TooLarge(bytes.len()).to_string(),
+        ));
+    }
+    if payload.is_bin() && bytes.first() != Some(&BIN1_MAGIC) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "BIN1 payload missing magic",
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
     w.flush()
 }
 
@@ -168,7 +277,7 @@ impl FrameAssembler {
     ///
     /// `Ok(None)` means "wait for more bytes". Any error means the
     /// stream is unrecoverable at this point.
-    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+    pub fn next_frame(&mut self) -> Result<Option<Payload>, FrameError> {
         let tail = self.buf.get(self.consumed..).unwrap_or(&[]);
         match decode_frame(tail) {
             Ok((payload, used)) => {
@@ -219,7 +328,7 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], allow_initial_timeout: bool) -> 
 /// EOF mid-frame and protocol violations surface as `InvalidData` errors.
 /// A read timeout before the frame's first byte propagates as-is (check
 /// with [`is_timeout`]); a timeout mid-frame keeps waiting.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Payload>> {
     let mut len_buf = [0u8; 4];
     // Distinguish "closed between frames" from "closed mid-prefix".
     let filled = read_full(r, &mut len_buf, true)?;
@@ -246,12 +355,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
             FrameError::Incomplete.to_string(),
         ));
     }
-    let payload = String::from_utf8(payload).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            FrameError::Malformed(format!("payload is not UTF-8: {e}")).to_string(),
-        )
-    })?;
+    let payload = classify(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     Ok(Some(payload))
 }
 
@@ -259,11 +364,15 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
 mod tests {
     use super::*;
 
+    fn json(s: &str) -> Payload {
+        Payload::Json(s.to_string())
+    }
+
     #[test]
     fn encode_decode_round_trip() {
         let frame = encode_frame("{\"Stats\":null}");
         let (payload, used) = decode_frame(&frame).unwrap();
-        assert_eq!(payload, "{\"Stats\":null}");
+        assert_eq!(payload, json("{\"Stats\":null}"));
         assert_eq!(used, frame.len());
     }
 
@@ -271,8 +380,18 @@ mod tests {
     fn empty_payload_is_valid() {
         let frame = encode_frame("");
         let (payload, used) = decode_frame(&frame).unwrap();
-        assert_eq!(payload, "");
+        assert_eq!(payload, json(""));
         assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn bin_payload_round_trips() {
+        let body = vec![BIN1_MAGIC, 0x01, 0x00, 0x00, 0x00, 0x00];
+        let frame = encode_payload(&Payload::Bin(body.clone()));
+        let (payload, used) = decode_frame(&frame).unwrap();
+        assert_eq!(payload, Payload::Bin(body));
+        assert_eq!(used, frame.len());
+        assert!(payload.is_bin());
     }
 
     #[test]
@@ -299,7 +418,7 @@ mod tests {
     }
 
     #[test]
-    fn non_utf8_payload_is_malformed() {
+    fn non_utf8_payload_without_magic_is_malformed() {
         let mut frame = Vec::new();
         frame.extend_from_slice(&2u32.to_le_bytes());
         frame.extend_from_slice(&[0xff, 0xfe]);
@@ -310,14 +429,38 @@ mod tests {
     }
 
     #[test]
+    fn magic_first_byte_classifies_as_bin_even_with_garbage_tail() {
+        // Framing accepts any BIN1-tagged bytes; op-level validation
+        // (and rejection) happens in `bin1::decode_*`, not here.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&3u32.to_le_bytes());
+        frame.extend_from_slice(&[BIN1_MAGIC, 0xff, 0xfe]);
+        let (payload, _) = decode_frame(&frame).unwrap();
+        assert_eq!(payload, Payload::Bin(vec![BIN1_MAGIC, 0xff, 0xfe]));
+    }
+
+    #[test]
     fn stream_round_trip_and_eof() {
         let mut buf = Vec::new();
         write_frame(&mut buf, "one").unwrap();
+        write_payload(&mut buf, &Payload::Bin(vec![BIN1_MAGIC, 0x03])).unwrap();
         write_frame(&mut buf, "two").unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("one"));
-        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("two"));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(json("one")));
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some(Payload::Bin(vec![BIN1_MAGIC, 0x03]))
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(json("two")));
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn write_payload_rejects_bin_without_magic() {
+        let mut buf = Vec::new();
+        let err = write_payload(&mut buf, &Payload::Bin(vec![0x00])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing written on rejection");
     }
 
     #[test]
@@ -325,6 +468,7 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&encode_frame("first"));
         bytes.extend_from_slice(&encode_frame(""));
+        bytes.extend_from_slice(&encode_payload(&Payload::Bin(vec![BIN1_MAGIC, 0x02])));
         bytes.extend_from_slice(&encode_frame("third"));
         let mut asm = FrameAssembler::new();
         let mut out = Vec::new();
@@ -334,7 +478,15 @@ mod tests {
                 out.push(p);
             }
         }
-        assert_eq!(out, vec!["first".to_string(), String::new(), "third".into()]);
+        assert_eq!(
+            out,
+            vec![
+                json("first"),
+                json(""),
+                Payload::Bin(vec![BIN1_MAGIC, 0x02]),
+                json("third")
+            ]
+        );
         assert_eq!(asm.pending(), 0);
     }
 
@@ -363,7 +515,7 @@ mod tests {
                 out.push(p);
             }
         }
-        assert_eq!(out, vec!["alpha".to_string(), String::new(), "gamma".into()]);
+        assert_eq!(out, vec![json("alpha"), json(""), json("gamma")]);
         assert_eq!(asm.pending(), 0);
     }
 

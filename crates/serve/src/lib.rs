@@ -16,9 +16,12 @@
 //!                   SnapshotPublisher ◀──capture──── CotsEngine / JumpingWindow
 //! ```
 //!
-//! * **Wire protocol** ([`frame`], [`protocol`]): length-prefixed frames
-//!   carrying externally-tagged JSON (`cots_core::json`): `INGEST`,
-//!   `QUERY`, `STATS`, `SNAPSHOT`, `SHUTDOWN`.
+//! * **Wire protocol** ([`frame`], [`protocol`], [`bin1`]):
+//!   length-prefixed frames carrying externally-tagged JSON
+//!   (`cots_core::json`): `INGEST`, `QUERY`, `STATS`, `SNAPSHOT`,
+//!   `SHUTDOWN`. Peers that negotiate the `"bin"` feature at `HELLO`
+//!   may carry the bulk ops (`INGEST`, `REPL_BATCH`, `SNAPSHOT_PAGE`)
+//!   as BIN1 fixed-LE binary payloads instead.
 //! * **Event-driven front-end** ([`reactor`], [`server`]): by default a
 //!   small fixed pool of reactor threads drives every connection via
 //!   readiness polling (epoll on Linux, `poll(2)` fallback) and
@@ -49,6 +52,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod bin1;
 pub mod client;
 pub mod frame;
 pub mod loadgen;
@@ -60,9 +64,10 @@ pub mod service;
 pub mod shard;
 pub mod spsc;
 
+pub use bin1::Bin1Error;
 pub use client::Client;
-pub use frame::{FrameAssembler, FrameError, MAX_FRAME};
-pub use loadgen::{LatencySummary, LoadConfig, LoadReport};
+pub use frame::{FrameAssembler, FrameError, Payload, BIN1_MAGIC, MAX_FRAME};
+pub use loadgen::{LatencySummary, LoadConfig, LoadReport, WireMode, WireSummary};
 pub use persistence::{PersistOptions, Persistence};
 pub use protocol::{
     QueryReq, QueryStamp, ReplFrame, Request, Response, MAX_PAGE_ENTRIES, MIN_PROTO_VERSION,

@@ -11,7 +11,32 @@ use cots_core::{CotsError, Result, Threshold};
 use cots_datagen::{ExactCounter, StreamSpec};
 
 use crate::client::Client;
-use crate::protocol::QueryReq;
+use crate::protocol::{QueryReq, Response};
+
+/// Which wire encoding the bulk `INGEST` path should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// BIN1 when the server advertises `"bin"`, JSON otherwise.
+    #[default]
+    Auto,
+    /// Force JSON even on a binary-capable server.
+    Json,
+    /// Require BIN1; error out if the server does not advertise it.
+    Binary,
+}
+
+impl std::str::FromStr for WireMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "json" => Ok(Self::Json),
+            "binary" => Ok(Self::Binary),
+            other => Err(format!("unknown wire mode `{other}`")),
+        }
+    }
+}
 
 /// What to replay and how hard.
 #[derive(Debug, Clone)]
@@ -42,6 +67,8 @@ pub struct LoadConfig {
     pub phi: f64,
     /// Verify answers against exact ground truth after quiescence.
     pub check: bool,
+    /// Wire encoding for the `INGEST` frames (see [`WireMode`]).
+    pub wire: WireMode,
 }
 
 impl Default for LoadConfig {
@@ -58,6 +85,7 @@ impl Default for LoadConfig {
             qps: 0,
             phi: 0.01,
             check: false,
+            wire: WireMode::Auto,
         }
     }
 }
@@ -101,6 +129,27 @@ pub struct LatencySummary {
     pub worst_connection_p99_us: u64,
 }
 
+/// Per-frame wire-codec cost over one load run: what the client spent
+/// turning key batches into bytes and acks back into responses, split
+/// out from the round trip so encode cost is visible independently of
+/// server latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSummary {
+    /// Effective encoding: `"binary"` (BIN1) or `"json"`.
+    pub mode: String,
+    /// `INGEST` frames encoded (one per batch; retries resend, not
+    /// re-encode).
+    pub frames: u64,
+    /// Median per-frame encode time, nanoseconds.
+    pub encode_p50_ns: u64,
+    /// 99th-percentile per-frame encode time, nanoseconds.
+    pub encode_p99_ns: u64,
+    /// Median per-ack decode time, nanoseconds.
+    pub decode_p50_ns: u64,
+    /// 99th-percentile per-ack decode time, nanoseconds.
+    pub decode_p99_ns: u64,
+}
+
 /// Everything one load run observed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -116,6 +165,8 @@ pub struct LoadReport {
     pub queries_issued: u64,
     /// Ingest round-trip latency (absent only for zero-frame runs).
     pub latency: Option<LatencySummary>,
+    /// Per-frame encode/decode cost (absent only for zero-frame runs).
+    pub wire: Option<WireSummary>,
     /// Answer verification, when requested.
     pub check: Option<CheckReport>,
 }
@@ -175,6 +226,32 @@ impl FromJson for LatencySummary {
     }
 }
 
+impl ToJson for WireSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("frames", self.frames.to_json()),
+            ("encode_p50_ns", self.encode_p50_ns.to_json()),
+            ("encode_p99_ns", self.encode_p99_ns.to_json()),
+            ("decode_p50_ns", self.decode_p50_ns.to_json()),
+            ("decode_p99_ns", self.decode_p99_ns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WireSummary {
+    fn from_json(v: &Json) -> JsonResult<Self> {
+        Ok(Self {
+            mode: String::from_json(v.field("mode")?)?,
+            frames: u64::from_json(v.field("frames")?)?,
+            encode_p50_ns: u64::from_json(v.field("encode_p50_ns")?)?,
+            encode_p99_ns: u64::from_json(v.field("encode_p99_ns")?)?,
+            decode_p50_ns: u64::from_json(v.field("decode_p50_ns")?)?,
+            decode_p99_ns: u64::from_json(v.field("decode_p99_ns")?)?,
+        })
+    }
+}
+
 impl ToJson for LoadReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -184,6 +261,7 @@ impl ToJson for LoadReport {
             ("overload_retries", self.overload_retries.to_json()),
             ("queries_issued", self.queries_issued.to_json()),
             ("latency", self.latency.to_json()),
+            ("wire", self.wire.to_json()),
             ("check", self.check.to_json()),
         ])
     }
@@ -198,6 +276,7 @@ impl FromJson for LoadReport {
             overload_retries: u64::from_json(v.field("overload_retries")?)?,
             queries_issued: u64::from_json(v.field("queries_issued")?)?,
             latency: Option::<LatencySummary>::from_json(v.field("latency")?)?,
+            wire: Option::<WireSummary>::from_json(v.field("wire")?)?,
             check: Option::<CheckReport>::from_json(v.field("check")?)?,
         })
     }
@@ -244,21 +323,27 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
     let queries = AtomicU64::new(0);
 
     let batches: Vec<&[u64]> = stream.chunks(config.batch).collect();
-    let per_conn_lat: Vec<Vec<u64>> = std::thread::scope(|s| -> Result<Vec<Vec<u64>>> {
+    let per_conn: Vec<ConnSamples> = std::thread::scope(|s| -> Result<Vec<ConnSamples>> {
         let batches = &batches;
         let mut handles = Vec::new();
         for c in 0..config.connections {
             let retries = &retries;
-            handles.push(s.spawn(move || -> Result<Vec<u64>> {
+            handles.push(s.spawn(move || -> Result<ConnSamples> {
                 let mut client = Client::connect(&config.addr)?;
-                let mut rtts = Vec::new();
+                apply_wire(&mut client, config.wire)?;
+                let mut samples = ConnSamples {
+                    binary: client.is_binary(),
+                    ..ConnSamples::default()
+                };
                 for batch in batches.iter().skip(c).step_by(config.connections) {
                     let sent = Instant::now();
-                    let r = client.ingest(batch)?;
-                    rtts.push(sent.elapsed().as_micros() as u64);
+                    let (r, enc_ns, dec_ns) = timed_ingest(&mut client, batch)?;
+                    samples.rtts.push(sent.elapsed().as_micros() as u64);
+                    samples.enc_ns.push(enc_ns);
+                    samples.dec_ns.push(dec_ns);
                     retries.fetch_add(r, Ordering::Relaxed);
                 }
-                Ok(rtts)
+                Ok(samples)
             }));
         }
         let query_handle = (config.qps > 0).then(|| {
@@ -279,7 +364,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
         let mut lats = Vec::new();
         for h in handles {
             match h.join().expect("ingest thread panicked") {
-                Ok(rtts) => lats.push(rtts),
+                Ok(samples) => lats.push(samples),
                 Err(e) => {
                     first_err.get_or_insert(e);
                 }
@@ -310,30 +395,117 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport> {
     };
 
     let elapsed_secs = elapsed.as_secs_f64();
+    let rtts: Vec<&[u64]> = per_conn.iter().map(|s| s.rtts.as_slice()).collect();
     Ok(LoadReport {
         items: config.items,
         elapsed_secs,
         meps: config.items as f64 / elapsed_secs.max(1e-9) / 1e6,
         overload_retries: retries.into_inner(),
         queries_issued: queries.into_inner(),
-        latency: summarize_latency(&per_conn_lat),
+        latency: summarize_latency(&rtts),
+        wire: summarize_wire(&per_conn),
         check,
     })
 }
 
+/// One ingest connection's raw measurements.
+#[derive(Debug, Default)]
+struct ConnSamples {
+    /// Per-frame round trips (send to ack, retries included), µs.
+    rtts: Vec<u64>,
+    /// Per-frame request encode time, ns.
+    enc_ns: Vec<u64>,
+    /// Per-frame ack decode time (last attempt), ns.
+    dec_ns: Vec<u64>,
+    /// The connection ran BIN1.
+    binary: bool,
+}
+
+/// Force the requested wire mode on a fresh connection.
+fn apply_wire(client: &mut Client, wire: WireMode) -> Result<()> {
+    match wire {
+        WireMode::Auto => Ok(()),
+        WireMode::Json => {
+            client.set_binary(false);
+            Ok(())
+        }
+        WireMode::Binary => {
+            if client.set_binary(true) {
+                Ok(())
+            } else {
+                Err(CotsError::Protocol(
+                    "--wire binary: the server did not advertise the `bin` feature".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// One `INGEST` with overload retries (mirroring [`Client::ingest`]),
+/// timing the encode and the final ack decode separately from the round
+/// trip. Returns `(retries, encode_ns, decode_ns)`.
+fn timed_ingest(client: &mut Client, keys: &[u64]) -> Result<(u64, u64, u64)> {
+    let t = Instant::now();
+    let payload = client.encode_ingest(keys);
+    let enc_ns = t.elapsed().as_nanos() as u64;
+    let mut retries = 0u64;
+    loop {
+        client.send_payload(&payload)?;
+        let raw = client.recv_payload()?;
+        let t = Instant::now();
+        let response = Client::decode_response(&raw)?;
+        let dec_ns = t.elapsed().as_nanos() as u64;
+        match response {
+            Response::IngestAck { enqueued } => {
+                if enqueued != keys.len() as u64 {
+                    return Err(CotsError::Protocol(format!(
+                        "acked {enqueued} of {} keys",
+                        keys.len()
+                    )));
+                }
+                return Ok((retries, enc_ns, dec_ns));
+            }
+            Response::Overloaded => {
+                retries += 1;
+                std::thread::sleep(Duration::from_micros((50 * retries).min(5_000)));
+            }
+            other => {
+                return Err(CotsError::Protocol(format!(
+                    "unexpected ingest response: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
 /// Aggregate per-connection RTT samples into a [`LatencySummary`].
-fn summarize_latency(per_conn: &[Vec<u64>]) -> Option<LatencySummary> {
+fn summarize_latency(per_conn: &[&[u64]]) -> Option<LatencySummary> {
     let worst_connection_p99_us = per_conn
         .iter()
         .filter_map(|rtts| percentile(rtts, 99))
         .max()?;
-    let all: Vec<u64> = per_conn.iter().flatten().copied().collect();
+    let all: Vec<u64> = per_conn.iter().flat_map(|r| r.iter()).copied().collect();
     Some(LatencySummary {
         samples: all.len() as u64,
         p50_us: percentile(&all, 50)?,
         p99_us: percentile(&all, 99)?,
         max_us: all.iter().copied().max()?,
         worst_connection_p99_us,
+    })
+}
+
+/// Aggregate per-connection codec samples into a [`WireSummary`].
+fn summarize_wire(per_conn: &[ConnSamples]) -> Option<WireSummary> {
+    let enc: Vec<u64> = per_conn.iter().flat_map(|s| s.enc_ns.iter()).copied().collect();
+    let dec: Vec<u64> = per_conn.iter().flat_map(|s| s.dec_ns.iter()).copied().collect();
+    let binary = !per_conn.is_empty() && per_conn.iter().all(|s| s.binary);
+    Some(WireSummary {
+        mode: if binary { "binary" } else { "json" }.to_string(),
+        frames: enc.len() as u64,
+        encode_p50_ns: percentile(&enc, 50)?,
+        encode_p99_ns: percentile(&enc, 99)?,
+        decode_p50_ns: percentile(&dec, 50)?,
+        decode_p99_ns: percentile(&dec, 99)?,
     })
 }
 
@@ -431,6 +603,14 @@ mod tests {
                 max_us: 1400,
                 worst_connection_p99_us: 1100,
             }),
+            wire: Some(WireSummary {
+                mode: "binary".into(),
+                frames: 12,
+                encode_p50_ns: 900,
+                encode_p99_ns: 4_000,
+                decode_p50_ns: 150,
+                decode_p99_ns: 800,
+            }),
             check: Some(CheckReport {
                 phi: 0.01,
                 threshold: 1,
@@ -446,6 +626,7 @@ mod tests {
         assert_eq!(back, r);
         let none = LoadReport {
             latency: None,
+            wire: None,
             check: None,
             ..r
         };
@@ -453,6 +634,7 @@ mod tests {
             cots_core::json::from_str(&cots_core::json::to_string(&none)).unwrap();
         assert_eq!(back.check, None);
         assert_eq!(back.latency, None);
+        assert_eq!(back.wire, None);
     }
 
     #[test]
@@ -465,7 +647,7 @@ mod tests {
         assert_eq!(percentile(&v, 99), Some(99));
         assert_eq!(percentile(&v, 100), Some(100));
         // Round-robin fairness summary picks the worst tail.
-        let s = summarize_latency(&[vec![10, 10, 10], vec![10, 10, 500]]).unwrap();
+        let s = summarize_latency(&[&[10, 10, 10], &[10, 10, 500]]).unwrap();
         assert_eq!(s.samples, 6);
         assert_eq!(s.worst_connection_p99_us, 500);
         assert_eq!(s.max_us, 500);

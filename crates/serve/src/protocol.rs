@@ -13,13 +13,15 @@
 use cots_core::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 use cots_core::{ClusterReport, CotsError, CounterEntry, ServiceReport, Snapshot};
 
-/// The protocol version this build speaks. Version 3 introduced the
-/// replication operations (`REPL_SUBSCRIBE`, `REPL_BATCH`,
-/// `REPL_SNAPSHOT`, `REPL_PROMOTE`); version 2 the mandatory `HELLO`
-/// handshake plus the `SNAPSHOT_PAGE` and `CLUSTER_STATS` operations;
-/// see the version-compatibility table in `docs/PROTOCOL.md`
-/// (machine-checked by `cargo xtask lint-protocol`).
-pub const PROTO_VERSION: u32 = 3;
+/// The protocol version this build speaks. Version 4 adds no
+/// operations: it introduces the negotiated BIN1 binary encoding for
+/// the hot-path frames (feature flag `"bin"`, see [`crate::bin1`]).
+/// Version 3 introduced the replication operations (`REPL_SUBSCRIBE`,
+/// `REPL_BATCH`, `REPL_SNAPSHOT`, `REPL_PROMOTE`); version 2 the
+/// mandatory `HELLO` handshake plus the `SNAPSHOT_PAGE` and
+/// `CLUSTER_STATS` operations; see the version-compatibility table in
+/// `docs/PROTOCOL.md` (machine-checked by `cargo xtask lint-protocol`).
+pub const PROTO_VERSION: u32 = 4;
 
 /// The oldest peer version this build still accepts in `HELLO`.
 /// Version 1 had no handshake at all, so it cannot be negotiated with:

@@ -33,9 +33,9 @@
 use std::io::{self, Write};
 use std::net::TcpStream;
 
-use crate::frame::{FrameAssembler, MAX_FRAME};
-use crate::protocol::{decode, encode, Request, Response};
-use crate::service::{ConnState, Reply, Service};
+use crate::frame::{FrameAssembler, Payload, MAX_FRAME};
+use crate::protocol::{encode, Response};
+use crate::service::{ConnState, Service};
 use crate::shard::ShardSender;
 
 /// Pending-write cap: a peer that stops reading while responses pile up
@@ -128,16 +128,12 @@ impl Connection {
         loop {
             match self.asm.next_frame() {
                 Ok(Some(payload)) => {
-                    let reply = match decode::<Request>(&payload) {
-                        Ok(request) => service.serve(request, &mut self.state, sender),
-                        Err(e) => Reply::open(Response::Error {
-                            message: e.to_string(),
-                        }),
-                    };
-                    if !self.queue_response(&reply.response) {
+                    let (response, close) =
+                        service.serve_frame(&payload, &mut self.state, sender);
+                    if !self.queue_payload(&response) {
                         return Drive::Close;
                     }
-                    if reply.close {
+                    if close {
                         self.closing = true;
                         break;
                     }
@@ -149,7 +145,7 @@ impl Connection {
                     let resp = Response::Error {
                         message: "malformed frame".into(),
                     };
-                    let _ = self.queue_response(&resp);
+                    let _ = self.queue_payload(&Payload::Json(encode(&resp)));
                     self.closing = true;
                     break;
                 }
@@ -169,19 +165,20 @@ impl Connection {
         self.flush()
     }
 
-    /// Frame and queue one response; `false` if it exceeds the frame
-    /// cap or the peer has fallen pathologically behind.
-    fn queue_response(&mut self, response: &Response) -> bool {
-        let payload = encode(response);
-        if payload.len() > MAX_FRAME {
+    /// Frame and queue one already-encoded response payload (JSON or
+    /// BIN1); `false` if it exceeds the frame cap or the peer has
+    /// fallen pathologically behind.
+    fn queue_payload(&mut self, payload: &Payload) -> bool {
+        let bytes = payload.bytes();
+        if bytes.len() > MAX_FRAME {
             return false;
         }
-        if self.wbuf.len() - self.wpos + 4 + payload.len() > WBUF_CAP {
+        if self.wbuf.len() - self.wpos + 4 + bytes.len() > WBUF_CAP {
             return false;
         }
         self.wbuf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.wbuf.extend_from_slice(payload.as_bytes());
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(bytes);
         true
     }
 

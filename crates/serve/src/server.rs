@@ -25,10 +25,10 @@ use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::frame::{is_timeout, read_frame, write_frame};
-use crate::protocol::{decode, encode, Request, Response};
+use crate::frame::{is_timeout, read_frame, write_frame, write_payload};
+use crate::protocol::{encode, Response};
 use crate::reactor::ReactorPool;
-use crate::service::{ConnState, Reply, Service, ServiceConfig};
+use crate::service::{ConnState, Service, ServiceConfig};
 
 /// How long a connection read blocks before re-checking the shutdown
 /// flag.
@@ -262,16 +262,11 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                 return;
             }
         };
-        let reply = match decode::<Request>(&payload) {
-            Ok(request) => service.serve(request, &mut conn, &mut sender),
-            Err(e) => Reply::open(Response::Error {
-                message: e.to_string(),
-            }),
-        };
-        if write_frame(&mut writer, &encode(&reply.response)).is_err() {
+        let (response, close) = service.serve_frame(&payload, &mut conn, &mut sender);
+        if write_payload(&mut writer, &response).is_err() {
             return;
         }
-        if reply.close {
+        if close {
             return;
         }
     }

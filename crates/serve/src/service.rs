@@ -34,6 +34,7 @@ use cots_core::{
 use cots_persist::Checkpoint;
 use cots_profiling::IngestTally;
 
+use crate::frame::Payload;
 use crate::persistence::{PersistOptions, Persistence};
 use crate::protocol::{
     snapshot_page_response, QueryReq, QueryStamp, ReplFrame, Request, Response,
@@ -42,14 +43,18 @@ use crate::protocol::{
 use crate::shard::{Backend, SendOutcome, ShardPool, ShardSender};
 
 /// Feature flags a member instance advertises in `HELLO_ACK`.
-const MEMBER_FEATURES: &[&str] = &["snapshot-page"];
+const MEMBER_FEATURES: &[&str] = &["snapshot-page", "bin"];
 
-/// Per-connection protocol state: handshake progress plus the snapshot
-/// pinned by an in-progress paged transfer. Owned by the connection (a
-/// blocking thread or a reactor slab slot), never shared.
+/// Per-connection protocol state: handshake progress, whether the peer
+/// negotiated the BIN1 encoding, plus the snapshot pinned by an
+/// in-progress paged transfer. Owned by the connection (a blocking
+/// thread or a reactor slab slot), never shared.
 #[derive(Default)]
 pub struct ConnState {
     greeted: bool,
+    /// The peer listed `"bin"` in its `HELLO` features: BIN1 frames are
+    /// admitted on this connection (and answered in kind).
+    bin: bool,
     pinned: Option<Arc<cots::StampedSnapshot<u64>>>,
 }
 
@@ -65,6 +70,7 @@ impl ConnState {
     pub fn pre_greeted() -> Self {
         Self {
             greeted: true,
+            bin: false,
             pinned: None,
         }
     }
@@ -72,6 +78,11 @@ impl ConnState {
     /// Whether the handshake has completed on this connection.
     pub fn is_greeted(&self) -> bool {
         self.greeted
+    }
+
+    /// Whether the peer negotiated the BIN1 encoding at `HELLO` time.
+    pub fn is_bin(&self) -> bool {
+        self.bin
     }
 }
 
@@ -512,9 +523,16 @@ impl Service {
     /// all) and the connection closes. In-process callers that need no
     /// handshake use [`Service::handle`] or [`ConnState::pre_greeted`].
     pub fn serve(&self, request: Request, conn: &mut ConnState, sender: &mut ShardSender) -> Reply {
-        if let Request::Hello { proto_version, .. } = request {
+        if let Request::Hello {
+            proto_version,
+            ref features,
+        } = request
+        {
             return if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto_version) {
                 conn.greeted = true;
+                // BIN1 admission is per connection: only a peer that
+                // announced the feature may send binary frames.
+                conn.bin = features.iter().any(|f| f == "bin");
                 Reply::open(self.hello_ack())
             } else {
                 Reply::closing(Response::UnsupportedVersion {
@@ -555,6 +573,68 @@ impl Service {
         let response = self.handle(request, sender);
         let close = matches!(response, Response::ShuttingDown);
         Reply { response, close }
+    }
+
+    /// Serve one raw frame payload: decode (JSON always; BIN1 only on a
+    /// connection that negotiated the `"bin"` feature), dispatch through
+    /// [`Service::serve`], and encode the response *in kind* — a BIN1
+    /// request gets a BIN1 response when the response op has a binary
+    /// form, and JSON otherwise (errors are always JSON). Returns the
+    /// encoded response payload and whether the connection must close.
+    ///
+    /// Both I/O models (blocking threads and the reactor) funnel through
+    /// here, so the two front-ends accept byte-identical languages.
+    pub fn serve_frame(
+        &self,
+        payload: &Payload,
+        conn: &mut ConnState,
+        sender: &mut ShardSender,
+    ) -> (Payload, bool) {
+        let (reply, bin) = match payload {
+            Payload::Json(text) => match crate::protocol::decode::<Request>(text) {
+                Ok(request) => (self.serve(request, conn, sender), false),
+                Err(e) => (
+                    Reply::open(Response::Error {
+                        message: e.to_string(),
+                    }),
+                    false,
+                ),
+            },
+            Payload::Bin(bytes) => {
+                if !conn.is_bin() {
+                    // Sending BIN1 without negotiating it is a protocol
+                    // violation, handled like a failed handshake: answer
+                    // and close.
+                    (
+                        Reply::closing(Response::Error {
+                            message: "BIN1 frame on a connection that did not \
+                                      negotiate the `bin` feature in HELLO"
+                                .into(),
+                        }),
+                        false,
+                    )
+                } else {
+                    match crate::bin1::decode_request(bytes) {
+                        Ok(request) => (self.serve(request, conn, sender), true),
+                        Err(e) => (
+                            Reply::open(Response::Error {
+                                message: e.to_string(),
+                            }),
+                            false,
+                        ),
+                    }
+                }
+            }
+        };
+        let encoded = if bin {
+            match crate::bin1::encode_response(&reply.response) {
+                Some(bytes) => Payload::Bin(bytes),
+                None => Payload::Json(crate::protocol::encode(&reply.response)),
+            }
+        } else {
+            Payload::Json(crate::protocol::encode(&reply.response))
+        };
+        (encoded, reply.close)
     }
 
     /// The `HELLO_ACK` this instance answers a successful handshake with.

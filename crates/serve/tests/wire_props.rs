@@ -1,18 +1,21 @@
 //! Property tests for the wire layer: framing and protocol codecs must
-//! be total — any input either round-trips or errors, never panics.
+//! be total — any input either round-trips or errors, never panics —
+//! and the BIN1 binary encoding must be observationally identical to
+//! JSON: both decode to the same `Request`/`Response` values.
 
 use proptest::prelude::*;
 use proptest::strategy::Strategy;
 
-use cots_serve::frame::{decode_frame, encode_frame, FrameAssembler, FrameError, MAX_FRAME};
-use cots_serve::protocol::{decode, encode, QueryReq, Request, Response};
+use cots_core::CounterEntry;
+use cots_serve::bin1;
+use cots_serve::frame::{decode_frame, encode_frame, FrameAssembler, FrameError, Payload, MAX_FRAME};
+use cots_serve::protocol::{
+    decode, encode, QueryReq, QueryStamp, ReplFrame, Request, Response, MAX_PAGE_ENTRIES,
+};
 
 /// Feed `bytes` into an assembler cut at `cuts` (interpreted as split
 /// offsets), collecting every decoded frame and the first error.
-fn assemble_in_pieces(
-    bytes: &[u8],
-    cuts: &[usize],
-) -> (Vec<String>, Option<FrameError>) {
+fn assemble_in_pieces(bytes: &[u8], cuts: &[usize]) -> (Vec<Payload>, Option<FrameError>) {
     let mut splits: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
     splits.sort_unstable();
     let mut asm = FrameAssembler::new();
@@ -38,6 +41,82 @@ fn utf8_payload(max_bytes: usize) -> impl Strategy<Value = String> {
         .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
 }
 
+/// Key batches biased toward the edges: empty, single-key, and bulky.
+fn key_batch() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        Just(Vec::new()),
+        proptest::collection::vec(any::<u64>(), 1..=1),
+        proptest::collection::vec(any::<u64>(), 2..512),
+    ]
+}
+
+/// Requests that have a BIN1 form.
+fn bulk_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        key_batch().prop_map(|keys| Request::Ingest { keys }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), key_batch()), 0..8)
+        )
+            .prop_map(|(lineage, batches)| Request::ReplBatch {
+                lineage,
+                batches: batches
+                    .into_iter()
+                    .map(|(seq, keys)| ReplFrame { seq, keys })
+                    .collect(),
+            }),
+        (any::<u64>(), any::<usize>(), any::<usize>()).prop_map(|(since_epoch, offset, limit)| {
+            Request::SnapshotPage {
+                since_epoch,
+                offset,
+                limit,
+            }
+        }),
+    ]
+}
+
+/// Responses that have a BIN1 form.
+fn bulk_response() -> impl Strategy<Value = Response> {
+    let stamp = (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>(), any::<u64>()).prop_map(
+        |(epoch, captured_total, staleness, has_rot, rot)| QueryStamp {
+            epoch,
+            captured_total,
+            staleness,
+            rotations: has_rot.then_some(rot),
+        },
+    );
+    prop_oneof![
+        any::<u64>().prop_map(|enqueued| Response::IngestAck { enqueued }),
+        Just(Response::Overloaded),
+        any::<u64>().prop_map(|ack_seq| Response::ReplAck { ack_seq }),
+        (
+            proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..64),
+            (any::<usize>(), any::<usize>(), any::<u64>()),
+            (any::<bool>(), any::<bool>()),
+            stamp,
+        )
+            .prop_map(
+                |(entries, (offset, total_entries, total), (done, unchanged), stamp)| {
+                    Response::SnapshotPage {
+                        // Struct literal: the wire admits `error > count`
+                        // (both codecs decode it literally), so the
+                        // differential property must cover it.
+                        entries: entries
+                            .into_iter()
+                            .map(|(item, count, error)| CounterEntry { item, count, error })
+                            .collect(),
+                        offset,
+                        total_entries,
+                        total,
+                        done,
+                        unchanged,
+                        stamp,
+                    }
+                }
+            ),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -45,7 +124,7 @@ proptest! {
     fn frame_round_trips(payload in utf8_payload(512)) {
         let frame = encode_frame(&payload);
         let (back, used) = decode_frame(&frame).unwrap();
-        prop_assert_eq!(back, payload);
+        prop_assert_eq!(back, Payload::Json(payload));
         prop_assert_eq!(used, frame.len());
     }
 
@@ -101,7 +180,11 @@ proptest! {
         // Through the full stack: protocol encode → frame → decode.
         let frame = encode_frame(&encode(&request));
         let (payload, _) = decode_frame(&frame).unwrap();
-        let back: Request = decode(&payload).unwrap();
+        let Payload::Json(text) = payload else {
+            prop_assert!(false, "JSON payload classified as binary");
+            unreachable!();
+        };
+        let back: Request = decode(&text).unwrap();
         prop_assert_eq!(back, request);
     }
 
@@ -133,7 +216,8 @@ proptest! {
         }
         let (frames, err) = assemble_in_pieces(&bytes, &cuts);
         prop_assert_eq!(err, None);
-        prop_assert_eq!(frames, payloads);
+        let expect: Vec<Payload> = payloads.into_iter().map(Payload::Json).collect();
+        prop_assert_eq!(frames, expect);
     }
 
     #[test]
@@ -143,7 +227,7 @@ proptest! {
         let every_byte: Vec<usize> = (0..bytes.len()).collect();
         let (frames, err) = assemble_in_pieces(&bytes, &every_byte);
         prop_assert_eq!(err, None);
-        prop_assert_eq!(frames, vec![payload]);
+        prop_assert_eq!(frames, vec![Payload::Json(payload)]);
     }
 
     #[test]
@@ -158,7 +242,7 @@ proptest! {
         let mut bytes = len.to_le_bytes().to_vec();
         bytes.extend_from_slice(b"garbage body");
         let (frames, err) = assemble_in_pieces(&bytes, &cuts);
-        prop_assert_eq!(frames, Vec::<String>::new());
+        prop_assert_eq!(frames, Vec::<Payload>::new());
         prop_assert_eq!(err, Some(FrameError::TooLarge(len as usize)));
     }
 
@@ -167,17 +251,23 @@ proptest! {
         body in proptest::collection::vec(any::<u8>(), 1..64),
         cuts in proptest::collection::vec(any::<usize>(), 0..8),
     ) {
-        // Arbitrary byte bodies: either they decode (valid UTF-8) or the
-        // assembler reports Malformed; nothing panics either way.
+        // Arbitrary byte bodies: a leading BIN1 magic classifies as a
+        // binary payload, other valid UTF-8 as JSON, and everything else
+        // is Malformed; nothing panics in any case.
         let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
         bytes.extend_from_slice(&body);
         let (frames, err) = assemble_in_pieces(&bytes, &cuts);
         match err {
             None => {
                 prop_assert_eq!(frames.len(), 1);
-                prop_assert!(String::from_utf8(body).is_ok());
+                if body[0] == cots_serve::BIN1_MAGIC {
+                    prop_assert_eq!(&frames[0], &Payload::Bin(body));
+                } else {
+                    prop_assert!(String::from_utf8(body).is_ok());
+                }
             }
             Some(FrameError::Malformed(_)) => {
+                prop_assert!(body[0] != cots_serve::BIN1_MAGIC);
                 prop_assert!(String::from_utf8(body).is_err());
             }
             Some(other) => prop_assert!(false, "unexpected error {other:?}"),
@@ -192,12 +282,66 @@ proptest! {
         bytes.extend(std::iter::repeat_n(b'a', body_len));
         prop_assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::Incomplete);
     }
+
+    // ---- BIN1 ↔ JSON differential properties ----
+
+    #[test]
+    fn bin1_and_json_decode_to_identical_requests(request in bulk_request()) {
+        let bin = bin1::encode_request(&request)
+            .expect("every bulk request has a BIN1 form");
+        let from_bin = bin1::decode_request(&bin).unwrap();
+        let from_json: Request = decode(&encode(&request)).unwrap();
+        prop_assert_eq!(&from_bin, &from_json);
+        prop_assert_eq!(&from_bin, &request);
+    }
+
+    #[test]
+    fn bin1_and_json_decode_to_identical_responses(response in bulk_response()) {
+        let bin = bin1::encode_response(&response)
+            .expect("every bulk response has a BIN1 form");
+        let from_bin = bin1::decode_response(&bin).unwrap();
+        let from_json: Response = decode(&encode(&response)).unwrap();
+        prop_assert_eq!(&from_bin, &from_json);
+        prop_assert_eq!(&from_bin, &response);
+    }
+
+    #[test]
+    fn bin1_garbage_errors_never_panic(mut bytes in proptest::collection::vec(any::<u8>(), 0..512),
+                                       force_magic in any::<bool>()) {
+        // Arbitrary byte soup — with and without a valid leading magic —
+        // must produce Ok or a typed error on both decoders.
+        if force_magic && !bytes.is_empty() {
+            bytes[0] = cots_serve::BIN1_MAGIC;
+        }
+        let _ = bin1::decode_request(&bytes);
+        let _ = bin1::decode_response(&bytes);
+    }
+
+    #[test]
+    fn bin1_truncations_error_never_panic(request in bulk_request(), keep in any::<usize>()) {
+        let bin = bin1::encode_request(&request).expect("bulk request");
+        let keep = keep % bin.len(); // strictly shorter
+        prop_assert!(bin1::decode_request(&bin[..keep]).is_err());
+    }
+
+    #[test]
+    fn bin1_bit_flips_error_or_decode_never_panic(response in bulk_response(),
+                                                  bit in any::<usize>()) {
+        let mut bin = bin1::encode_response(&response).expect("bulk response");
+        let nbits = bin.len() * 8;
+        let bit = bit % nbits;
+        bin[bit / 8] ^= 1 << (bit % 8);
+        // A flipped count or length byte must not drive allocation or
+        // indexing; a flipped value byte simply decodes to other values.
+        let _ = bin1::decode_response(&bin);
+        let _ = bin1::decode_request(&bin);
+    }
 }
 
 #[test]
 fn zero_length_frame_decodes_to_empty_payload() {
     let (payload, used) = decode_frame(&0u32.to_le_bytes()).unwrap();
-    assert_eq!(payload, "");
+    assert_eq!(payload, Payload::Json(String::new()));
     assert_eq!(used, 4);
 }
 
@@ -230,4 +374,57 @@ fn one_past_cap_is_rejected_before_any_body_arrives() {
         decode_frame(&bytes).unwrap_err(),
         FrameError::TooLarge(MAX_FRAME + 1)
     );
+}
+
+/// The largest INGEST batch a BIN1 frame can carry:
+/// `MAX_FRAME = 6 + 8·n` solved for n.
+const CAP_KEYS: usize = (MAX_FRAME - 6) / 8;
+
+#[test]
+fn bin1_ingest_at_frame_cap_round_trips_and_one_past_overflows() {
+    let keys: Vec<u64> = (0..CAP_KEYS as u64).collect();
+    let bin = bin1::encode_ingest(&keys);
+    assert!(bin.len() <= MAX_FRAME, "cap-sized batch must fit a frame");
+    match bin1::decode_request(&bin).unwrap() {
+        Request::Ingest { keys: back } => assert_eq!(back, keys),
+        other => panic!("unexpected decode: {other:?}"),
+    }
+    // One more key crosses MAX_FRAME: the frame writer refuses it
+    // cleanly rather than emitting an unreadable frame.
+    let over: Vec<u64> = (0..=CAP_KEYS as u64).collect();
+    let payload = Payload::Bin(bin1::encode_ingest(&over));
+    assert!(payload.len() > MAX_FRAME);
+    let mut sink = Vec::new();
+    assert!(cots_serve::frame::write_payload(&mut sink, &payload).is_err());
+    assert!(sink.is_empty(), "no partial frame may reach the wire");
+}
+
+#[test]
+fn bin1_page_response_at_entry_cap_round_trips() {
+    let entries: Vec<CounterEntry<u64>> = (0..MAX_PAGE_ENTRIES as u64)
+        .map(|i| CounterEntry::new(i, i * 2, i / 2))
+        .collect();
+    let stamp = QueryStamp {
+        epoch: 7,
+        captured_total: 9,
+        staleness: 3,
+        rotations: Some(1),
+    };
+    let bin = bin1::encode_page_resp(&entries, 0, entries.len(), 9, true, false, stamp);
+    assert!(bin.len() <= MAX_FRAME, "a full page must fit a frame");
+    match bin1::decode_response(&bin).unwrap() {
+        Response::SnapshotPage {
+            entries: back,
+            total_entries,
+            done,
+            stamp: back_stamp,
+            ..
+        } => {
+            assert_eq!(back, entries);
+            assert_eq!(total_entries, entries.len());
+            assert!(done);
+            assert_eq!(back_stamp.rotations, Some(1));
+        }
+        other => panic!("unexpected decode: {other:?}"),
+    }
 }
